@@ -1,0 +1,20 @@
+"""Repository-level pytest configuration.
+
+Ensures the ``src`` layout is importable even when the package has not
+been installed (useful in offline environments where ``pip install -e .``
+cannot build editable wheels), and registers the ``slow`` marker used by
+the longer integration tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "slow: long-running simulation test")

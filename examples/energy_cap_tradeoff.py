@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""The energy/throughput trade-off of energy-oblivious routing (Sections 5-6).
+
+An energy-oblivious algorithm fixes its on/off schedule in advance; the
+paper shows its achievable injection rate is governed by the energy cap k:
+
+* k-Cycle handles rates up to (k-1)/(n-1) and no oblivious algorithm can
+  exceed k/n (Theorems 5 and 6);
+* direct oblivious algorithms are limited to k(k-1)/(n(n-1)) — which
+  k-Subsets attains exactly (Theorems 8 and 9).
+
+This example sweeps the energy cap k for a fixed system of n = 12 stations
+and reports, for each k, the paper's thresholds and the simulated fate of
+k-Cycle just below its guarantee and just above the impossibility bound.
+It also contrasts energy per delivered packet with the uncapped RRW
+baseline: the price of staying below the cap.
+
+Run with:  python examples/energy_cap_tradeoff.py
+"""
+
+from repro import KCycle, run_simulation
+from repro.adversary import LeastOnStationAdversary, SingleSourceSprayAdversary
+from repro.analysis import bounds
+from repro.protocols import RoundRobinWithholding
+
+N = 12
+BETA = 1.0
+ROUNDS = 15_000
+
+
+def main() -> None:
+    print(f"system: n = {N} stations, {ROUNDS} rounds per configuration\n")
+    header = (
+        f"{'k':>3} | {'guarantee (k-1)/(n-1)':>22} | {'limit k/n':>10} | "
+        f"{'below guarantee':>16} | {'above limit':>12} | {'E/round':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    for k in (2, 3, 4, 6):
+        guarantee = bounds.k_cycle_rate_threshold(N, k)
+        limit = bounds.oblivious_rate_upper_bound(N, k)
+
+        # Just below the guaranteed rate: must be stable.
+        below = run_simulation(
+            KCycle(N, k),
+            SingleSourceSprayAdversary(0.7 * guarantee, BETA),
+            ROUNDS,
+        )
+
+        # Above the k/n impossibility bound: the schedule-aware adversary of
+        # Theorem 6 floods the station the schedule starves.
+        schedule = KCycle(N, k).oblivious_schedule()
+        adversary = LeastOnStationAdversary(
+            min(1.0, 1.3 * limit), BETA, schedule, horizon=schedule.period_length
+        )
+        above = run_simulation(KCycle(N, k), adversary, ROUNDS)
+
+        print(
+            f"{k:>3} | {guarantee:>22.3f} | {limit:>10.3f} | "
+            f"{'stable' if below.stable else 'UNSTABLE':>16} | "
+            f"{'diverges' if not above.stable else 'stable?!':>12} | "
+            f"{below.summary.energy_per_round:>8.2f}"
+        )
+
+    # The uncapped baseline for contrast: fast, but burns n station-rounds per round.
+    rrw = run_simulation(
+        RoundRobinWithholding(N),
+        SingleSourceSprayAdversary(0.5, BETA),
+        ROUNDS,
+    )
+    print(
+        f"\nuncapped RRW baseline: latency {rrw.latency} rounds, "
+        f"energy {rrw.summary.energy_per_round:.1f} station-rounds/round "
+        f"({rrw.summary.energy_per_delivery:.1f} per delivered packet)"
+    )
+    print(
+        "\nReading the table: raising the cap k widens the admissible injection-rate\n"
+        "range (the guarantee column grows with k), while traffic above k/n defeats\n"
+        "every oblivious schedule — the gap between those two columns is the price\n"
+        "of obliviousness the paper leaves open."
+    )
+
+
+if __name__ == "__main__":
+    main()

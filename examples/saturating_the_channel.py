@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Saturating the channel: why the energy cap 3 matters (Sections 3.1-3.2).
+
+The paper's headline result is a pair of statements:
+
+* **Orchestra** keeps queues bounded at the maximum possible injection
+  rate rho = 1 while switching on only *three* stations per round
+  (Theorem 1), and
+* **no algorithm whatsoever** can do this with only *two* stations per
+  round (Theorem 2).
+
+This example demonstrates both sides empirically.  The same saturating
+adversary (one packet injected every round, forever) is thrown at
+Orchestra (energy cap 3) and at Count-Hop (energy cap 2, universal for
+every rate *below* 1).  Orchestra's queues stay flat near 2n^3; Count-Hop's
+grow linearly without bound.
+
+Run with:  python examples/saturating_the_channel.py
+"""
+
+from repro import CountHop, Orchestra, run_simulation
+from repro.adversary import AdaptiveStarvationAdversary, SaturatingAdversary
+from repro.analysis import bounds
+from repro.sim.reporting import queue_trajectory_sparkline
+
+N = 6
+BETA = 2.0
+ROUNDS = 12_000
+
+
+def main() -> None:
+    print(f"system: n = {N} stations, adversary rate rho = 1.0, beta = {BETA}, "
+          f"{ROUNDS} rounds\n")
+
+    # --- Orchestra: energy cap 3, stable at rate 1 -------------------------
+    orchestra = run_simulation(
+        Orchestra(N), SaturatingAdversary(1.0, BETA), ROUNDS
+    )
+    bound = bounds.orchestra_queue_bound(N, BETA)
+    print("Orchestra (energy cap 3)")
+    print(f"  queue trajectory : {queue_trajectory_sparkline(orchestra)}")
+    print(f"  max queue        : {orchestra.max_queue}  (paper bound 2n^3+beta = {bound:.0f})")
+    print(f"  energy per round : {orchestra.summary.energy_per_round:.2f}")
+    print(f"  verdict          : {'stable' if orchestra.stable else 'UNSTABLE'}\n")
+
+    # --- Count-Hop: energy cap 2, provably cannot survive rate 1 -----------
+    count_hop = run_simulation(
+        CountHop(N), SaturatingAdversary(1.0, BETA), ROUNDS
+    )
+    print("Count-Hop (energy cap 2) under the same traffic")
+    print(f"  queue trajectory : {queue_trajectory_sparkline(count_hop)}")
+    print(f"  max queue        : {count_hop.max_queue} and growing "
+          f"({count_hop.summary.queue_growth_rate:+.3f} packets/round)")
+    print(f"  verdict          : {'stable' if count_hop.stable else 'UNSTABLE'}\n")
+
+    # --- The adaptive Theorem-2 adversary does it too ----------------------
+    adaptive = run_simulation(
+        CountHop(N), AdaptiveStarvationAdversary(1.0, BETA), ROUNDS
+    )
+    print("Count-Hop vs the adaptive starvation adversary of Theorem 2")
+    print(f"  queue trajectory : {queue_trajectory_sparkline(adaptive)}")
+    print(f"  verdict          : {'stable' if adaptive.stable else 'UNSTABLE'}")
+
+    print("\nConclusion: with one extra switched-on station per round "
+          "(3 instead of 2), maximum throughput becomes achievable — "
+          "exactly the separation the paper proves.")
+
+
+if __name__ == "__main__":
+    main()

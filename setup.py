@@ -1,0 +1,13 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``.  This file exists
+so that the package can also be installed in environments without network
+access or without the ``wheel`` package (where PEP 517 editable builds fail):
+
+    python setup.py develop        # or: pip install -e . --no-build-isolation
+"""
+
+from setuptools import setup
+
+if __name__ == "__main__":
+    setup()

@@ -1,0 +1,67 @@
+"""repro — reproduction of *Energy Efficient Adversarial Routing in Shared Channels*.
+
+This package implements, from scratch and in pure Python, the system studied
+by Chlebus, Hradovich, Jurdziński, Klonowski and Kowalski (SPAA 2019):
+dynamic packet routing on a multiple access channel under an energy cap,
+with adversarial (leaky-bucket) packet injection.
+
+Quick start::
+
+    from repro import run_simulation, make_algorithm
+    from repro.adversary import SingleSourceSprayAdversary
+
+    algo = make_algorithm("k-cycle", n=9, k=3)
+    adversary = SingleSourceSprayAdversary(rho=0.2, beta=2.0)
+    result = run_simulation(algo, adversary, rounds=10_000)
+    print(result.summary.format_row())
+
+Sub-packages
+------------
+``repro.channel``
+    The shared-channel substrate: packets, messages, stations, the round
+    engine and energy accounting.
+``repro.adversary``
+    Leaky-bucket adversaries: deterministic patterns, stochastic traffic,
+    adaptive lower-bound constructions, trace record/replay.
+``repro.core``
+    The routing-algorithm framework: controllers, queues, oblivious
+    schedules, the algorithm registry.
+``repro.protocols``
+    Prior-work building blocks: RRW, OF-RRW and MBTF.
+``repro.algorithms``
+    The paper's algorithms: Orchestra, Count-Hop, Adjust-Window, k-Cycle,
+    k-Clique and k-Subsets.
+``repro.metrics`` / ``repro.analysis`` / ``repro.sim``
+    Metrics collection, the paper's closed-form bounds (Table 1) and the
+    experiment harness that regenerates them.
+"""
+
+from . import algorithms as _algorithms  # noqa: F401  (registers the algorithms)
+from . import protocols as _protocols  # noqa: F401  (registers the baselines)
+from .algorithms import AdjustWindow, CountHop, KClique, KCycle, KSubsets, Orchestra
+from .core import (
+    AlgorithmProperties,
+    RoutingAlgorithm,
+    available_algorithms,
+    make_algorithm,
+)
+from .sim import RunResult, run_simulation, worst_case_over
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdjustWindow",
+    "AlgorithmProperties",
+    "CountHop",
+    "KClique",
+    "KCycle",
+    "KSubsets",
+    "Orchestra",
+    "RoutingAlgorithm",
+    "RunResult",
+    "available_algorithms",
+    "make_algorithm",
+    "run_simulation",
+    "worst_case_over",
+    "__version__",
+]

@@ -1,0 +1,110 @@
+"""Adversary interface.
+
+An adversary decides, at the start of every round, which packets to inject
+and into which stations, subject to its leaky-bucket type ``(rho, beta)``.
+Concrete adversaries implement :meth:`Adversary.demand`, returning the
+*(station, destination)* pairs they would like to inject this round; the
+base class clips the demand to the leaky-bucket budget, materialises
+packets through the bound :class:`~repro.channel.packet.PacketFactory` and
+keeps the online constraint tracker consistent, so that no concrete
+adversary can accidentally exceed its own type.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+from ..channel.engine import AdversaryView
+from ..channel.packet import Packet, PacketFactory
+from .leaky_bucket import AdversaryType, LeakyBucketConstraint
+
+__all__ = ["Adversary", "InjectionDemand"]
+
+# A demand is a (source station, destination station) pair.
+InjectionDemand = tuple[int, int]
+
+
+class Adversary(abc.ABC):
+    """Base class of all packet-injection adversaries.
+
+    Parameters
+    ----------
+    rho, beta:
+        The leaky-bucket type of the adversary.
+    """
+
+    def __init__(self, rho: float, beta: float) -> None:
+        self.adversary_type = AdversaryType(rho=rho, beta=beta)
+        self.constraint = LeakyBucketConstraint(self.adversary_type)
+        self.n: int | None = None
+        self.factory: PacketFactory | None = None
+
+    # -- wiring ------------------------------------------------------------
+    def bind(self, n: int, factory: PacketFactory | None = None) -> "Adversary":
+        """Attach the adversary to a system of ``n`` stations."""
+        if n < 2:
+            raise ValueError("the routing problem needs at least 2 stations")
+        self.n = n
+        self.factory = factory or PacketFactory()
+        self.on_bind(n)
+        return self
+
+    def on_bind(self, n: int) -> None:
+        """Hook for subclasses that need to precompute per-``n`` state."""
+
+    @property
+    def rho(self) -> float:
+        return self.adversary_type.rho
+
+    @property
+    def beta(self) -> float:
+        return self.adversary_type.beta
+
+    # -- per-round injection ------------------------------------------------
+    def inject(self, round_no: int, view: AdversaryView) -> list[tuple[int, Packet]]:
+        """Return the (station, packet) injections for ``round_no``.
+
+        The number of injections is the minimum of the subclass's demand
+        and the current leaky-bucket budget.
+        """
+        if self.n is None or self.factory is None:
+            raise RuntimeError("adversary.bind(n) must be called before inject()")
+        budget = self.constraint.budget()
+        demands = list(self.demand(round_no, budget, view))
+        if len(demands) > budget:
+            demands = demands[:budget]
+        injections: list[tuple[int, Packet]] = []
+        for source, destination in demands:
+            self._validate_pair(source, destination)
+            packet = self.factory.make(
+                destination=destination, injected_at=round_no, origin=source
+            )
+            injections.append((source, packet))
+        self.constraint.consume(len(injections))
+        return injections
+
+    @abc.abstractmethod
+    def demand(
+        self, round_no: int, budget: int, view: AdversaryView
+    ) -> Sequence[InjectionDemand]:
+        """Return up to ``budget`` (source, destination) pairs for this round."""
+
+    # -- helpers -------------------------------------------------------------
+    def _validate_pair(self, source: int, destination: int) -> None:
+        assert self.n is not None
+        if not 0 <= source < self.n:
+            raise ValueError(f"source station {source} out of range for n={self.n}")
+        if not 0 <= destination < self.n:
+            raise ValueError(
+                f"destination station {destination} out of range for n={self.n}"
+            )
+        if source == destination:
+            raise ValueError("a packet's destination must differ from its source")
+
+    def describe(self) -> str:
+        """Human-readable description used in reports."""
+        return f"{type(self).__name__}{self.adversary_type}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.describe()

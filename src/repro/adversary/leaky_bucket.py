@@ -1,0 +1,152 @@
+"""Leaky-bucket admissibility constraint for adversarial packet injection.
+
+An adversary of type ``(rho, beta)`` may inject at most ``rho * t + beta``
+packets in *every* contiguous interval of ``t`` rounds (Section 2,
+"Dynamic packet generation").  :class:`LeakyBucketConstraint` tracks the
+exact remaining slack with an O(1)-per-round recurrence:
+
+Let ``A_t`` be the largest number of packets that may still be injected in
+round ``t`` without violating the constraint for *any* interval ending at
+``t``.  For the interval consisting of round ``t`` alone the budget is
+``rho + beta``; intervals that started earlier have their slack reduced by
+past injections and increased by ``rho`` per elapsed round.  Hence
+
+    A_1     = rho + beta
+    A_{t+1} = min(A_t - x_t + rho,  rho + beta)
+
+where ``x_t`` is the number of packets injected in round ``t``.  The
+integer number of packets injectable in round ``t`` is ``floor(A_t)``,
+which for ``t = 1`` equals the paper's burstiness ``floor(rho + beta)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["LeakyBucketConstraint", "LeakyBucketViolation", "AdversaryType"]
+
+
+class LeakyBucketViolation(RuntimeError):
+    """Raised when an injection pattern exceeds the (rho, beta) envelope."""
+
+
+@dataclass(frozen=True, slots=True)
+class AdversaryType:
+    """The ``(rho, beta)`` type of a leaky-bucket adversary.
+
+    ``rho`` is the injection rate (``0 < rho <= 1``) and ``beta >= 0`` is
+    the burstiness coefficient.  The paper assumes ``beta >= 1``; we allow
+    ``beta = 0`` for degenerate test scenarios.
+    """
+
+    rho: float
+    beta: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.rho <= 1:
+            raise ValueError(f"injection rate rho must be in (0, 1], got {self.rho}")
+        if self.beta < 0:
+            raise ValueError(f"burstiness coefficient beta must be >= 0, got {self.beta}")
+
+    @property
+    def burstiness(self) -> int:
+        """Maximum number of packets injectable in a single round."""
+        return math.floor(self.rho + self.beta)
+
+    def window_bound(self, t: int) -> float:
+        """Upper bound on injections in any interval of ``t`` rounds."""
+        if t <= 0:
+            return 0.0
+        return self.rho * t + self.beta
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"(rho={self.rho}, beta={self.beta})"
+
+
+@dataclass(slots=True)
+class LeakyBucketConstraint:
+    """Online tracker of the remaining injection slack of a (rho, beta) type.
+
+    Usage: call :meth:`budget` at the beginning of a round to learn how
+    many packets may be injected, then :meth:`consume` with the number
+    actually injected (which also advances the round).
+    """
+
+    adversary_type: AdversaryType
+    _slack: float = field(init=False)
+    _round: int = field(init=False, default=0)
+    total_injected: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        self._slack = self.adversary_type.rho + self.adversary_type.beta
+
+    @property
+    def rho(self) -> float:
+        return self.adversary_type.rho
+
+    @property
+    def beta(self) -> float:
+        return self.adversary_type.beta
+
+    @property
+    def round_no(self) -> int:
+        """The round the constraint currently expects injections for."""
+        return self._round
+
+    def budget(self) -> int:
+        """Number of packets that may be injected in the current round."""
+        # Guard against floating point drift pushing the slack a hair
+        # below an integer it mathematically equals.
+        return max(0, math.floor(self._slack + 1e-9))
+
+    def consume(self, count: int) -> None:
+        """Register ``count`` injections for the current round and advance.
+
+        Raises
+        ------
+        LeakyBucketViolation
+            If ``count`` exceeds the current budget.
+        """
+        if count < 0:
+            raise ValueError("injection count cannot be negative")
+        if count > self.budget():
+            raise LeakyBucketViolation(
+                f"round {self._round}: injecting {count} packets exceeds the "
+                f"budget {self.budget()} of adversary type {self.adversary_type}"
+            )
+        self.total_injected += count
+        cap = self.adversary_type.rho + self.adversary_type.beta
+        self._slack = min(self._slack - count + self.adversary_type.rho, cap)
+        self._round += 1
+
+    def peek_after_skip(self, rounds: int) -> int:
+        """Budget available after skipping ``rounds`` rounds without injecting."""
+        cap = self.adversary_type.rho + self.adversary_type.beta
+        slack = min(self._slack + rounds * self.adversary_type.rho, cap)
+        return max(0, math.floor(slack + 1e-9))
+
+
+def verify_injection_record(
+    counts: list[int], adversary_type: AdversaryType, *, strict: bool = True
+) -> bool:
+    """Check a per-round injection record against the (rho, beta) envelope.
+
+    This is the O(t^2) reference check used by tests to validate the O(1)
+    online tracker: for every contiguous interval the number of injections
+    must not exceed ``rho * len + beta``.
+    """
+    prefix = [0]
+    for c in counts:
+        prefix.append(prefix[-1] + c)
+    for start in range(len(counts)):
+        for end in range(start + 1, len(counts) + 1):
+            injected = prefix[end] - prefix[start]
+            bound = adversary_type.window_bound(end - start)
+            if injected > bound + 1e-9:
+                if strict:
+                    raise LeakyBucketViolation(
+                        f"interval [{start}, {end}) injected {injected} > bound {bound}"
+                    )
+                return False
+    return True

@@ -1,0 +1,260 @@
+"""Deterministic adversarial injection patterns.
+
+These are the fixed (non-adaptive) traffic generators used throughout the
+experiments.  Each pattern injects as many packets per round as its
+leaky-bucket budget allows (unless documented otherwise), choosing sources
+and destinations according to a simple deterministic rule.  Worst-case
+metrics reported by the harness are maxima over a *family* of such
+patterns plus the adaptive adversaries of :mod:`repro.adversary.adaptive`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+from ..channel.engine import AdversaryView
+from .base import Adversary, InjectionDemand
+
+__all__ = [
+    "SingleTargetAdversary",
+    "SingleSourceSprayAdversary",
+    "RoundRobinAdversary",
+    "AlternatingPairAdversary",
+    "SaturatingAdversary",
+    "BurstThenIdleAdversary",
+    "GroupLocalAdversary",
+    "NoInjectionAdversary",
+]
+
+
+class NoInjectionAdversary(Adversary):
+    """Injects nothing; useful to test quiescent behaviour of algorithms."""
+
+    def __init__(self) -> None:
+        super().__init__(rho=1.0, beta=0.0)
+
+    def demand(
+        self, round_no: int, budget: int, view: AdversaryView
+    ) -> Sequence[InjectionDemand]:
+        return []
+
+
+class SingleTargetAdversary(Adversary):
+    """All packets are injected into one station, destined to one other.
+
+    This is the canonical worst case for direct and oblivious algorithms:
+    every packet must cross the single (source, destination) link.
+    """
+
+    def __init__(self, rho: float, beta: float, source: int = 0, destination: int = 1) -> None:
+        super().__init__(rho, beta)
+        if source == destination:
+            raise ValueError("source and destination must differ")
+        self.source = source
+        self.destination = destination
+
+    def on_bind(self, n: int) -> None:
+        if self.source >= n or self.destination >= n:
+            raise ValueError("source/destination out of range for this system size")
+
+    def demand(
+        self, round_no: int, budget: int, view: AdversaryView
+    ) -> Sequence[InjectionDemand]:
+        return [(self.source, self.destination)] * budget
+
+
+class SingleSourceSprayAdversary(Adversary):
+    """One overloaded source station, destinations cycling over all others.
+
+    Stresses algorithms whose schedules give every station the same share
+    of transmission opportunities (the source needs far more than 1/n of
+    the channel).
+    """
+
+    def __init__(self, rho: float, beta: float, source: int = 0) -> None:
+        super().__init__(rho, beta)
+        self.source = source
+        self._next_destination = 0
+
+    def demand(
+        self, round_no: int, budget: int, view: AdversaryView
+    ) -> Sequence[InjectionDemand]:
+        assert self.n is not None
+        demands: list[InjectionDemand] = []
+        for _ in range(budget):
+            dest = self._next_destination
+            self._next_destination = (self._next_destination + 1) % self.n
+            if dest == self.source:
+                dest = self._next_destination
+                self._next_destination = (self._next_destination + 1) % self.n
+            demands.append((self.source, dest))
+        return demands
+
+
+class RoundRobinAdversary(Adversary):
+    """Sources and destinations both cycle over all stations.
+
+    The most 'balanced' pattern: every station receives roughly the same
+    injection load.  Algorithms should handle it comfortably, so it mostly
+    serves as a sanity baseline in sweeps.
+    """
+
+    def __init__(self, rho: float, beta: float, offset: int = 1) -> None:
+        super().__init__(rho, beta)
+        if offset == 0:
+            raise ValueError("offset 0 would make source equal destination")
+        self.offset = offset
+        self._cursor = 0
+
+    def demand(
+        self, round_no: int, budget: int, view: AdversaryView
+    ) -> Sequence[InjectionDemand]:
+        assert self.n is not None
+        demands: list[InjectionDemand] = []
+        for _ in range(budget):
+            source = self._cursor % self.n
+            destination = (source + self.offset) % self.n
+            if destination == source:
+                destination = (source + 1) % self.n
+            demands.append((source, destination))
+            self._cursor += 1
+        return demands
+
+
+class AlternatingPairAdversary(Adversary):
+    """Packets injected into ``source``, destinations alternating between two stations.
+
+    Mirrors Case I of the proof of Lemma 1 (Theorem 2): one station is
+    loaded with traffic addressed alternately to two receivers, which a
+    cap-2 system cannot keep up with at rate 1.
+    """
+
+    def __init__(
+        self,
+        rho: float,
+        beta: float,
+        source: int = 1,
+        destination_a: int = 0,
+        destination_b: int = 2,
+    ) -> None:
+        super().__init__(rho, beta)
+        if len({source, destination_a, destination_b}) != 3:
+            raise ValueError("source and both destinations must be pairwise distinct")
+        self.source = source
+        self.destination_a = destination_a
+        self.destination_b = destination_b
+        self._parity = 0
+
+    def on_bind(self, n: int) -> None:
+        if max(self.source, self.destination_a, self.destination_b) >= n:
+            raise ValueError("stations out of range for this system size")
+
+    def demand(
+        self, round_no: int, budget: int, view: AdversaryView
+    ) -> Sequence[InjectionDemand]:
+        demands: list[InjectionDemand] = []
+        for _ in range(budget):
+            dest = self.destination_a if self._parity == 0 else self.destination_b
+            self._parity ^= 1
+            demands.append((self.source, dest))
+        return demands
+
+
+class SaturatingAdversary(Adversary):
+    """Injects at full budget every round, cycling sources, fixed stride destinations.
+
+    With ``rho = 1`` this keeps the channel permanently saturated — the
+    regime in which only Orchestra (energy cap 3) stays stable.
+    """
+
+    def __init__(self, rho: float = 1.0, beta: float = 1.0, stride: int = 1) -> None:
+        super().__init__(rho, beta)
+        self.stride = stride
+        self._cursor = 0
+
+    def demand(
+        self, round_no: int, budget: int, view: AdversaryView
+    ) -> Sequence[InjectionDemand]:
+        assert self.n is not None
+        demands: list[InjectionDemand] = []
+        for _ in range(budget):
+            source = self._cursor % self.n
+            destination = (source + self.stride) % self.n
+            if destination == source:
+                destination = (source + 1) % self.n
+            demands.append((source, destination))
+            self._cursor += 1
+        return demands
+
+
+class BurstThenIdleAdversary(Adversary):
+    """Alternates idle stretches with maximal bursts.
+
+    The adversary stays silent for ``idle_rounds`` rounds, letting its
+    leaky-bucket budget refill to the burstiness cap, then dumps the whole
+    budget at once into a single station.  Exercises the burstiness (beta)
+    component of every latency bound.
+    """
+
+    def __init__(
+        self,
+        rho: float,
+        beta: float,
+        idle_rounds: int = 16,
+        source: int = 0,
+        destination: int = 1,
+    ) -> None:
+        super().__init__(rho, beta)
+        if idle_rounds < 1:
+            raise ValueError("idle_rounds must be positive")
+        if source == destination:
+            raise ValueError("source and destination must differ")
+        self.idle_rounds = idle_rounds
+        self.source = source
+        self.destination = destination
+
+    def demand(
+        self, round_no: int, budget: int, view: AdversaryView
+    ) -> Sequence[InjectionDemand]:
+        if round_no % (self.idle_rounds + 1) != self.idle_rounds:
+            return []
+        return [(self.source, self.destination)] * budget
+
+
+class GroupLocalAdversary(Adversary):
+    """All traffic stays inside one contiguous block of ``group_size`` stations.
+
+    The worst case sketched for k-Clique in Theorem 7: the adversary
+    injects packets into one pair of half-groups with destinations in the
+    same pair, so only a 1/m fraction of the round-robin schedule is
+    useful.
+    """
+
+    def __init__(
+        self, rho: float, beta: float, group_start: int = 0, group_size: int = 2
+    ) -> None:
+        super().__init__(rho, beta)
+        if group_size < 2:
+            raise ValueError("group_size must be at least 2")
+        self.group_start = group_start
+        self.group_size = group_size
+        self._pairs: list[InjectionDemand] = []
+        self._cursor = 0
+
+    def on_bind(self, n: int) -> None:
+        members = [
+            (self.group_start + i) % n for i in range(min(self.group_size, n))
+        ]
+        self._pairs = [
+            (a, b) for a, b in itertools.permutations(members, 2)
+        ]
+
+    def demand(
+        self, round_no: int, budget: int, view: AdversaryView
+    ) -> Sequence[InjectionDemand]:
+        demands: list[InjectionDemand] = []
+        for _ in range(budget):
+            demands.append(self._pairs[self._cursor % len(self._pairs)])
+            self._cursor += 1
+        return demands

@@ -1,0 +1,130 @@
+"""Seeded stochastic traffic generators clipped to the leaky bucket.
+
+The paper's adversary is a worst-case abstraction; real evaluations also
+exercise 'average' traffic.  These adversaries draw sources, destinations
+and per-round demands from a seeded :class:`numpy.random.Generator` while
+the base class guarantees the realised injection sequence never exceeds
+the declared ``(rho, beta)`` envelope — so every stochastic run is also a
+legal adversary of that type.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..channel.engine import AdversaryView
+from .base import Adversary, InjectionDemand
+
+__all__ = ["UniformRandomAdversary", "HotspotAdversary", "RandomWalkAdversary"]
+
+
+class UniformRandomAdversary(Adversary):
+    """Bernoulli(rho)-per-round arrivals with uniformly random endpoints."""
+
+    def __init__(self, rho: float, beta: float, seed: int = 0) -> None:
+        super().__init__(rho, beta)
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    def demand(
+        self, round_no: int, budget: int, view: AdversaryView
+    ) -> Sequence[InjectionDemand]:
+        assert self.n is not None
+        if budget == 0:
+            return []
+        count = int(self._rng.binomial(max(budget, 1), min(1.0, self.rho)))
+        count = min(count, budget)
+        demands: list[InjectionDemand] = []
+        for _ in range(count):
+            source = int(self._rng.integers(self.n))
+            destination = int(self._rng.integers(self.n - 1))
+            if destination >= source:
+                destination += 1
+            demands.append((source, destination))
+        return demands
+
+
+class HotspotAdversary(Adversary):
+    """A fraction of the traffic targets one hot destination.
+
+    ``hot_fraction`` of packets are addressed to ``hot_station``; the rest
+    are uniform.  Sources are uniform over the remaining stations.
+    """
+
+    def __init__(
+        self,
+        rho: float,
+        beta: float,
+        hot_station: int = 0,
+        hot_fraction: float = 0.75,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(rho, beta)
+        if not 0 <= hot_fraction <= 1:
+            raise ValueError("hot_fraction must lie in [0, 1]")
+        self.hot_station = hot_station
+        self.hot_fraction = hot_fraction
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    def demand(
+        self, round_no: int, budget: int, view: AdversaryView
+    ) -> Sequence[InjectionDemand]:
+        assert self.n is not None
+        if budget == 0:
+            return []
+        count = int(self._rng.binomial(max(budget, 1), min(1.0, self.rho)))
+        count = min(count, budget)
+        demands: list[InjectionDemand] = []
+        for _ in range(count):
+            if self._rng.random() < self.hot_fraction:
+                destination = self.hot_station
+            else:
+                destination = int(self._rng.integers(self.n))
+            source = int(self._rng.integers(self.n - 1))
+            if source >= destination:
+                source += 1
+            demands.append((source, destination))
+        return demands
+
+
+class RandomWalkAdversary(Adversary):
+    """Traffic locality drifts over time.
+
+    The 'focus' station performs a lazy random walk over station names;
+    packets are injected into the focus station with destinations near it.
+    Exercises algorithms whose performance depends on which stations are
+    currently loaded (e.g. Orchestra's baton movement).
+    """
+
+    def __init__(
+        self, rho: float, beta: float, drift_probability: float = 0.2, seed: int = 0
+    ) -> None:
+        super().__init__(rho, beta)
+        if not 0 <= drift_probability <= 1:
+            raise ValueError("drift_probability must lie in [0, 1]")
+        self.drift_probability = drift_probability
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        self._focus = 0
+
+    def demand(
+        self, round_no: int, budget: int, view: AdversaryView
+    ) -> Sequence[InjectionDemand]:
+        assert self.n is not None
+        if self._rng.random() < self.drift_probability:
+            self._focus = (self._focus + int(self._rng.integers(1, self.n))) % self.n
+        if budget == 0:
+            return []
+        count = int(self._rng.binomial(max(budget, 1), min(1.0, self.rho)))
+        count = min(count, budget)
+        demands: list[InjectionDemand] = []
+        for _ in range(count):
+            offset = int(self._rng.integers(1, max(2, self.n // 2 + 1)))
+            destination = (self._focus + offset) % self.n
+            if destination == self._focus:
+                destination = (self._focus + 1) % self.n
+            demands.append((self._focus, destination))
+        return demands

@@ -1,0 +1,38 @@
+"""The six routing algorithms of the paper plus registry-backed construction.
+
+====================  =======  ==========================  ==============
+Algorithm             Section  Class (Table 1 tag)         Energy cap
+====================  =======  ==========================  ==============
+Orchestra             3.1      NObl-Gen-Dir                3
+Count-Hop             4.1      NObl-Gen-Dir                2
+Adjust-Window         4.2      NObl-PP-Ind                 2
+k-Cycle               5        Obl-PP-Ind                  k
+k-Clique              6        Obl-PP-Dir                  k
+k-Subsets             6        Obl-Gen-Dir                 k
+====================  =======  ==========================  ==============
+
+The uncapped prior-work baselines (RRW, OF-RRW, MBTF) live in
+:mod:`repro.protocols`.
+"""
+
+from .adjust_window import AdjustWindow, WindowLayout, initial_window_size
+from .count_hop import CountHop
+from .k_clique import KClique, clique_pairs, half_groups
+from .k_cycle import KCycle, activity_segment_length, cycle_groups
+from .k_subsets import KSubsets
+from .orchestra import Orchestra
+
+__all__ = [
+    "AdjustWindow",
+    "CountHop",
+    "KClique",
+    "KCycle",
+    "KSubsets",
+    "Orchestra",
+    "WindowLayout",
+    "activity_segment_length",
+    "clique_pairs",
+    "cycle_groups",
+    "half_groups",
+    "initial_window_size",
+]

@@ -1,0 +1,486 @@
+"""Adjust-Window: universal plain-packet routing with energy cap 2 (Section 4.2).
+
+The execution is organised into *time windows* whose size ``L`` doubles
+whenever a window fails to deliver all packets that were pending at its
+start.  Every window is split into three stages:
+
+* **Gossip** (``n^2`` phases of ``2 + 3*lg L`` rounds): for every ordered
+  pair ``(i, j)`` station ``j`` listens for one phase while station ``i``
+  — if it is *large*, i.e. holds at least ``4 n lg L`` packets — conveys,
+  by *coded transfer* (a packet transmission encodes a 1-bit, a silent
+  round a 0-bit), whether its queue exceeds ``L`` plus three numbers: its
+  queue size, the number of its packets destined to ``j`` and the number
+  destined to stations smaller than ``j``.  Packets transmitted this way
+  that are not addressed to ``j`` are adopted by ``j`` (relaying).
+* **Main** (the remaining rounds): from the gossiped numbers every
+  station locally computes the same global transmission schedule — large
+  senders in name order, each sender's packets ordered by destination —
+  and wakes exactly in the rounds in which it transmits or receives.  If
+  some station reported a queue larger than ``L`` the whole stage is
+  dedicated to the smallest-named such station.
+* **Auxiliary** (``8 n^3 lg L`` rounds): a round-robin sweep over ordered
+  pairs ``(i, j)`` in which ``i`` sends ``j`` one of the packets it holds
+  for ``j``; this delivers the packets of *small* stations and the
+  packets relayed during Gossip.
+
+Messages never carry control bits (plain-packet discipline); at most one
+transmitter and one listener are awake per round, so the energy cap is 2.
+
+Paper bound (Theorem 4): universal — for every injection rate ``rho < 1``
+the latency is O((n^3 log^2 n + beta) / (1 - rho)) for sufficiently large
+``n``.  At small ``n`` the additive ``n^3 log L`` stage lengths dominate
+the constant in front of the bound; see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..channel.feedback import Feedback
+from ..channel.message import Message
+from ..channel.packet import Packet
+from ..core.algorithm import AlgorithmProperties, RoutingAlgorithm
+from ..core.controller import QueueingController
+from ..core.registry import register_algorithm
+
+__all__ = ["AdjustWindow", "WindowLayout", "initial_window_size", "lg"]
+
+
+def lg(x: int) -> int:
+    """The paper's ``lg x = ceil(log2(x + 1))``."""
+    if x < 0:
+        raise ValueError("lg is defined for non-negative integers")
+    return math.ceil(math.log2(x + 1)) if x > 0 else 1
+
+
+@dataclass(frozen=True, slots=True)
+class WindowLayout:
+    """Derived stage boundaries of a window of size ``L`` for ``n`` stations."""
+
+    n: int
+    L: int
+    lgL: int
+    phase_len: int
+    gossip_len: int
+    aux_len: int
+    main_len: int
+    small_threshold: int
+
+    @classmethod
+    def for_window(cls, n: int, L: int) -> "WindowLayout":
+        lgL = lg(L)
+        phase_len = 2 + 3 * lgL
+        gossip_len = n * n * phase_len
+        aux_len = 8 * n**3 * lgL
+        main_len = max(0, L - gossip_len - aux_len)
+        return cls(
+            n=n,
+            L=L,
+            lgL=lgL,
+            phase_len=phase_len,
+            gossip_len=gossip_len,
+            aux_len=aux_len,
+            main_len=main_len,
+            small_threshold=4 * n * lgL,
+        )
+
+    # Stage boundaries relative to the window start.
+    @property
+    def main_start(self) -> int:
+        return self.gossip_len
+
+    @property
+    def aux_start(self) -> int:
+        return self.gossip_len + self.main_len
+
+    def stage_of(self, rel: int) -> str:
+        """Which stage the window-relative round ``rel`` belongs to."""
+        if rel < self.gossip_len:
+            return "gossip"
+        if rel < self.aux_start:
+            return "main"
+        return "aux"
+
+
+def initial_window_size(n: int) -> int:
+    """Smallest power of two ``L`` whose Main stage covers at least half the window."""
+    L = 2
+    while True:
+        layout = WindowLayout.for_window(n, L)
+        if layout.main_len >= L // 2:
+            return L
+        L *= 2
+
+
+@dataclass(slots=True)
+class _GossipRecord:
+    """What station ``j`` learned about station ``i`` in the (i, j) gossip phase."""
+
+    large: bool = False
+    over_l: bool = False
+    bits: list[int] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.bits is None:
+            self.bits = []
+
+    def numbers(self, lgL: int) -> tuple[int, int, int]:
+        """Decode the three coded-transfer numbers (size, to-me, below-me)."""
+        padded = list(self.bits) + [0] * (3 * lgL - len(self.bits))
+        values = []
+        for block in range(3):
+            value = 0
+            for bit in padded[block * lgL : (block + 1) * lgL]:
+                value = (value << 1) | bit
+            values.append(value)
+        return values[0], values[1], values[2]
+
+
+class _AdjustWindowController(QueueingController):
+    """Per-station controller of Adjust-Window."""
+
+    def __init__(self, station_id: int, n: int, initial_l: int) -> None:
+        super().__init__(station_id, n)
+        self.window_start = 0
+        self.L = initial_l
+        self.layout = WindowLayout.for_window(n, initial_l)
+        # Snapshot of this station's own queue at the window start.
+        self._snapshot_size = 0
+        self._snapshot_for: list[int] = [0] * n
+        self._i_am_large = False
+        # Gossip knowledge about the other stations.
+        self._records: dict[int, _GossipRecord] = {}
+        # Derived Main-stage plan (filled lazily right after Gossip ends).
+        self._main_plan_ready = False
+        self._double_next = False
+        self._my_send_slots: tuple[int, int] = (0, 0)  # [start, end) relative to main
+        self._my_send_sequence: list[int] = []  # destination per send slot
+        self._my_recv_slots: list[tuple[int, int]] = []  # [(start, end)) relative to main
+        self._begin_window(0, first=True)
+
+    # -- window bookkeeping --------------------------------------------------------
+    def _begin_window(self, start_round: int, first: bool = False) -> None:
+        self.window_start = start_round
+        if not first and self._double_next:
+            self.L *= 2
+        self.layout = WindowLayout.for_window(self.n, self.L)
+        self.queue.age_all()
+        self._snapshot_size = self.queue.old_count
+        self._snapshot_for = [self.queue.count_old_for(d) for d in range(self.n)]
+        self._i_am_large = self._snapshot_size >= self.layout.small_threshold
+        self._records = {}
+        self._main_plan_ready = False
+        self._double_next = False
+        self._my_send_slots = (0, 0)
+        self._my_send_sequence = []
+        self._my_recv_slots = []
+
+    def _advance(self, round_no: int) -> None:
+        while round_no - self.window_start >= self.L:
+            self._begin_window(self.window_start + self.L)
+
+    def _rel(self, round_no: int) -> int:
+        return round_no - self.window_start
+
+    # -- snapshot helpers -----------------------------------------------------------
+    def _capped_size(self) -> int:
+        return min(self._snapshot_size, self.L)
+
+    def _capped_for(self, dest: int) -> int:
+        return min(self._snapshot_for[dest], self.L)
+
+    def _capped_below(self, dest: int) -> int:
+        return min(sum(self._snapshot_for[:dest]), self.L)
+
+    # -- gossip ------------------------------------------------------------------------
+    def _gossip_phase(self, rel: int) -> tuple[int, int, int]:
+        """(i, j, slot) of the gossip phase containing window-relative round ``rel``."""
+        phase = rel // self.layout.phase_len
+        slot = rel % self.layout.phase_len
+        return phase // self.n, phase % self.n, slot
+
+    def _gossip_bit(self, j: int, slot: int) -> int:
+        """The coded-transfer bit this (large) station sends in ``slot`` of phase (me, j)."""
+        bit_index = slot - 2
+        numbers = (self._capped_size(), self._capped_for(j), self._capped_below(j))
+        block, offset = divmod(bit_index, self.layout.lgL)
+        value = numbers[block]
+        shift = self.layout.lgL - 1 - offset
+        return (value >> shift) & 1
+
+    def _coded_transfer_packet(self, j: int) -> Packet | None:
+        """The packet used to signal a 1-bit to ``j`` (prefer packets for ``j``)."""
+        packet = self.queue.peek_old_for(j)
+        if packet is not None:
+            return packet
+        packet = self.queue.peek_old()
+        if packet is not None:
+            return packet
+        return self.queue.peek_any()
+
+    # -- main-stage plan ------------------------------------------------------------------
+    def _record_for(self, station: int) -> tuple[bool, bool, int, int, int]:
+        """(large, over_l, size, to_me, below_me) as learned about ``station``."""
+        if station == self.station_id:
+            return (
+                self._i_am_large,
+                self._snapshot_size > self.L,
+                self._capped_size(),
+                0,
+                0,
+            )
+        record = self._records.get(station)
+        if record is None or not record.large:
+            return (False, False, 0, 0, 0)
+        size, to_me, below_me = record.numbers(self.layout.lgL)
+        return (True, record.over_l, size, to_me, below_me)
+
+    def _build_main_plan(self) -> None:
+        if self._main_plan_ready:
+            return
+        self._main_plan_ready = True
+        info = {s: self._record_for(s) for s in range(self.n)}
+        large = [s for s in range(self.n) if info[s][0]]
+        over_l = [s for s in range(self.n) if info[s][0] and info[s][1]]
+        reported_total = sum(info[s][2] for s in large)
+        self._double_next = bool(over_l) or reported_total > self.layout.main_len
+
+        lm = self.layout.main_len
+        if over_l:
+            dedicated = min(over_l)
+            if dedicated == self.station_id:
+                self._my_send_slots = (0, lm)
+                self._my_send_sequence = self._destination_sequence(limit=lm)
+            else:
+                _, _, _, to_me, below_me = info[dedicated]
+                start = min(below_me, lm)
+                end = min(below_me + to_me, lm)
+                if to_me >= self.L:
+                    end = lm
+                if end > start:
+                    self._my_recv_slots = [(start, end)]
+            return
+
+        # Regular schedule: large senders in name order, contiguous blocks.
+        block_start: dict[int, int] = {}
+        cursor = 0
+        for s in large:
+            block_start[s] = cursor
+            cursor += info[s][2]
+        if self.station_id in block_start and self._i_am_large:
+            start = min(block_start[self.station_id], lm)
+            end = min(block_start[self.station_id] + info[self.station_id][2], lm)
+            self._my_send_slots = (start, end)
+            self._my_send_sequence = self._destination_sequence(limit=end - start)
+        recv: list[tuple[int, int]] = []
+        for s in large:
+            if s == self.station_id:
+                continue
+            _, _, _, to_me, below_me = info[s]
+            if to_me <= 0:
+                continue
+            start = min(block_start[s] + below_me, lm)
+            end = min(block_start[s] + below_me + to_me, lm)
+            if end > start:
+                recv.append((start, end))
+        self._my_recv_slots = recv
+
+    def _destination_sequence(self, limit: int) -> list[int]:
+        """Per-slot destination plan: snapshot packets ordered by destination."""
+        sequence: list[int] = []
+        for dest in range(self.n):
+            sequence.extend([dest] * self._snapshot_for[dest])
+            if len(sequence) >= limit:
+                break
+        return sequence[:limit]
+
+    # -- auxiliary stage -------------------------------------------------------------------
+    def _aux_pair(self, rel: int) -> tuple[int, int]:
+        offset = rel - self.layout.aux_start
+        q = offset % (self.n * self.n)
+        return q // self.n, q % self.n
+
+    # -- StationController interface ----------------------------------------------------------
+    def wakes(self, round_no: int) -> bool:
+        self._advance(round_no)
+        rel = self._rel(round_no)
+        stage = self.layout.stage_of(rel)
+        if stage == "gossip":
+            i, j, _ = self._gossip_phase(rel)
+            if i == j:
+                return False
+            if self.station_id == j:
+                return True
+            return self.station_id == i and self._i_am_large
+        if stage == "main":
+            self._build_main_plan()
+            slot = rel - self.layout.main_start
+            send_start, send_end = self._my_send_slots
+            if send_start <= slot < send_end:
+                return True
+            return any(start <= slot < end for start, end in self._my_recv_slots)
+        # aux
+        i, j = self._aux_pair(rel)
+        if i == j:
+            return False
+        if self.station_id == j:
+            return True
+        return self.station_id == i and self.queue.peek_any_for(j) is not None
+
+    def act(self, round_no: int) -> Message | None:
+        rel = self._rel(round_no)
+        stage = self.layout.stage_of(rel)
+        if stage == "gossip":
+            return self._act_gossip(rel)
+        if stage == "main":
+            return self._act_main(rel)
+        return self._act_aux(rel)
+
+    def _act_gossip(self, rel: int) -> Message | None:
+        i, j, slot = self._gossip_phase(rel)
+        if self.station_id != i or i == j or not self._i_am_large:
+            return None
+        send = False
+        if slot == 0:
+            send = True  # 'I am large'
+        elif slot == 1:
+            send = self._snapshot_size > self.L
+        else:
+            send = self._gossip_bit(j, slot) == 1
+        if not send:
+            return None
+        packet = self._coded_transfer_packet(j)
+        if packet is None:
+            return None
+        return self.transmit(packet, intended_receiver=j)
+
+    def _act_main(self, rel: int) -> Message | None:
+        self._build_main_plan()
+        slot = rel - self.layout.main_start
+        send_start, send_end = self._my_send_slots
+        if not send_start <= slot < send_end:
+            return None
+        index = slot - send_start
+        if index >= len(self._my_send_sequence):
+            # No planned receiver is listening in this slot; transmitting
+            # would risk losing the packet, so stay silent.
+            return None
+        planned_dest = self._my_send_sequence[index]
+        packet = self.queue.peek_old_for(planned_dest)
+        if packet is None:
+            # The planned packet was already consumed during Gossip; send
+            # any old packet instead — the listening station adopts it.
+            packet = self.queue.peek_old()
+        if packet is None:
+            return None
+        return self.transmit(packet, intended_receiver=planned_dest)
+
+    def _act_aux(self, rel: int) -> Message | None:
+        i, j = self._aux_pair(rel)
+        if self.station_id != i or i == j:
+            return None
+        packet = self.queue.peek_any_for(j)
+        if packet is None:
+            return None
+        return self.transmit(packet, intended_receiver=j)
+
+    def on_heard(self, round_no: int, message: Message, feedback: Feedback) -> None:
+        rel = self._rel(round_no)
+        stage = self.layout.stage_of(rel)
+        packet = message.packet
+        if stage == "gossip":
+            i, j, slot = self._gossip_phase(rel)
+            if self.station_id == j and message.sender == i:
+                record = self._records.setdefault(i, _GossipRecord())
+                if slot == 0:
+                    record.large = True
+                elif slot == 1:
+                    record.over_l = True
+                else:
+                    self._note_bit(record, slot, 1)
+                if packet is not None and packet.destination != self.station_id:
+                    self.adopt(packet)
+            return
+        # Main or Auxiliary: a listening station adopts packets not meant for it.
+        if (
+            packet is not None
+            and message.sender != self.station_id
+            and packet.destination != self.station_id
+            and message.intended_receiver == self.station_id
+        ):
+            self.adopt(packet)
+
+    def on_silence(self, round_no: int) -> None:
+        rel = self._rel(round_no)
+        if self.layout.stage_of(rel) != "gossip":
+            return
+        i, j, slot = self._gossip_phase(rel)
+        if self.station_id == j and i != j and slot >= 2:
+            record = self._records.get(i)
+            if record is not None and record.large:
+                self._note_bit(record, slot, 0)
+
+    def _note_bit(self, record: _GossipRecord, slot: int, bit: int) -> None:
+        bit_index = slot - 2
+        while len(record.bits) < bit_index:
+            record.bits.append(0)
+        if len(record.bits) == bit_index:
+            record.bits.append(bit)
+        else:
+            record.bits[bit_index] = bit
+
+
+@register_algorithm("adjust-window")
+class AdjustWindow(RoutingAlgorithm):
+    """The Adjust-Window algorithm of Section 4.2 (plain-packet, cap 2, universal).
+
+    Parameters
+    ----------
+    n:
+        Number of stations.
+    initial_window:
+        Optional override of the initial window size (must be large enough
+        for the Gossip and Auxiliary stages to fit); defaults to the
+        paper's choice — the smallest window whose Main stage covers at
+        least half of it.
+    """
+
+    name = "Adjust-Window"
+
+    def __init__(self, n: int, initial_window: int | None = None) -> None:
+        super().__init__(n)
+        default = initial_window_size(n)
+        if initial_window is None:
+            self.initial_window = default
+        else:
+            layout = WindowLayout.for_window(n, initial_window)
+            if layout.main_len <= 0:
+                raise ValueError(
+                    f"initial_window={initial_window} leaves no room for a Main stage "
+                    f"(needs at least {default})"
+                )
+            self.initial_window = initial_window
+
+    def build_controllers(self) -> list[_AdjustWindowController]:
+        return [
+            _AdjustWindowController(i, self.n, self.initial_window)
+            for i in range(self.n)
+        ]
+
+    def properties(self) -> AlgorithmProperties:
+        return AlgorithmProperties(
+            name=self.name,
+            energy_cap=2,
+            oblivious=False,
+            direct=False,
+            plain_packet=True,
+        )
+
+    # -- analytical quantities used by tests and the analysis module -----------------
+    def latency_bound(self, rho: float, beta: float) -> float:
+        """The asymptotic latency bound ``(18 n^3 log^2 n + 2 beta)/(1 - rho)``."""
+        if rho >= 1:
+            return float("inf")
+        log_n = math.log2(self.n) if self.n > 1 else 1.0
+        return (18 * self.n**3 * log_n**2 + 2 * beta) / (1 - rho)

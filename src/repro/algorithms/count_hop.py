@@ -1,0 +1,249 @@
+"""Count-Hop: universal direct routing with control bits (Section 4.1).
+
+One dedicated station (we use station 0) acts as the *coordinator*; every
+other station is a *worker*.  An execution is structured into phases,
+each phase into ``n`` stages — one per receiving station ``v`` — and each
+stage into three substages:
+
+1. **Report** (``n`` rounds): in round ``r`` station ``r`` (if it is
+   neither ``v`` nor the coordinator and has old packets for ``v``)
+   transmits a light message carrying the number of its old packets
+   destined to ``v``; the coordinator listens throughout.
+2. **Assign** (``n`` rounds): in round ``r`` the coordinator transmits a
+   light message to station ``r`` carrying (a) the offset of ``r``'s
+   transmission slot in the next substage and (b) the stage's total
+   packet count, so every station — including ``v`` — knows when the
+   stage ends.
+3. **Deliver** (``total`` rounds): station ``v`` is switched on for the
+   whole substage; the coordinator (first) and then the workers, in name
+   order, transmit their old packets destined to ``v`` in consecutive
+   slots.  Each heard packet is immediately consumed by ``v``: the
+   algorithm routes directly.
+
+Only the coordinator plus at most one other station are ever switched on
+simultaneously, so the energy cap is 2.  Packets transmitted in a phase
+are *old* — injected in a previous phase; at the end of each phase all
+queued packets become old.  The first phase consists of ``n`` rounds with
+every station switched off.
+
+Paper bound (Theorem 3): stable for every injection rate ``rho < 1`` with
+latency at most ``2 (n^2 + beta) / (1 - rho)``.
+"""
+
+from __future__ import annotations
+
+from ..channel.feedback import Feedback
+from ..channel.message import Message
+from ..core.algorithm import AlgorithmProperties, RoutingAlgorithm
+from ..core.controller import QueueingController
+from ..core.registry import register_algorithm
+
+__all__ = ["CountHop"]
+
+COORDINATOR = 0
+
+
+class _CountHopController(QueueingController):
+    """Per-station controller of Count-Hop.
+
+    All stations advance an identical stage/substage state machine; the
+    only stage-dependent quantity not derivable from ``(n, t)`` alone is
+    the Deliver-substage length, which every station learns from the
+    coordinator's Assign-substage message before it is needed.
+    """
+
+    def __init__(self, station_id: int, n: int) -> None:
+        super().__init__(station_id, n)
+        self.is_coordinator = station_id == COORDINATOR
+        # Stage state (identical at every station, up to private fields).
+        self.stage_start = n  # the first stage begins after the silent warm-up phase
+        self.receiver = 0
+        self.total: int | None = None  # Deliver-substage length, learned in Assign
+        self.my_offset: int | None = None
+        self.my_count = 0
+        self._phase_aged_at = -1
+        # Coordinator-only bookkeeping.
+        self._reported_counts: dict[int, int] = {}
+        self._age_now()
+
+    # -- state machine ---------------------------------------------------------
+    def _age_now(self) -> None:
+        self.queue.age_all()
+
+    def _begin_stage(self, stage_start: int, receiver: int) -> None:
+        self.stage_start = stage_start
+        self.receiver = receiver
+        self.total = None
+        self.my_offset = None
+        self._reported_counts = {}
+        if receiver == 0:
+            # A new phase begins: everything queued becomes old.
+            self._age_now()
+        self.my_count = (
+            0
+            if self.station_id == receiver
+            else self.queue.count_old_for(receiver)
+        )
+
+    def _advance(self, round_no: int) -> None:
+        """Advance the stage state machine so that ``round_no`` lies inside it."""
+        if round_no < self.n:
+            return  # silent warm-up phase
+        if round_no == self.n and self._phase_aged_at < self.n:
+            self._phase_aged_at = self.n
+            self._begin_stage(self.n, 0)
+        while True:
+            rel = round_no - self.stage_start
+            if self.total is None or rel < 2 * self.n + self.total:
+                return
+            next_start = self.stage_start + 2 * self.n + self.total
+            next_receiver = (self.receiver + 1) % self.n
+            self._begin_stage(next_start, next_receiver)
+
+    def _substage(self, round_no: int) -> tuple[str, int]:
+        """Return (substage name, slot index within the substage)."""
+        rel = round_no - self.stage_start
+        if rel < self.n:
+            return "report", rel
+        if rel < 2 * self.n:
+            return "assign", rel - self.n
+        return "deliver", rel - 2 * self.n
+
+    # -- coordinator helpers ------------------------------------------------------
+    def _coordinator_total(self) -> int:
+        own = 0 if self.receiver == COORDINATOR else self.queue.count_old_for(self.receiver)
+        return own + sum(self._reported_counts.values())
+
+    def _coordinator_offset_for(self, station: int) -> int:
+        """Deliver-substage slot offset of ``station`` (coordinator's view)."""
+        own = 0 if self.receiver == COORDINATOR else self.queue.count_old_for(self.receiver)
+        offset = own
+        for r in range(self.n):
+            if r in (self.receiver, COORDINATOR):
+                continue
+            if r == station:
+                return offset
+            offset += self._reported_counts.get(r, 0)
+        return offset
+
+    # -- StationController interface -----------------------------------------------
+    def wakes(self, round_no: int) -> bool:
+        self._advance(round_no)
+        if round_no < self.n:
+            return False
+        substage, slot = self._substage(round_no)
+        if substage == "report":
+            if self.is_coordinator:
+                return True
+            return (
+                slot == self.station_id
+                and self.station_id != self.receiver
+                and self.my_count > 0
+            )
+        if substage == "assign":
+            if self.is_coordinator:
+                return True
+            return slot == self.station_id
+        # deliver
+        if self.station_id == self.receiver:
+            return True
+        if self.total is None or self.my_offset is None:
+            return False
+        if self.is_coordinator:
+            return slot < (0 if self.receiver == COORDINATOR else self.my_count)
+        return self.my_offset <= slot < self.my_offset + self.my_count
+
+    def act(self, round_no: int) -> Message | None:
+        substage, slot = self._substage(round_no)
+        if substage == "report":
+            if (
+                not self.is_coordinator
+                and slot == self.station_id
+                and self.station_id != self.receiver
+                and self.my_count > 0
+            ):
+                return self.transmit(None, control={"count": self.my_count})
+            return None
+        if substage == "assign":
+            if self.is_coordinator and slot != COORDINATOR:
+                if self.total is None:
+                    self.total = self._coordinator_total()
+                    self.my_offset = 0
+                return self.transmit(
+                    None,
+                    control={
+                        "offset": self._coordinator_offset_for(slot),
+                        "total": self.total,
+                    },
+                    intended_receiver=slot,
+                )
+            return None
+        # deliver
+        if self.station_id == self.receiver:
+            return None
+        if self.my_offset is None:
+            return None
+        in_my_slot = (
+            slot < self.my_count
+            if self.is_coordinator
+            else self.my_offset <= slot < self.my_offset + self.my_count
+        )
+        if not in_my_slot:
+            return None
+        packet = self.queue.peek_old_for(self.receiver)
+        if packet is None:
+            return None
+        return self.transmit(packet, intended_receiver=self.receiver)
+
+    def on_heard(self, round_no: int, message: Message, feedback: Feedback) -> None:
+        substage, slot = self._substage(round_no)
+        if substage == "report" and self.is_coordinator:
+            count = message.control.get("count")
+            if count is not None:
+                self._reported_counts[message.sender] = int(count)
+        elif substage == "assign" and message.sender == COORDINATOR:
+            if message.intended_receiver == self.station_id:
+                self.total = int(message.control["total"])
+                self.my_offset = int(message.control["offset"])
+
+    def on_silence(self, round_no: int) -> None:
+        # The coordinator treats a silent Report slot as a zero count.
+        substage, slot = self._substage(round_no)
+        if substage == "report" and self.is_coordinator:
+            self._reported_counts.setdefault(slot, 0)
+
+    def after_feedback(self, round_no: int, feedback: Feedback) -> None:
+        # The coordinator fixes the stage total at the end of the Report
+        # substage so that the state machine can advance even if every
+        # Assign message targets a station other than itself.
+        if self.is_coordinator:
+            substage, slot = self._substage(round_no)
+            if substage == "report" and slot == self.n - 1 and self.total is None:
+                self.total = self._coordinator_total()
+                self.my_offset = 0
+
+
+@register_algorithm("count-hop")
+class CountHop(RoutingAlgorithm):
+    """The Count-Hop algorithm of Section 4.1 (energy cap 2, universal)."""
+
+    name = "Count-Hop"
+
+    def build_controllers(self) -> list[_CountHopController]:
+        return [_CountHopController(i, self.n) for i in range(self.n)]
+
+    def properties(self) -> AlgorithmProperties:
+        return AlgorithmProperties(
+            name=self.name,
+            energy_cap=2,
+            oblivious=False,
+            direct=True,
+            plain_packet=False,
+        )
+
+    # -- analytical quantities used by tests and the analysis module -------------
+    def latency_bound(self, rho: float, beta: float) -> float:
+        """The latency bound ``2 (n^2 + beta) / (1 - rho)`` of Theorem 3."""
+        if rho >= 1:
+            return float("inf")
+        return 2 * (self.n**2 + beta) / (1 - rho)

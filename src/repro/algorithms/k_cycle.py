@@ -1,0 +1,222 @@
+"""k-Cycle: energy-oblivious indirect plain-packet routing (Section 5).
+
+The stations are partitioned into overlapping *groups* of ``k`` consecutive
+stations; two consecutive groups share exactly one station, their
+*connector*, and the last group wraps around to share station 0 with the
+first, so the groups form a cycle.  The groups take turns being *active*:
+group ``g`` is switched on (all ``k`` of its members) for a contiguous
+segment of
+
+    delta = ceil(4 (n-1) k / (n - k))
+
+rounds, then the next group takes over, round-robin forever.  This on/off
+pattern depends only on ``(n, k, t)``, so the algorithm is k-energy-
+oblivious and publishes it as a :class:`PeriodicSchedule`.
+
+While a group is active its members run the OF-RRW sub-protocol: a
+conceptual token circulates among them; the holder transmits its *old*
+packets one per round, and a silent round advances the token.  A heard
+packet whose destination belongs to the active group is thereby delivered;
+otherwise the group's forward connector adopts it, so packets hop from
+group to group around the cycle until they reach the group containing
+their destination — routing is indirect.
+
+Paper bounds (Table 1): latency at most ``(32 + beta) * n`` for injection
+rates ``rho < (k-1)/(n-1)``; by Theorem 6 no k-energy-oblivious algorithm
+is stable for ``rho > k/n``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..channel.feedback import Feedback
+from ..channel.message import Message
+from ..core.algorithm import AlgorithmProperties, RoutingAlgorithm
+from ..core.controller import QueueingController
+from ..core.registry import register_algorithm
+from ..core.schedule import PeriodicSchedule
+from ..protocols.token_ring import TokenRingReplica
+
+__all__ = ["KCycle", "cycle_groups", "activity_segment_length"]
+
+
+def effective_group_size(n: int, k: int) -> int:
+    """The group size actually used: the paper decreases ``k`` until ``2k <= n + 1``."""
+    k_eff = min(k, (n + 1) // 2)
+    return max(2, k_eff)
+
+
+def cycle_groups(n: int, k: int) -> list[list[int]]:
+    """The cyclic cover of ``[0, n)`` by groups of ``k`` consecutive stations.
+
+    Group ``g`` starts at station ``g * (k - 1) (mod n)`` and contains ``k``
+    consecutive stations (mod ``n``), so consecutive groups share exactly
+    one station and the last group shares station 0 (or an early station)
+    with the first, closing the cycle.
+    """
+    k = effective_group_size(n, k)
+    stride = k - 1
+    num_groups = math.ceil(n / stride)
+    groups: list[list[int]] = []
+    for g in range(num_groups):
+        start = (g * stride) % n
+        groups.append([(start + offset) % n for offset in range(k)])
+    return groups
+
+
+def activity_segment_length(n: int, k: int) -> int:
+    """Length ``delta`` of one group's activity segment (equation (2))."""
+    k = effective_group_size(n, k)
+    return max(1, math.ceil(4 * (n - 1) * k / (n - k)))
+
+
+class _KCycleController(QueueingController):
+    """Per-station controller of k-Cycle."""
+
+    def __init__(
+        self,
+        station_id: int,
+        n: int,
+        groups: list[list[int]],
+        delta: int,
+    ) -> None:
+        super().__init__(station_id, n)
+        self.groups = groups
+        self.delta = delta
+        self.num_groups = len(groups)
+        # Group membership and one token replica per group we belong to.
+        self.my_groups = [g for g, members in enumerate(groups) if station_id in members]
+        self.replicas = {g: TokenRingReplica(groups[g]) for g in self.my_groups}
+        # The forward connector of group g is the station shared with group g+1.
+        self.forward_connector = {
+            g: self._shared_station(groups[g], groups[(g + 1) % self.num_groups])
+            for g in range(self.num_groups)
+        }
+        # Injected packets are immediately old for the next phase they meet;
+        # OF-RRW ages them at phase boundaries of the groups we belong to.
+
+    def _shared_station(self, group_a: list[int], group_b: list[int]) -> int:
+        shared = [s for s in group_a if s in set(group_b)]
+        # With the cyclic construction consecutive groups always overlap;
+        # prefer the first station of the next group (the paper's connector).
+        for station in group_b:
+            if station in set(group_a):
+                return station
+        return shared[0]
+
+    # -- schedule ----------------------------------------------------------
+    def active_group(self, round_no: int) -> int:
+        """The group that is switched on in ``round_no``."""
+        return (round_no // self.delta) % self.num_groups
+
+    def wakes(self, round_no: int) -> bool:
+        return self.active_group(round_no) in self.my_groups
+
+    # -- protocol -----------------------------------------------------------
+    def _eligible_packet(self, group: int):
+        members = set(self.groups[group])
+        connector = self.forward_connector[group]
+
+        def progresses(packet) -> bool:
+            if packet.destination in members:
+                return True
+            # A packet leaving the group is adopted by the forward
+            # connector; if we *are* that connector, transmitting it now
+            # makes no progress, so withhold it until our other group is
+            # active.
+            return self.station_id != connector
+
+        return self.queue.peek_old_matching(progresses)
+
+    def act(self, round_no: int) -> Message | None:
+        group = self.active_group(round_no)
+        if group not in self.my_groups:
+            return None
+        replica = self.replicas[group]
+        if replica.holder != self.station_id:
+            return None
+        packet = self._eligible_packet(group)
+        if packet is None:
+            return None
+        return self.transmit(packet)
+
+    def on_heard(self, round_no: int, message: Message, feedback: Feedback) -> None:
+        group = self.active_group(round_no)
+        if group not in self.my_groups:
+            return
+        packet = message.packet
+        if packet is None or message.sender == self.station_id:
+            return
+        if packet.destination == self.station_id:
+            return  # consumed; the engine records the delivery
+        if packet.destination in set(self.groups[group]):
+            return  # delivered to another member of the active group
+        if self.station_id == self.forward_connector[group]:
+            # The packet leaves the group: we are its relay.
+            self.adopt(packet)
+
+    def after_feedback(self, round_no: int, feedback: Feedback) -> None:
+        group = self.active_group(round_no)
+        replica = self.replicas.get(group)
+        if replica is None:
+            return
+        phase_done = replica.observe(feedback.outcome)
+        if phase_done:
+            # Packets injected or adopted during the finished phase become old.
+            self.queue.age_all()
+
+
+@register_algorithm("k-cycle")
+class KCycle(RoutingAlgorithm):
+    """The k-Cycle algorithm of Section 5.
+
+    Parameters
+    ----------
+    n:
+        Number of stations.
+    k:
+        Energy cap.  When ``2k > n + 1`` the effective group size is
+        reduced to ``(n + 1) // 2`` as in the paper.
+    """
+
+    name = "k-Cycle"
+
+    def __init__(self, n: int, k: int) -> None:
+        super().__init__(n)
+        if not 2 <= k < n:
+            raise ValueError(f"energy cap k must satisfy 2 <= k < n, got k={k}, n={n}")
+        self.k = k
+        self.k_eff = effective_group_size(n, k)
+        self.groups = cycle_groups(n, k)
+        self.delta = activity_segment_length(n, k)
+
+    def build_controllers(self) -> list[_KCycleController]:
+        return [
+            _KCycleController(i, self.n, self.groups, self.delta)
+            for i in range(self.n)
+        ]
+
+    def properties(self) -> AlgorithmProperties:
+        return AlgorithmProperties(
+            name=self.name,
+            energy_cap=self.k_eff,
+            oblivious=True,
+            direct=False,
+            plain_packet=True,
+        )
+
+    def oblivious_schedule(self) -> PeriodicSchedule:
+        period: list[list[int]] = []
+        for g, members in enumerate(self.groups):
+            period.extend([list(members)] * self.delta)
+        return PeriodicSchedule(self.n, period)
+
+    # -- analytical quantities used by tests and the analysis module --------
+    def stability_threshold(self) -> float:
+        """The injection-rate threshold ``(k-1)/(n-1)`` of Theorem 5."""
+        return (self.k_eff - 1) / (self.n - 1)
+
+    def latency_bound(self, beta: float) -> float:
+        """The latency bound ``(32 + beta) * n`` of Theorem 5."""
+        return (32 + beta) * self.n

@@ -1,0 +1,196 @@
+"""Orchestra: maximum-throughput routing with energy cap 3 (Section 3.1).
+
+Time is divided into *seasons* of ``n - 1`` rounds.  In every season one
+station — the *conductor* — is switched on throughout and transmits in
+every round; the other stations are *musicians*.  A virtual *baton list*
+(kept identically by every station) determines who conducts: stations
+take the baton in list order, except that a *big* conductor (one with at
+least ``n^2 - 1`` old packets) announces its status, is moved to the
+front of everybody's list and keeps the baton while it stays big.
+
+During a season each musician switches on
+
+* once to **learn**: in the round given by its rank among the musicians
+  it hears the conductor's message and extracts (a) the rounds of the
+  conductor's *next* season in which it must wake to receive packets and
+  (b) the big-status toggle bit; and
+* possibly several times to **receive**: in the rounds it was taught
+  during the conductor's previous season, the conductor sends it a packet
+  addressed to it (one hop — Orchestra routes directly).
+
+Thus at most three stations are on per round (conductor, learner,
+receiver): energy cap 3.  At the start of each of its seasons the
+conductor computes the schedule for its next season from its old, not yet
+scheduled packets, in injection order.
+
+Paper bound (Theorem 1): against any adversary of injection rate 1 with
+burstiness ``beta`` at most ``2 n^3 + beta`` packets are ever queued.
+Individual packets may wait arbitrarily long (latency is unbounded), but
+the queues — and hence the throughput — are optimal; by Theorem 2 no
+algorithm with energy cap 2 can achieve this.
+"""
+
+from __future__ import annotations
+
+from ..channel.feedback import Feedback
+from ..channel.message import Message
+from ..channel.packet import Packet
+from ..core.algorithm import AlgorithmProperties, RoutingAlgorithm
+from ..core.controller import QueueingController
+from ..core.registry import register_algorithm
+
+__all__ = ["Orchestra"]
+
+
+class _OrchestraController(QueueingController):
+    """Per-station controller of Orchestra."""
+
+    def __init__(self, station_id: int, n: int) -> None:
+        super().__init__(station_id, n)
+        self.season_length = n - 1
+        self.baton_list = list(range(n))
+        self.conductor = self.baton_list[0]
+        self.big_announced = False
+        self._season_processed = 0
+        # Receive schedules taught by each conductor: ``active`` applies to
+        # that conductor's current season, ``next`` is being taught now and
+        # applies to its next season.
+        self._active_receive: dict[int, frozenset[int]] = {}
+        self._next_receive: dict[int, frozenset[int]] = {}
+        # Conductor-only state.
+        self._current_schedule: dict[int, Packet] = {}
+        self._pending_schedule: dict[int, Packet] = {}
+        self._scheduled_ids: set[int] = set()
+        self._is_big = False
+        self._musicians_sorted: list[int] = [s for s in range(n) if s != self.conductor]
+        if self.conductor == self.station_id:
+            self._start_conducting()
+
+    # -- season bookkeeping -------------------------------------------------------
+    def _season_of(self, round_no: int) -> int:
+        return round_no // self.season_length
+
+    def _round_in_season(self, round_no: int) -> int:
+        return round_no % self.season_length
+
+    def _start_conducting(self) -> None:
+        """Called when this station becomes the conductor of a new season."""
+        self._current_schedule = self._pending_schedule
+        self._pending_schedule = {}
+        old_packets = self.queue.old_packets()
+        self._is_big = len(old_packets) >= self.n**2 - 1
+        slot = 0
+        for packet in old_packets:
+            if slot >= self.season_length:
+                break
+            if packet.packet_id in self._scheduled_ids:
+                continue
+            self._pending_schedule[slot] = packet
+            self._scheduled_ids.add(packet.packet_id)
+            slot += 1
+
+    def _advance_season(self, round_no: int) -> None:
+        season = self._season_of(round_no)
+        while self._season_processed < season:
+            self._season_processed += 1
+            # End-of-season baton handling (identical at every station).
+            if self.big_announced:
+                self.baton_list.remove(self.conductor)
+                self.baton_list.insert(0, self.conductor)
+                next_conductor = self.conductor
+            else:
+                idx = self.baton_list.index(self.conductor)
+                next_conductor = self.baton_list[(idx + 1) % self.n]
+            self.conductor = next_conductor
+            self.big_announced = False
+            self._musicians_sorted = [s for s in range(self.n) if s != self.conductor]
+            # Packets injected into the old conductor during its season
+            # become old now; musicians' packets are already old.
+            self.queue.age_all()
+            # Promote the receive schedule taught during the new
+            # conductor's previous season: it applies to the season that
+            # starts now.
+            self._active_receive[next_conductor] = self._next_receive.pop(
+                next_conductor, frozenset()
+            )
+            if next_conductor == self.station_id:
+                self._start_conducting()
+
+    # -- StationController interface --------------------------------------------------
+    def wakes(self, round_no: int) -> bool:
+        self._advance_season(round_no)
+        r = self._round_in_season(round_no)
+        if self.station_id == self.conductor:
+            return True
+        learner = self._musicians_sorted[r]
+        if learner == self.station_id:
+            return True
+        return r in self._active_receive.get(self.conductor, frozenset())
+
+    def act(self, round_no: int) -> Message | None:
+        if self.station_id != self.conductor:
+            return None
+        r = self._round_in_season(round_no)
+        learner = self._musicians_sorted[r]
+        teach_rounds = tuple(
+            sorted(
+                slot
+                for slot, packet in self._pending_schedule.items()
+                if packet.destination == learner
+            )
+        )
+        packet = self._current_schedule.get(r)
+        control = {"teach": teach_rounds, "big": self._is_big, "learner": learner}
+        return self.transmit(
+            packet,
+            control=control,
+            intended_receiver=packet.destination if packet is not None else None,
+        )
+
+    def on_heard(self, round_no: int, message: Message, feedback: Feedback) -> None:
+        if message.sender != self.conductor or message.sender == self.station_id:
+            return
+        r = self._round_in_season(round_no)
+        if message.control.get("big"):
+            self.big_announced = True
+        if message.control.get("learner") == self.station_id:
+            taught = frozenset(int(x) for x in message.control.get("teach", ()))
+            self._next_receive[self.conductor] = taught
+
+    def on_inject(self, round_no: int, packet: Packet) -> None:
+        if self.station_id == self.conductor:
+            # New for the duration of this season; aged at the season end.
+            self.queue.push(packet)
+        else:
+            # A packet injected into a musician becomes old immediately.
+            self.queue.push_old(packet)
+
+    def after_feedback(self, round_no: int, feedback: Feedback) -> None:
+        if self.station_id == self.conductor:
+            # The conductor hears its own big announcements.
+            if self._is_big:
+                self.big_announced = True
+
+
+@register_algorithm("orchestra")
+class Orchestra(RoutingAlgorithm):
+    """The Orchestra algorithm of Section 3.1 (energy cap 3, throughput 1)."""
+
+    name = "Orchestra"
+
+    def build_controllers(self) -> list[_OrchestraController]:
+        return [_OrchestraController(i, self.n) for i in range(self.n)]
+
+    def properties(self) -> AlgorithmProperties:
+        return AlgorithmProperties(
+            name=self.name,
+            energy_cap=3,
+            oblivious=False,
+            direct=True,
+            plain_packet=False,
+        )
+
+    # -- analytical quantities used by tests and the analysis module ----------------
+    def queue_bound(self, beta: float) -> float:
+        """The queue bound ``2 n^3 + beta`` of Theorem 1."""
+        return 2 * self.n**3 + beta

@@ -1,0 +1,16 @@
+"""Analytical bounds (Table 1), admissibility regimes and comparison tables."""
+
+from . import bounds
+from .admissibility import Regime, RegimeVerdict, classify_rate
+from .table1 import TABLE1_ROWS, Table1Row, paper_row_for, render_comparison
+
+__all__ = [
+    "Regime",
+    "RegimeVerdict",
+    "TABLE1_ROWS",
+    "Table1Row",
+    "bounds",
+    "classify_rate",
+    "paper_row_for",
+    "render_comparison",
+]

@@ -1,0 +1,93 @@
+"""Admissibility predicates: which (algorithm, adversary) pairings the theory covers.
+
+Table 1 associates each algorithm with a range of injection rates for
+which its bounds hold, and each impossibility with a range for which no
+algorithm of that class can be stable.  These helpers let the experiment
+harness and the sweeps label each configuration as *covered* (the paper
+proves a bound), *unstable by theory* (above an impossibility threshold),
+or *uncharted* (between the two, where the paper makes no claim).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from . import bounds
+
+__all__ = ["Regime", "RegimeVerdict", "classify_rate"]
+
+
+class Regime(enum.Enum):
+    """Where an injection rate falls relative to an algorithm's guarantees."""
+
+    COVERED = "covered"            # the paper proves stability / a latency bound
+    UNCHARTED = "uncharted"        # between the guarantee and the impossibility
+    IMPOSSIBLE = "impossible"      # above an impossibility threshold for the class
+
+
+@dataclass(frozen=True, slots=True)
+class RegimeVerdict:
+    """Outcome of :func:`classify_rate` with the thresholds that produced it."""
+
+    regime: Regime
+    guaranteed_below: float
+    impossible_above: float
+
+
+_GUARANTEE = {
+    "orchestra": lambda n, k: 1.0,
+    "count-hop": lambda n, k: 1.0,
+    "adjust-window": lambda n, k: 1.0,
+    "k-cycle": lambda n, k: bounds.k_cycle_rate_threshold(n, k),
+    "k-clique": lambda n, k: bounds.k_clique_rate_threshold(n, k),
+    "k-subsets": lambda n, k: bounds.k_subsets_rate_threshold(n, k),
+    "rrw": lambda n, k: 1.0,
+    "of-rrw": lambda n, k: 1.0,
+    "mbtf": lambda n, k: 1.0,
+}
+
+_IMPOSSIBILITY = {
+    # Non-oblivious algorithms have no class-level impossibility below 1.
+    "orchestra": lambda n, k: 1.0,
+    "count-hop": lambda n, k: 1.0,
+    "adjust-window": lambda n, k: 1.0,
+    "k-cycle": lambda n, k: bounds.oblivious_rate_upper_bound(n, k),
+    "k-clique": lambda n, k: bounds.oblivious_direct_rate_upper_bound(n, k),
+    "k-subsets": lambda n, k: bounds.oblivious_direct_rate_upper_bound(n, k),
+    "rrw": lambda n, k: 1.0,
+    "of-rrw": lambda n, k: 1.0,
+    "mbtf": lambda n, k: 1.0,
+}
+
+
+def classify_rate(algorithm: str, n: int, k: int | None, rho: float) -> RegimeVerdict:
+    """Classify an injection rate for a named algorithm.
+
+    Parameters
+    ----------
+    algorithm:
+        Registry name of the algorithm (case insensitive).
+    n, k:
+        System size and energy cap (``k`` is ignored for algorithms that
+        have a fixed cap).
+    rho:
+        Injection rate to classify.
+    """
+    key = algorithm.lower()
+    if key not in _GUARANTEE:
+        raise KeyError(f"unknown algorithm {algorithm!r}")
+    k_value = k if k is not None else 2
+    guaranteed = _GUARANTEE[key](n, k_value)
+    impossible = _IMPOSSIBILITY[key](n, k_value)
+    # Guarantees that hold strictly below 1 (universal algorithms) are
+    # inclusive at every rho < 1; the oblivious thresholds are strict.
+    if rho < guaranteed or (guaranteed >= 1.0 and rho <= 1.0 and key in ("orchestra",)):
+        regime = Regime.COVERED
+    elif rho > impossible:
+        regime = Regime.IMPOSSIBLE
+    else:
+        regime = Regime.UNCHARTED
+    return RegimeVerdict(
+        regime=regime, guaranteed_below=guaranteed, impossible_above=impossible
+    )

@@ -1,0 +1,92 @@
+"""Closed-form performance bounds from Table 1 of the paper.
+
+Every function takes the system parameters (``n``, ``k`` where relevant)
+and the adversary type (``rho``, ``beta``) and returns the bound the paper
+proves.  The experiment harness compares these values against measured
+latencies and queue sizes; the tests check basic shape properties
+(monotonicity, divergence at the stability threshold, and so on).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "orchestra_queue_bound",
+    "count_hop_latency_bound",
+    "adjust_window_latency_bound",
+    "k_cycle_latency_bound",
+    "k_cycle_rate_threshold",
+    "oblivious_rate_upper_bound",
+    "k_clique_latency_bound",
+    "k_clique_rate_threshold",
+    "k_clique_latency_rate_threshold",
+    "k_subsets_queue_bound",
+    "k_subsets_rate_threshold",
+    "oblivious_direct_rate_upper_bound",
+]
+
+
+def orchestra_queue_bound(n: int, beta: float) -> float:
+    """Theorem 1: at most ``2 n^3 + beta`` packets queued under injection rate 1."""
+    return 2 * n**3 + beta
+
+
+def count_hop_latency_bound(n: int, rho: float, beta: float) -> float:
+    """Theorem 3: latency of Count-Hop is at most ``2 (n^2 + beta)/(1 - rho)``."""
+    if rho >= 1:
+        return math.inf
+    return 2 * (n**2 + beta) / (1 - rho)
+
+
+def adjust_window_latency_bound(n: int, rho: float, beta: float) -> float:
+    """Theorem 4: latency of Adjust-Window is at most ``(18 n^3 log^2 n + 2 beta)/(1-rho)``."""
+    if rho >= 1:
+        return math.inf
+    log_n = math.log2(n) if n > 1 else 1.0
+    return (18 * n**3 * log_n**2 + 2 * beta) / (1 - rho)
+
+
+def k_cycle_latency_bound(n: int, beta: float) -> float:
+    """Theorem 5: latency of k-Cycle is at most ``(32 + beta) n``."""
+    return (32 + beta) * n
+
+
+def k_cycle_rate_threshold(n: int, k: int) -> float:
+    """Theorem 5: k-Cycle handles injection rates below ``(k - 1)/(n - 1)``."""
+    return (k - 1) / (n - 1)
+
+
+def oblivious_rate_upper_bound(n: int, k: int) -> float:
+    """Theorem 6: no k-energy-oblivious algorithm is stable above ``k / n``."""
+    return k / n
+
+
+def k_clique_rate_threshold(n: int, k: int) -> float:
+    """Theorem 7: k-Clique has bounded latency for rates below ``k^2/(n (2n - k))``."""
+    return k**2 / (n * (2 * n - k))
+
+
+def k_clique_latency_rate_threshold(n: int, k: int) -> float:
+    """Theorem 7: the closed-form latency bound applies below ``k^2/(2 n (2n - k))``."""
+    return k**2 / (2 * n * (2 * n - k))
+
+
+def k_clique_latency_bound(n: int, k: int, beta: float) -> float:
+    """Theorem 7: latency of k-Clique is at most ``8 (n^2/k)(1 + beta/(2k))``."""
+    return 8 * (n**2 / k) * (1 + beta / (2 * k))
+
+
+def k_subsets_rate_threshold(n: int, k: int) -> float:
+    """Theorem 8: k-Subsets is stable at rate ``k (k - 1)/(n (n - 1))``."""
+    return (k * (k - 1)) / (n * (n - 1))
+
+
+def k_subsets_queue_bound(n: int, k: int, beta: float) -> float:
+    """Theorem 8: at most ``2 C(n,k) (n^2 + beta)`` packets are ever queued."""
+    return 2 * math.comb(n, k) * (n**2 + beta)
+
+
+def oblivious_direct_rate_upper_bound(n: int, k: int) -> float:
+    """Theorem 9: no k-oblivious direct algorithm is stable above ``k(k-1)/(n(n-1))``."""
+    return (k * (k - 1)) / (n * (n - 1))

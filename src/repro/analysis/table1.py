@@ -1,0 +1,181 @@
+"""The paper's Table 1, as data, plus measured-vs-paper rendering.
+
+:data:`TABLE1_ROWS` encodes every row of Table 1 (algorithms and
+impossibility results).  :func:`paper_row_for` evaluates the symbolic
+bounds for concrete ``(n, k, rho, beta)`` and
+:func:`render_comparison` pretty-prints a paper-vs-measured table used by
+``repro.sim.experiments`` and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from . import bounds
+
+__all__ = ["Table1Row", "TABLE1_ROWS", "paper_row_for", "render_comparison"]
+
+
+@dataclass(frozen=True, slots=True)
+class Table1Row:
+    """One row of Table 1.
+
+    ``latency_bound`` / ``queue_bound`` evaluate the paper's symbolic bound
+    for concrete parameters; ``None`` means the paper reports no bound
+    (``infinity`` for latency is represented by ``math.inf``).
+    """
+
+    key: str
+    label: str
+    section: str
+    rate_description: str
+    energy_cap: str
+    properties: str
+    rate_threshold: Callable[[int, int], float] | None = None
+    latency_bound: Callable[[int, int, float, float], float] | None = None
+    queue_bound: Callable[[int, int, float, float], float] | None = None
+    impossibility: bool = False
+
+
+TABLE1_ROWS: list[Table1Row] = [
+    Table1Row(
+        key="orchestra",
+        label="Orchestra",
+        section="3.1",
+        rate_description="rho = 1",
+        energy_cap="3",
+        properties="NObl-Gen-Dir",
+        rate_threshold=lambda n, k: 1.0,
+        latency_bound=lambda n, k, rho, beta: math.inf,
+        queue_bound=lambda n, k, rho, beta: bounds.orchestra_queue_bound(n, beta),
+    ),
+    Table1Row(
+        key="impossibility-cap2",
+        label="Impossibility (cap 2)",
+        section="3.2",
+        rate_description="rho = 1",
+        energy_cap="2",
+        properties="any",
+        impossibility=True,
+    ),
+    Table1Row(
+        key="count-hop",
+        label="Count-Hop",
+        section="4.1",
+        rate_description="rho < 1",
+        energy_cap="2",
+        properties="NObl-Gen-Dir",
+        rate_threshold=lambda n, k: 1.0,
+        latency_bound=lambda n, k, rho, beta: bounds.count_hop_latency_bound(n, rho, beta),
+        queue_bound=lambda n, k, rho, beta: bounds.count_hop_latency_bound(n, rho, beta),
+    ),
+    Table1Row(
+        key="adjust-window",
+        label="Adjust-Window",
+        section="4.2",
+        rate_description="rho < 1",
+        energy_cap="2",
+        properties="NObl-PP-Ind",
+        rate_threshold=lambda n, k: 1.0,
+        latency_bound=lambda n, k, rho, beta: bounds.adjust_window_latency_bound(
+            n, rho, beta
+        ),
+        queue_bound=lambda n, k, rho, beta: bounds.adjust_window_latency_bound(
+            n, rho, beta
+        ),
+    ),
+    Table1Row(
+        key="k-cycle",
+        label="k-Cycle",
+        section="5",
+        rate_description="rho < (k-1)/(n-1)",
+        energy_cap="k",
+        properties="Obl-PP-Ind",
+        rate_threshold=bounds.k_cycle_rate_threshold,
+        latency_bound=lambda n, k, rho, beta: bounds.k_cycle_latency_bound(n, beta),
+        queue_bound=lambda n, k, rho, beta: bounds.k_cycle_latency_bound(n, beta),
+    ),
+    Table1Row(
+        key="impossibility-oblivious",
+        label="Impossibility (oblivious)",
+        section="5",
+        rate_description="rho > k/n",
+        energy_cap="k",
+        properties="Obl",
+        rate_threshold=bounds.oblivious_rate_upper_bound,
+        impossibility=True,
+    ),
+    Table1Row(
+        key="k-clique",
+        label="k-Clique",
+        section="6",
+        rate_description="rho <= k^2/(2n(2n-k))",
+        energy_cap="k",
+        properties="Obl-PP-Dir",
+        rate_threshold=bounds.k_clique_latency_rate_threshold,
+        latency_bound=lambda n, k, rho, beta: bounds.k_clique_latency_bound(n, k, beta),
+        queue_bound=lambda n, k, rho, beta: bounds.k_clique_latency_bound(n, k, beta),
+    ),
+    Table1Row(
+        key="k-subsets",
+        label="k-Subsets",
+        section="6",
+        rate_description="rho = k(k-1)/(n(n-1))",
+        energy_cap="k",
+        properties="Obl-Gen-Dir",
+        rate_threshold=bounds.k_subsets_rate_threshold,
+        latency_bound=lambda n, k, rho, beta: math.inf,
+        queue_bound=lambda n, k, rho, beta: bounds.k_subsets_queue_bound(n, k, beta),
+    ),
+    Table1Row(
+        key="impossibility-oblivious-direct",
+        label="Impossibility (oblivious direct)",
+        section="6",
+        rate_description="rho > k(k-1)/(n(n-1))",
+        energy_cap="k",
+        properties="Obl-Dir",
+        rate_threshold=bounds.oblivious_direct_rate_upper_bound,
+        impossibility=True,
+    ),
+]
+
+_ROWS_BY_KEY = {row.key: row for row in TABLE1_ROWS}
+
+
+def paper_row_for(key: str, n: int, k: int, rho: float, beta: float) -> dict:
+    """Evaluate the paper's bounds of row ``key`` at concrete parameters."""
+    row = _ROWS_BY_KEY[key]
+    result = {
+        "key": row.key,
+        "label": row.label,
+        "section": row.section,
+        "rate_description": row.rate_description,
+        "energy_cap": row.energy_cap,
+        "properties": row.properties,
+        "impossibility": row.impossibility,
+        "rate_threshold": row.rate_threshold(n, k) if row.rate_threshold else None,
+        "latency_bound": row.latency_bound(n, k, rho, beta) if row.latency_bound else None,
+        "queue_bound": row.queue_bound(n, k, rho, beta) if row.queue_bound else None,
+    }
+    return result
+
+
+def render_comparison(rows: list[dict]) -> str:
+    """Render a list of paper-vs-measured dictionaries as a text table.
+
+    Each entry must contain ``label``, ``params``, ``paper`` and
+    ``measured`` string fields (already formatted by the caller).
+    """
+    label_w = max(len(r["label"]) for r in rows) if rows else 10
+    params_w = max(len(r["params"]) for r in rows) if rows else 10
+    lines = [
+        f"{'experiment':<{label_w}}  {'parameters':<{params_w}}  {'paper':<34}  measured",
+        "-" * (label_w + params_w + 52),
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['label']:<{label_w}}  {r['params']:<{params_w}}  {r['paper']:<34}  {r['measured']}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,35 @@
+"""Multiple access channel substrate.
+
+This subpackage implements the shared-channel model of Section 2 of the
+paper: packets, one-round messages, ternary channel feedback, switched
+on/off stations with per-round energy accounting, and the synchronous
+round engine that arbitrates transmissions and performs delivery
+bookkeeping.
+"""
+
+from .energy import EnergyCapViolation, EnergyMonitor, EnergyReport
+from .engine import AdversaryView, EngineConfig, RoundEngine
+from .events import ExecutionTrace, InjectionEvent, RoundEvent
+from .feedback import ChannelOutcome, Feedback
+from .message import Message, control_bit_cost
+from .packet import Packet, PacketFactory
+from .station import StationController
+
+__all__ = [
+    "AdversaryView",
+    "ChannelOutcome",
+    "EngineConfig",
+    "EnergyCapViolation",
+    "EnergyMonitor",
+    "EnergyReport",
+    "ExecutionTrace",
+    "Feedback",
+    "InjectionEvent",
+    "Message",
+    "Packet",
+    "PacketFactory",
+    "RoundEngine",
+    "RoundEvent",
+    "StationController",
+    "control_bit_cost",
+]

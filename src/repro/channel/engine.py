@@ -1,0 +1,243 @@
+"""Round-synchronous simulation engine for the multiple access channel.
+
+The engine owns the physics of the model in Section 2 of the paper:
+
+* time is divided into rounds; all stations start in round 0;
+* in a round, each switched-on station either transmits one message or
+  listens; if exactly one station transmits, every switched-on station
+  hears the message (including the transmitter); two or more simultaneous
+  transmissions collide and nobody hears anything;
+* a packet is *delivered* when it is heard on the channel in a round in
+  which its destination station is switched on; the destination consumes
+  it;
+* the energy spent in a round equals the number of switched-on stations;
+  an energy cap bounds that number.
+
+The engine is deliberately oblivious to *how* stations decide to act: all
+algorithm logic lives in :class:`~repro.channel.station.StationController`
+subclasses.  The engine performs correctness bookkeeping (exactly-once
+delivery to the right destination), metrics collection and optional
+tracing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+from .energy import EnergyMonitor
+from .events import ExecutionTrace, InjectionEvent, RoundEvent
+from .feedback import ChannelOutcome, Feedback
+from .message import Message
+from .packet import Packet
+from .station import StationController
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..adversary.base import Adversary
+    from ..metrics.collector import MetricsCollector
+
+__all__ = ["AdversaryView", "RoundEngine", "EngineConfig"]
+
+
+@dataclass(slots=True)
+class AdversaryView:
+    """What an (adaptive) adversary may observe about the execution.
+
+    The adversarial model places no restriction on the adversary's
+    knowledge — it is a worst-case abstraction — so the view exposes the
+    history of awake sets, the channel outcomes and per-station queue
+    sizes up to and including the *previous* round.  Injections for round
+    ``t`` are decided before the stations of round ``t`` act.
+    """
+
+    n: int
+    round_no: int = 0
+    awake_history: list[tuple[int, ...]] = field(default_factory=list)
+    outcome_history: list[ChannelOutcome] = field(default_factory=list)
+    queue_sizes: list[int] = field(default_factory=list)
+    delivered_total: int = 0
+
+    def last_awake(self) -> tuple[int, ...]:
+        """Awake set of the most recent completed round (empty if none)."""
+        return self.awake_history[-1] if self.awake_history else ()
+
+    def station_on_rounds(self, station: int) -> int:
+        """How many completed rounds ``station`` has spent switched on."""
+        return sum(1 for awake in self.awake_history if station in awake)
+
+
+@dataclass(slots=True)
+class EngineConfig:
+    """Configuration knobs of :class:`RoundEngine`."""
+
+    energy_cap: int | None = None
+    enforce_energy_cap: bool = True
+    record_trace: bool = False
+    check_plain_packet: bool = False
+    max_control_bits: int | None = None
+
+
+class RoundEngine:
+    """Drives controllers, an adversary and the metrics collector in rounds.
+
+    Parameters
+    ----------
+    controllers:
+        One controller per station, indexed by station name.
+    adversary:
+        The packet-injection adversary (already bound to ``n``).
+    collector:
+        Metrics collector; a fresh default one is created when omitted.
+    config:
+        Engine configuration (energy cap, tracing, message discipline
+        checks).
+    """
+
+    def __init__(
+        self,
+        controllers: Sequence[StationController],
+        adversary: "Adversary",
+        collector: "MetricsCollector | None" = None,
+        config: EngineConfig | None = None,
+    ) -> None:
+        if not controllers:
+            raise ValueError("at least one station controller is required")
+        self.controllers = list(controllers)
+        self.n = len(self.controllers)
+        for expected, ctrl in enumerate(self.controllers):
+            if ctrl.station_id != expected:
+                raise ValueError(
+                    f"controller at index {expected} has station_id {ctrl.station_id}"
+                )
+        self.adversary = adversary
+        self.config = config or EngineConfig()
+        if collector is None:
+            from ..metrics.collector import MetricsCollector
+
+            collector = MetricsCollector()
+        self.collector = collector
+        self.energy = EnergyMonitor(
+            cap=self.config.energy_cap, enforce=self.config.enforce_energy_cap
+        )
+        self.trace = ExecutionTrace() if self.config.record_trace else None
+        self.view = AdversaryView(n=self.n)
+        self.round_no = 0
+
+    # -- main loop ---------------------------------------------------------
+    def run(self, rounds: int) -> None:
+        """Simulate ``rounds`` further rounds."""
+        for _ in range(rounds):
+            self.step()
+
+    def step(self) -> RoundEvent:
+        """Simulate a single round and return its event record."""
+        t = self.round_no
+        self.view.round_no = t
+
+        # 1. Adversarial injections (stations receive packets even when off).
+        injections = self._inject(t)
+
+        # 2. On/off decisions and energy accounting.
+        awake = tuple(
+            i for i, ctrl in enumerate(self.controllers) if ctrl.wakes(t)
+        )
+        self.energy.observe(t, len(awake))
+
+        # 3. Awake stations act: transmit or listen.
+        transmissions: list[Message] = []
+        transmitters: list[int] = []
+        for i in awake:
+            message = self.controllers[i].act(t)
+            if message is None:
+                continue
+            self._check_message(i, message)
+            transmissions.append(message)
+            transmitters.append(i)
+
+        # 4. Channel arbitration.
+        if not transmissions:
+            outcome, heard = ChannelOutcome.SILENCE, None
+        elif len(transmissions) == 1:
+            outcome, heard = ChannelOutcome.HEARD, transmissions[0]
+        else:
+            outcome, heard = ChannelOutcome.COLLISION, None
+
+        # 5. Delivery bookkeeping.
+        delivered_packet: Packet | None = None
+        if (
+            outcome is ChannelOutcome.HEARD
+            and heard is not None
+            and heard.packet is not None
+            and heard.packet.destination in awake
+        ):
+            delivered_packet = heard.packet
+            self.collector.record_delivery(
+                delivered_packet, heard.packet.destination, t
+            )
+
+        # 6. Feedback to awake stations.
+        feedback = Feedback(
+            round_no=t,
+            outcome=outcome,
+            message=heard,
+            delivered=delivered_packet is not None,
+        )
+        for i in awake:
+            self.controllers[i].on_feedback(t, feedback)
+
+        # 7. Metrics: queue sizes after the round.
+        queue_sizes = [ctrl.queued_packets() for ctrl in self.controllers]
+        self.collector.record_round(t, queue_sizes, len(awake), outcome)
+
+        # 8. Adversary view update.
+        self.view.awake_history.append(awake)
+        self.view.outcome_history.append(outcome)
+        self.view.queue_sizes = queue_sizes
+        self.view.delivered_total = self.collector.delivered_count
+
+        event = RoundEvent(
+            round_no=t,
+            awake=awake,
+            transmitters=tuple(transmitters),
+            outcome=outcome,
+            message=heard,
+            delivered_packet=delivered_packet,
+            injections=tuple(injections),
+        )
+        if self.trace is not None:
+            self.trace.append(event)
+        self.round_no += 1
+        return event
+
+    # -- helpers -----------------------------------------------------------
+    def _inject(self, t: int) -> list[InjectionEvent]:
+        events: list[InjectionEvent] = []
+        for station, packet in self.adversary.inject(t, self.view):
+            if not 0 <= station < self.n:
+                raise ValueError(f"adversary injected into unknown station {station}")
+            if not 0 <= packet.destination < self.n:
+                raise ValueError(
+                    f"adversary created packet with unknown destination {packet.destination}"
+                )
+            self.controllers[station].on_inject(t, packet)
+            self.collector.record_injection(packet, t)
+            events.append(InjectionEvent(round_no=t, station=station, packet=packet))
+        return events
+
+    def _check_message(self, sender: int, message: Message) -> None:
+        if message.sender != sender:
+            raise ValueError(
+                f"station {sender} transmitted a message claiming sender {message.sender}"
+            )
+        if self.config.check_plain_packet and not message.is_plain_packet:
+            raise ValueError(
+                f"plain-packet discipline violated by station {sender}: {message!r}"
+            )
+        if (
+            self.config.max_control_bits is not None
+            and message.control_bits() > self.config.max_control_bits
+        ):
+            raise ValueError(
+                f"station {sender} transmitted {message.control_bits()} control bits, "
+                f"limit is {self.config.max_control_bits}"
+            )

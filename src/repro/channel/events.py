@@ -1,0 +1,107 @@
+"""Event log of a channel execution.
+
+The engine can optionally keep a round-by-round trace of everything that
+happened: injections, the awake set, the channel outcome, the transmitted
+message and whether its packet was delivered.  Traces are used by tests
+(to assert fine-grained protocol behaviour), by the reporting module and
+by the trace record/replay facilities of the adversary package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .feedback import ChannelOutcome
+from .message import Message
+from .packet import Packet
+
+__all__ = ["InjectionEvent", "RoundEvent", "ExecutionTrace"]
+
+
+@dataclass(frozen=True, slots=True)
+class InjectionEvent:
+    """A single adversarial packet injection."""
+
+    round_no: int
+    station: int
+    packet: Packet
+
+
+@dataclass(frozen=True, slots=True)
+class RoundEvent:
+    """Everything that happened on the channel in one round."""
+
+    round_no: int
+    awake: tuple[int, ...]
+    transmitters: tuple[int, ...]
+    outcome: ChannelOutcome
+    message: Message | None
+    delivered_packet: Packet | None
+    injections: tuple[InjectionEvent, ...]
+
+    @property
+    def energy(self) -> int:
+        """Energy spent in this round (number of awake stations)."""
+        return len(self.awake)
+
+    @property
+    def is_light(self) -> bool:
+        """True when a message was heard but it carried no packet."""
+        return (
+            self.outcome is ChannelOutcome.HEARD
+            and self.message is not None
+            and self.message.packet is None
+        )
+
+
+@dataclass(slots=True)
+class ExecutionTrace:
+    """Ordered collection of :class:`RoundEvent` records."""
+
+    rounds: list[RoundEvent] = field(default_factory=list)
+
+    def append(self, event: RoundEvent) -> None:
+        """Append one round's event record."""
+        self.rounds.append(event)
+
+    def __len__(self) -> int:
+        return len(self.rounds)
+
+    def __iter__(self) -> Iterator[RoundEvent]:
+        return iter(self.rounds)
+
+    def __getitem__(self, index: int) -> RoundEvent:
+        return self.rounds[index]
+
+    # -- convenience queries used by tests and reports ---------------------
+    def silent_rounds(self) -> list[int]:
+        """Round numbers in which nobody transmitted."""
+        return [e.round_no for e in self.rounds if e.outcome is ChannelOutcome.SILENCE]
+
+    def collision_rounds(self) -> list[int]:
+        """Round numbers in which a collision occurred."""
+        return [e.round_no for e in self.rounds if e.outcome is ChannelOutcome.COLLISION]
+
+    def light_rounds(self) -> list[int]:
+        """Round numbers in which a light (packet-less) message was heard."""
+        return [e.round_no for e in self.rounds if e.is_light]
+
+    def delivered_packets(self) -> list[Packet]:
+        """All packets delivered, in delivery order."""
+        return [e.delivered_packet for e in self.rounds if e.delivered_packet is not None]
+
+    def injections(self) -> list[InjectionEvent]:
+        """All injection events, in round order."""
+        out: list[InjectionEvent] = []
+        for e in self.rounds:
+            out.extend(e.injections)
+        return out
+
+    def energy_series(self) -> list[int]:
+        """Per-round energy expenditure."""
+        return [e.energy for e in self.rounds]
+
+    def awake_sets(self) -> list[tuple[int, ...]]:
+        """Per-round awake station sets."""
+        return [e.awake for e in self.rounds]

@@ -1,0 +1,72 @@
+"""Per-round channel feedback delivered to switched-on stations.
+
+The multiple access channel gives ternary feedback to every station that is
+switched on in a round (Section 2, "Messages"):
+
+* exactly one station transmitted — every awake station *hears* the message
+  (including the transmitter itself);
+* two or more stations transmitted — a *collision*; nobody hears anything;
+* no station transmitted — a *silent* round.
+
+Stations that are switched off receive no feedback at all.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .message import Message
+
+__all__ = ["ChannelOutcome", "Feedback"]
+
+
+class ChannelOutcome(enum.Enum):
+    """What happened on the channel in a given round."""
+
+    SILENCE = "silence"
+    HEARD = "heard"
+    COLLISION = "collision"
+
+
+@dataclass(frozen=True, slots=True)
+class Feedback:
+    """Feedback handed to each awake station at the end of a round.
+
+    Attributes
+    ----------
+    round_no:
+        The round the feedback refers to.
+    outcome:
+        Ternary channel outcome.
+    message:
+        The message heard, when ``outcome`` is :attr:`ChannelOutcome.HEARD`,
+        otherwise ``None``.
+    delivered:
+        True when the heard message carried a packet *and* the packet's
+        destination station was switched on in this round, i.e. the packet
+        was consumed.  Awake stations can observe this themselves (they
+        know who is supposed to listen), but exposing it in the feedback
+        keeps controller code simple without giving stations any
+        information they could not legitimately derive.
+    """
+
+    round_no: int
+    outcome: ChannelOutcome
+    message: Message | None = None
+    delivered: bool = False
+
+    @property
+    def heard(self) -> bool:
+        """True when a message was successfully heard this round."""
+        return self.outcome is ChannelOutcome.HEARD
+
+    @property
+    def silent(self) -> bool:
+        """True when the round was silent."""
+        return self.outcome is ChannelOutcome.SILENCE
+
+    @property
+    def collision(self) -> bool:
+        """True when two or more stations transmitted simultaneously."""
+        return self.outcome is ChannelOutcome.COLLISION

@@ -1,0 +1,86 @@
+"""Packets travelling on the multiple access channel.
+
+A packet ``p = (d, c)`` consists of a destination address ``d`` (a station
+name in ``[0, n)``) and an opaque content ``c`` (Section 2 of the paper).
+For simulation and metrics purposes every packet also carries bookkeeping
+fields that the *algorithms are not allowed to use*: a globally unique id,
+the round it was injected, and the station it was injected into.  The
+engine uses them to verify correctness (exactly-once delivery) and to
+compute packet delays.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = ["Packet", "PacketFactory"]
+
+_packet_ids: Iterator[int] = itertools.count()
+
+
+@dataclass(frozen=True, slots=True)
+class Packet:
+    """A single routable packet.
+
+    Attributes
+    ----------
+    destination:
+        Name of the station the packet must be delivered to.
+    injected_at:
+        Round number in which the adversary injected the packet.
+    origin:
+        Station the packet was injected into by the adversary.
+    packet_id:
+        Globally unique identifier, assigned by :class:`PacketFactory` (or
+        the module-level counter).  Used only for bookkeeping.
+    content:
+        Opaque payload; never inspected by routing algorithms.
+    """
+
+    destination: int
+    injected_at: int
+    origin: int
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    content: Any = None
+
+    def delay_if_delivered(self, round_delivered: int) -> int:
+        """Delay of the packet if it were delivered in ``round_delivered``."""
+        return round_delivered - self.injected_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Packet(#{self.packet_id} {self.origin}->{self.destination} "
+            f"@{self.injected_at})"
+        )
+
+
+class PacketFactory:
+    """Deterministic packet factory with its own id-space.
+
+    Using a factory (rather than the module-level counter) makes runs
+    reproducible regardless of how many packets other tests created
+    before, which matters for trace comparison tests.
+    """
+
+    def __init__(self, start: int = 0) -> None:
+        self._counter = itertools.count(start)
+        self.created = 0
+
+    def make(
+        self,
+        destination: int,
+        injected_at: int,
+        origin: int,
+        content: Any = None,
+    ) -> Packet:
+        """Create a packet with the next id from this factory."""
+        self.created += 1
+        return Packet(
+            destination=destination,
+            injected_at=injected_at,
+            origin=origin,
+            packet_id=next(self._counter),
+            content=content,
+        )

@@ -1,0 +1,88 @@
+"""Station controller interface.
+
+Each of the ``n`` stations attached to the channel runs a *controller* — the
+per-station part of a distributed routing algorithm.  The engine drives all
+controllers in lock-step rounds:
+
+1. :meth:`StationController.on_inject` for every packet the adversary
+   injects into this station at the start of the round (this happens even
+   when the station is switched off);
+2. :meth:`StationController.wakes` — does the station spend this round
+   switched on?
+3. for awake stations only, :meth:`StationController.act` — transmit a
+   message or listen (return ``None``);
+4. for awake stations only, :meth:`StationController.on_feedback` with the
+   round's channel feedback.
+
+A controller must base its behaviour only on (a) the packets injected into
+it, (b) the feedback it has personally heard while awake, and (c) the
+globally known quantities ``n`` and the energy cap ``k`` — never on global
+simulator state.  The engine enforces the physics (collisions, energy cap)
+and performs the correctness bookkeeping: a packet counts as *delivered*
+when it is heard on the channel in a round in which its destination
+station is switched on; the engine records that delivery exactly once.
+Controllers are responsible for dropping delivered packets from their own
+queues (the transmitter hears its own successful transmission, and the
+destination never adopts a packet addressed to itself).
+"""
+
+from __future__ import annotations
+
+import abc
+
+from .feedback import Feedback
+from .message import Message
+from .packet import Packet
+
+__all__ = ["StationController"]
+
+
+class StationController(abc.ABC):
+    """Abstract per-station controller.
+
+    Parameters
+    ----------
+    station_id:
+        This station's name, an integer in ``[0, n)``.
+    n:
+        Total number of stations (known to algorithms).
+    """
+
+    def __init__(self, station_id: int, n: int) -> None:
+        if not 0 <= station_id < n:
+            raise ValueError(f"station_id {station_id} out of range for n={n}")
+        self.station_id = station_id
+        self.n = n
+
+    # -- protocol hooks ----------------------------------------------------
+    @abc.abstractmethod
+    def wakes(self, round_no: int) -> bool:
+        """Return True when this station is switched on in ``round_no``."""
+
+    @abc.abstractmethod
+    def act(self, round_no: int) -> Message | None:
+        """Transmit a message this round, or listen by returning ``None``.
+
+        Called only when :meth:`wakes` returned True for ``round_no``.
+        """
+
+    @abc.abstractmethod
+    def on_feedback(self, round_no: int, feedback: Feedback) -> None:
+        """Receive the channel feedback for ``round_no`` (awake rounds only)."""
+
+    @abc.abstractmethod
+    def on_inject(self, round_no: int, packet: Packet) -> None:
+        """The adversary injected ``packet`` into this station in ``round_no``."""
+
+    # -- introspection (metrics only, not used by algorithms) --------------
+    @abc.abstractmethod
+    def queued_packets(self) -> int:
+        """Number of packets currently queued at this station.
+
+        Used by the metrics collector; the value must count every packet
+        this station is currently responsible for (injected or adopted and
+        not yet heard on the channel / consumed).
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(station={self.station_id}, n={self.n})"

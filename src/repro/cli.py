@@ -1,0 +1,153 @@
+"""Command-line interface.
+
+Provides quick access to the library from a shell::
+
+    python -m repro list
+    python -m repro run --algorithm k-cycle --n 9 --k 3 --rho 0.15 --rounds 20000
+    python -m repro table1 [--full]
+    python -m repro sweep --algorithm count-hop --n 6 --rates 0.2,0.4,0.6,0.8
+
+The CLI is a thin wrapper over :mod:`repro.sim`; anything beyond a quick
+look should use the Python API directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .adversary import (
+    Adversary,
+    BurstThenIdleAdversary,
+    RoundRobinAdversary,
+    SingleSourceSprayAdversary,
+    SingleTargetAdversary,
+    UniformRandomAdversary,
+)
+from .core import available_algorithms, make_algorithm
+from .metrics.summary import RunSummary
+from .sim import run_simulation, sweep
+from .sim.reporting import sweep_table
+
+__all__ = ["main", "build_parser"]
+
+ADVERSARIES = {
+    "single-target": SingleTargetAdversary,
+    "spray": SingleSourceSprayAdversary,
+    "round-robin": RoundRobinAdversary,
+    "bursty": BurstThenIdleAdversary,
+    "random": UniformRandomAdversary,
+}
+
+
+def _make_algorithm(name: str, n: int, k: int | None):
+    """Instantiate a registry algorithm, passing k only where it applies."""
+    if name in ("k-cycle", "k-clique", "k-subsets"):
+        if k is None:
+            raise SystemExit(f"algorithm {name!r} requires --k")
+        return make_algorithm(name, n=n, k=k)
+    return make_algorithm(name, n=n)
+
+
+def _make_adversary(name: str, rho: float, beta: float) -> Adversary:
+    try:
+        factory = ADVERSARIES[name]
+    except KeyError as exc:
+        raise SystemExit(
+            f"unknown adversary {name!r}; choose from {sorted(ADVERSARIES)}"
+        ) from exc
+    return factory(rho, beta)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Energy-capped adversarial routing on multiple access channels "
+        "(reproduction of Chlebus et al., SPAA 2019).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the available algorithms and adversaries")
+
+    run_p = sub.add_parser("run", help="run one algorithm against one adversary")
+    run_p.add_argument("--algorithm", required=True, choices=available_algorithms())
+    run_p.add_argument("--n", type=int, required=True, help="number of stations")
+    run_p.add_argument("--k", type=int, default=None, help="energy cap (oblivious algorithms)")
+    run_p.add_argument("--adversary", default="spray", choices=sorted(ADVERSARIES))
+    run_p.add_argument("--rho", type=float, default=0.5, help="injection rate")
+    run_p.add_argument("--beta", type=float, default=2.0, help="burstiness coefficient")
+    run_p.add_argument("--rounds", type=int, default=10_000)
+
+    table_p = sub.add_parser("table1", help="regenerate Table 1 (paper vs measured)")
+    table_p.add_argument("--full", action="store_true", help="full-size experiments")
+
+    sweep_p = sub.add_parser("sweep", help="sweep the injection rate for one algorithm")
+    sweep_p.add_argument("--algorithm", required=True, choices=available_algorithms())
+    sweep_p.add_argument("--n", type=int, required=True)
+    sweep_p.add_argument("--k", type=int, default=None)
+    sweep_p.add_argument("--rates", default="0.1,0.3,0.5,0.7,0.9",
+                         help="comma-separated injection rates")
+    sweep_p.add_argument("--beta", type=float, default=2.0)
+    sweep_p.add_argument("--rounds", type=int, default=8_000)
+    sweep_p.add_argument("--adversary", default="spray", choices=sorted(ADVERSARIES))
+    return parser
+
+
+def _cmd_list() -> int:
+    print("algorithms:")
+    for name in available_algorithms():
+        print(f"  {name}")
+    print("adversaries:")
+    for name in sorted(ADVERSARIES):
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    algorithm = _make_algorithm(args.algorithm, args.n, args.k)
+    adversary = _make_adversary(args.adversary, args.rho, args.beta)
+    result = run_simulation(algorithm, adversary, args.rounds)
+    print(RunSummary.header())
+    print(result.summary.format_row())
+    return 0 if result.stable else 2
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from .sim.experiments import regenerate_table1
+
+    table, results = regenerate_table1(quick=not args.full)
+    print(table)
+    return 0 if all(r.shape_ok for r in results) else 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    rates = [float(x) for x in args.rates.split(",") if x]
+    series = sweep(
+        args.algorithm,
+        "rho",
+        rates,
+        lambda rho: _make_algorithm(args.algorithm, args.n, args.k),
+        lambda rho: _make_adversary(args.adversary, rho, args.beta),
+        args.rounds,
+    )
+    print(sweep_table(series))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of ``python -m repro``."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "table1":
+        return _cmd_table1(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

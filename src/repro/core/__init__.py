@@ -1,0 +1,20 @@
+"""Core routing-algorithm framework: controllers, queues, schedules, registry."""
+
+from .algorithm import AlgorithmProperties, RoutingAlgorithm
+from .controller import QueueingController
+from .queues import PacketQueue
+from .registry import available_algorithms, make_algorithm, register_algorithm
+from .schedule import AlwaysOnSchedule, ObliviousSchedule, PeriodicSchedule
+
+__all__ = [
+    "AlgorithmProperties",
+    "AlwaysOnSchedule",
+    "ObliviousSchedule",
+    "PacketQueue",
+    "PeriodicSchedule",
+    "QueueingController",
+    "RoutingAlgorithm",
+    "available_algorithms",
+    "make_algorithm",
+    "register_algorithm",
+]

@@ -1,0 +1,106 @@
+"""Routing-algorithm interface.
+
+A :class:`RoutingAlgorithm` is the user-facing object describing one of
+the paper's algorithms instantiated for a concrete system: it knows the
+system size ``n`` (and the energy cap ``k`` where relevant), can
+manufacture the ``n`` per-station controllers for the engine, and exposes
+its classification along the paper's three axes (oblivious / direct /
+plain-packet) plus the energy cap it requires.  Energy-oblivious
+algorithms additionally publish their on/off schedule.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from ..channel.station import StationController
+from .schedule import ObliviousSchedule
+
+__all__ = ["AlgorithmProperties", "RoutingAlgorithm"]
+
+
+@dataclass(frozen=True, slots=True)
+class AlgorithmProperties:
+    """Classification of a routing algorithm (cf. Table 1's Properties column).
+
+    Attributes
+    ----------
+    name:
+        Canonical algorithm name.
+    energy_cap:
+        The energy cap the algorithm is designed for (the number of
+        stations it will keep simultaneously on, at most).
+    oblivious:
+        True when the on/off schedule is fixed in advance.
+    direct:
+        True when packets never use relay stations (exactly one hop).
+    plain_packet:
+        True when messages never carry control bits.
+    """
+
+    name: str
+    energy_cap: int
+    oblivious: bool
+    direct: bool
+    plain_packet: bool
+
+    def tag(self) -> str:
+        """Short property tag in the style of Table 1 (e.g. 'Obl-PP-Dir')."""
+        parts = [
+            "Obl" if self.oblivious else "NObl",
+            "PP" if self.plain_packet else "Gen",
+            "Dir" if self.direct else "Ind",
+        ]
+        return "-".join(parts)
+
+
+class RoutingAlgorithm(abc.ABC):
+    """Base class of the paper's routing algorithms.
+
+    Parameters
+    ----------
+    n:
+        System size (number of stations); known to all stations.
+    """
+
+    #: Canonical algorithm name; subclasses override.
+    name: str = "abstract"
+
+    def __init__(self, n: int) -> None:
+        if n < 3:
+            raise ValueError(
+                "the routing problem is only interesting for n >= 3 stations"
+            )
+        self.n = n
+
+    # -- required interface ---------------------------------------------------
+    @abc.abstractmethod
+    def build_controllers(self) -> list[StationController]:
+        """Create the ``n`` per-station controllers for a fresh execution."""
+
+    @abc.abstractmethod
+    def properties(self) -> AlgorithmProperties:
+        """Classification and energy cap of this algorithm instance."""
+
+    # -- optional interface -----------------------------------------------------
+    def oblivious_schedule(self) -> ObliviousSchedule | None:
+        """The published on/off schedule, for energy-oblivious algorithms.
+
+        Returns ``None`` for non-oblivious (adaptive) algorithms.
+        """
+        return None
+
+    # -- conveniences -------------------------------------------------------------
+    @property
+    def energy_cap(self) -> int:
+        """Energy cap this algorithm instance needs."""
+        return self.properties().energy_cap
+
+    def describe(self) -> str:
+        """Human-readable one-line description used in reports."""
+        props = self.properties()
+        return f"{props.name}(n={self.n}, cap={props.energy_cap}, {props.tag()})"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.describe()

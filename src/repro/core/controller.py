@@ -1,0 +1,112 @@
+"""Reusable controller base with a station-local packet queue.
+
+Most algorithm controllers share the same skeleton: injected packets land
+in a :class:`~repro.core.queues.PacketQueue`, a successfully heard own
+transmission removes the transmitted packet, hearing a packet addressed to
+someone else may lead to adopting it (relaying).  ``QueueingController``
+factors that skeleton out so that the per-algorithm controllers only
+contain protocol logic.
+"""
+
+from __future__ import annotations
+
+from ..channel.feedback import Feedback
+from ..channel.message import Message
+from ..channel.packet import Packet
+from ..channel.station import StationController
+from .queues import PacketQueue
+
+__all__ = ["QueueingController"]
+
+
+class QueueingController(StationController):
+    """Station controller with a local queue and standard bookkeeping.
+
+    Subclasses implement :meth:`wakes`, :meth:`act` and (optionally)
+    :meth:`on_heard`.  The base class:
+
+    * enqueues injected packets (:meth:`on_inject`);
+    * remembers the packet attached to the message the subclass chose to
+      transmit (:meth:`transmit`) and removes it from the queue once the
+      transmission is confirmed heard — per Section 2 a packet may be
+      removed from the transmitter's queue once it is heard on the
+      channel;
+    * dispatches heard messages to :meth:`on_heard`.
+    """
+
+    def __init__(self, station_id: int, n: int) -> None:
+        super().__init__(station_id, n)
+        self.queue = PacketQueue()
+        self._in_flight: Packet | None = None
+
+    # -- helpers for subclasses -------------------------------------------------
+    def transmit(
+        self,
+        packet: Packet | None,
+        control: dict | None = None,
+        intended_receiver: int | None = None,
+    ) -> Message:
+        """Build a message from this station and track its packet as in-flight.
+
+        The packet (if any) stays in the queue until the channel feedback
+        confirms it was heard; a collision therefore leaves the queue
+        untouched.
+        """
+        self._in_flight = packet
+        return Message(
+            sender=self.station_id,
+            packet=packet,
+            control=control or {},
+            intended_receiver=intended_receiver,
+        )
+
+    # -- StationController plumbing ----------------------------------------------
+    def on_inject(self, round_no: int, packet: Packet) -> None:
+        self.queue.push(packet)
+
+    def queued_packets(self) -> int:
+        return len(self.queue)
+
+    def on_feedback(self, round_no: int, feedback: Feedback) -> None:
+        if feedback.heard and feedback.message is not None:
+            message = feedback.message
+            if message.sender == self.station_id:
+                # Own transmission confirmed: drop the in-flight packet.
+                if self._in_flight is not None:
+                    self.queue.remove(self._in_flight)
+            else:
+                packet = message.packet
+                if packet is not None and packet.destination == self.station_id:
+                    # Delivered to us; the engine records the delivery, we
+                    # simply do not adopt the packet.
+                    pass
+            self.on_heard(round_no, message, feedback)
+        elif feedback.collision:
+            self.on_collision(round_no)
+        else:
+            self.on_silence(round_no)
+        self._in_flight = None
+        self.after_feedback(round_no, feedback)
+
+    # -- protocol hooks (subclasses override what they need) -----------------------
+    def on_heard(self, round_no: int, message: Message, feedback: Feedback) -> None:
+        """A message was heard on the channel this round."""
+
+    def on_collision(self, round_no: int) -> None:
+        """Two or more stations transmitted simultaneously."""
+
+    def on_silence(self, round_no: int) -> None:
+        """Nobody transmitted this round."""
+
+    def after_feedback(self, round_no: int, feedback: Feedback) -> None:
+        """Called after the specific outcome hook, for shared end-of-round work."""
+
+    # -- relay helper -----------------------------------------------------------------
+    def adopt(self, packet: Packet, *, as_old: bool = False) -> None:
+        """Adopt a packet heard on the channel (become its relay)."""
+        if packet.destination == self.station_id:
+            raise ValueError("a station never adopts a packet addressed to itself")
+        if as_old:
+            self.queue.push_old(packet)
+        else:
+            self.queue.push(packet)

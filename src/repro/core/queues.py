@@ -1,0 +1,178 @@
+"""Station-local packet queues with old/new aging.
+
+Several algorithms in the paper distinguish *old* packets (present before
+the current phase / season / window began) from *new* ones (injected
+during it) and only route old packets.  :class:`PacketQueue` implements a
+FIFO queue with an aging epoch: packets are enqueued as new, and
+:meth:`age_all` promotes everything currently queued to old (typically
+called at a phase boundary).  The queue also provides the per-destination
+counting that Count-Hop, Adjust-Window and Orchestra need to build their
+schedules.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterable, Iterator
+
+from ..channel.packet import Packet
+
+__all__ = ["PacketQueue"]
+
+
+class PacketQueue:
+    """FIFO packet queue with an old/new distinction.
+
+    Packets are kept in injection/adoption order.  ``old`` packets are the
+    ones enqueued before the most recent call to :meth:`age_all`; ``new``
+    packets are everything enqueued since.
+    """
+
+    def __init__(self) -> None:
+        self._old: deque[Packet] = deque()
+        self._new: deque[Packet] = deque()
+
+    # -- mutation ------------------------------------------------------------
+    def push(self, packet: Packet) -> None:
+        """Enqueue a packet as *new*."""
+        self._new.append(packet)
+
+    def push_old(self, packet: Packet) -> None:
+        """Enqueue a packet directly as *old* (used by relays mid-phase)."""
+        self._old.append(packet)
+
+    def age_all(self) -> None:
+        """Promote every queued packet to *old* (phase boundary)."""
+        self._old.extend(self._new)
+        self._new.clear()
+
+    def pop_old(self) -> Packet:
+        """Dequeue the oldest *old* packet."""
+        return self._old.popleft()
+
+    def pop_any(self) -> Packet:
+        """Dequeue the overall oldest packet (old first, then new)."""
+        if self._old:
+            return self._old.popleft()
+        return self._new.popleft()
+
+    def pop_old_for(self, destination: int) -> Packet | None:
+        """Dequeue the oldest *old* packet addressed to ``destination``."""
+        return self._pop_matching(self._old, lambda p: p.destination == destination)
+
+    def pop_any_for(self, destination: int) -> Packet | None:
+        """Dequeue the oldest packet (old or new) addressed to ``destination``."""
+        packet = self._pop_matching(self._old, lambda p: p.destination == destination)
+        if packet is not None:
+            return packet
+        return self._pop_matching(self._new, lambda p: p.destination == destination)
+
+    def pop_old_matching(self, predicate: Callable[[Packet], bool]) -> Packet | None:
+        """Dequeue the oldest *old* packet satisfying ``predicate``."""
+        return self._pop_matching(self._old, predicate)
+
+    def remove(self, packet: Packet) -> bool:
+        """Remove a specific packet (by identity); returns True if found."""
+        for store in (self._old, self._new):
+            try:
+                store.remove(packet)
+                return True
+            except ValueError:
+                continue
+        return False
+
+    @staticmethod
+    def _pop_matching(
+        store: deque[Packet], predicate: Callable[[Packet], bool]
+    ) -> Packet | None:
+        for index, packet in enumerate(store):
+            if predicate(packet):
+                del store[index]
+                return packet
+        return None
+
+    # -- non-destructive peeks (used with deferred removal on confirmation) ----
+    def peek_old(self) -> Packet | None:
+        """The oldest *old* packet, without removing it."""
+        return self._old[0] if self._old else None
+
+    def peek_any(self) -> Packet | None:
+        """The overall oldest packet, without removing it."""
+        if self._old:
+            return self._old[0]
+        return self._new[0] if self._new else None
+
+    def peek_old_matching(self, predicate: Callable[[Packet], bool]) -> Packet | None:
+        """The oldest *old* packet satisfying ``predicate``, without removing it."""
+        for packet in self._old:
+            if predicate(packet):
+                return packet
+        return None
+
+    def peek_any_matching(self, predicate: Callable[[Packet], bool]) -> Packet | None:
+        """The oldest packet (old or new) satisfying ``predicate``, without removal."""
+        for packet in self._old:
+            if predicate(packet):
+                return packet
+        for packet in self._new:
+            if predicate(packet):
+                return packet
+        return None
+
+    def peek_old_for(self, destination: int) -> Packet | None:
+        """The oldest *old* packet addressed to ``destination``, without removal."""
+        return self.peek_old_matching(lambda p: p.destination == destination)
+
+    def peek_any_for(self, destination: int) -> Packet | None:
+        """The oldest packet addressed to ``destination``, without removal."""
+        return self.peek_any_matching(lambda p: p.destination == destination)
+
+    # -- inspection ------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._old) + len(self._new)
+
+    def __bool__(self) -> bool:
+        return bool(self._old) or bool(self._new)
+
+    def __iter__(self) -> Iterator[Packet]:
+        yield from self._old
+        yield from self._new
+
+    @property
+    def old_count(self) -> int:
+        """Number of *old* packets."""
+        return len(self._old)
+
+    @property
+    def new_count(self) -> int:
+        """Number of *new* packets."""
+        return len(self._new)
+
+    def old_packets(self) -> list[Packet]:
+        """Snapshot of the old packets in order."""
+        return list(self._old)
+
+    def new_packets(self) -> list[Packet]:
+        """Snapshot of the new packets in order."""
+        return list(self._new)
+
+    def count_old_for(self, destination: int) -> int:
+        """Number of old packets addressed to ``destination``."""
+        return sum(1 for p in self._old if p.destination == destination)
+
+    def count_for(self, destination: int) -> int:
+        """Number of packets (old or new) addressed to ``destination``."""
+        return sum(1 for p in self if p.destination == destination)
+
+    def count_old_matching(self, predicate: Callable[[Packet], bool]) -> int:
+        """Number of old packets satisfying ``predicate``."""
+        return sum(1 for p in self._old if predicate(p))
+
+    def destinations(self) -> set[int]:
+        """Set of destinations with at least one queued packet."""
+        return {p.destination for p in self}
+
+    def has_old_for(self, destinations: Iterable[int]) -> bool:
+        """True when an old packet exists for any of ``destinations``."""
+        targets = set(destinations)
+        return any(p.destination in targets for p in self._old)

@@ -1,0 +1,44 @@
+"""Algorithm registry.
+
+Maps canonical algorithm names to constructor callables so that sweeps,
+benchmarks and the examples can instantiate algorithms from strings
+(e.g. ``make_algorithm("k-cycle", n=12, k=4)``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .algorithm import RoutingAlgorithm
+
+__all__ = ["register_algorithm", "make_algorithm", "available_algorithms"]
+
+_REGISTRY: dict[str, Callable[..., RoutingAlgorithm]] = {}
+
+
+def register_algorithm(name: str) -> Callable[[type], type]:
+    """Class decorator registering a :class:`RoutingAlgorithm` under ``name``."""
+
+    def decorator(cls: type) -> type:
+        key = name.lower()
+        if key in _REGISTRY:
+            raise ValueError(f"algorithm name {name!r} already registered")
+        _REGISTRY[key] = cls
+        return cls
+
+    return decorator
+
+
+def make_algorithm(name: str, **kwargs) -> RoutingAlgorithm:
+    """Instantiate a registered algorithm by name."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise KeyError(
+            f"unknown algorithm {name!r}; available: {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[key](**kwargs)
+
+
+def available_algorithms() -> list[str]:
+    """Names of all registered algorithms, sorted."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,122 @@
+"""Oblivious on/off schedules.
+
+A routing algorithm is *energy oblivious* when it decides in advance, for
+every station and every round, whether the station is switched on
+(Section 2, "Routing algorithms").  Energy-oblivious algorithms in this
+library expose their schedule as an :class:`ObliviousSchedule`, which
+
+* lets the engine-side tests verify that the controllers wake exactly
+  when the published schedule says they do,
+* lets the schedule-aware lower-bound adversaries of
+  :mod:`repro.adversary.adaptive` compute the most starved station / pair,
+* provides the schedule statistics (per-station on-fractions, pair
+  co-scheduling fractions) used in the analysis of Theorems 6 and 9.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+__all__ = ["ObliviousSchedule", "PeriodicSchedule", "AlwaysOnSchedule"]
+
+
+class ObliviousSchedule(abc.ABC):
+    """A fixed-in-advance on/off schedule for ``n`` stations."""
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ValueError("schedule needs at least one station")
+        self.n = n
+
+    @abc.abstractmethod
+    def is_awake(self, station: int, round_no: int) -> bool:
+        """True when ``station`` is switched on in ``round_no``."""
+
+    def awake_set(self, round_no: int) -> frozenset[int]:
+        """The set of stations switched on in ``round_no``."""
+        return frozenset(i for i in range(self.n) if self.is_awake(i, round_no))
+
+    def max_awake(self, horizon: int) -> int:
+        """Maximum simultaneously-awake stations over ``[0, horizon)``."""
+        return max((len(self.awake_set(t)) for t in range(horizon)), default=0)
+
+    def on_fraction(self, station: int, horizon: int) -> float:
+        """Fraction of rounds in ``[0, horizon)`` during which ``station`` is on."""
+        if horizon <= 0:
+            return 0.0
+        on = sum(1 for t in range(horizon) if self.is_awake(station, t))
+        return on / horizon
+
+    def pair_on_fraction(self, station_a: int, station_b: int, horizon: int) -> float:
+        """Fraction of rounds both stations are simultaneously on."""
+        if horizon <= 0:
+            return 0.0
+        on = sum(
+            1
+            for t in range(horizon)
+            if self.is_awake(station_a, t) and self.is_awake(station_b, t)
+        )
+        return on / horizon
+
+    def min_on_fraction(self, horizon: int) -> tuple[int, float]:
+        """The station with the smallest on-fraction, and that fraction."""
+        best = min(
+            range(self.n), key=lambda i: self.on_fraction(i, horizon)
+        )
+        return best, self.on_fraction(best, horizon)
+
+    def min_pair_on_fraction(self, horizon: int) -> tuple[tuple[int, int], float]:
+        """The ordered pair with the smallest co-awake fraction, and that fraction."""
+        best_pair: tuple[int, int] | None = None
+        best_value = float("inf")
+        for w in range(self.n):
+            for z in range(self.n):
+                if w == z:
+                    continue
+                value = self.pair_on_fraction(w, z, horizon)
+                if value < best_value:
+                    best_value, best_pair = value, (w, z)
+        assert best_pair is not None
+        return best_pair, best_value
+
+
+class PeriodicSchedule(ObliviousSchedule):
+    """A schedule given by a finite period of awake sets, repeated forever."""
+
+    def __init__(self, n: int, period_awake_sets: Sequence[Sequence[int]]) -> None:
+        super().__init__(n)
+        if not period_awake_sets:
+            raise ValueError("the period must contain at least one round")
+        self.period = [frozenset(s) for s in period_awake_sets]
+        for t, awake in enumerate(self.period):
+            for station in awake:
+                if not 0 <= station < n:
+                    raise ValueError(
+                        f"round {t} of the period wakes unknown station {station}"
+                    )
+
+    @property
+    def period_length(self) -> int:
+        """Number of rounds in one period."""
+        return len(self.period)
+
+    def is_awake(self, station: int, round_no: int) -> bool:
+        return station in self.period[round_no % len(self.period)]
+
+    def awake_set(self, round_no: int) -> frozenset[int]:
+        return self.period[round_no % len(self.period)]
+
+    def max_awake(self, horizon: int | None = None) -> int:
+        """Maximum awake stations; over the whole period when ``horizon`` is None."""
+        sets = self.period if horizon is None else [
+            self.awake_set(t) for t in range(horizon)
+        ]
+        return max((len(s) for s in sets), default=0)
+
+
+class AlwaysOnSchedule(ObliviousSchedule):
+    """Every station is on in every round (the uncapped classical model)."""
+
+    def is_awake(self, station: int, round_no: int) -> bool:
+        return True

@@ -1,0 +1,13 @@
+"""Performance metrics: queue sizes, packet delays, energy, stability."""
+
+from .collector import DeliveryError, MetricsCollector
+from .stability import StabilityVerdict, assess_stability
+from .summary import RunSummary
+
+__all__ = [
+    "DeliveryError",
+    "MetricsCollector",
+    "RunSummary",
+    "StabilityVerdict",
+    "assess_stability",
+]

@@ -1,0 +1,88 @@
+"""Empirical stability assessment of queue-size trajectories.
+
+A routing algorithm is *stable* against an adversary when the total queue
+size stays bounded (Section 2).  A finite simulation cannot prove
+boundedness, so we use the standard empirical proxy: fit a linear trend to
+the second half of the total-queue time series and call the run unstable
+when the queues grow at a significant per-round rate *and* keep setting
+new highs late in the run.  The thresholds are deliberately conservative
+so that genuinely stable algorithms whose queues plateau at a large
+constant are not misclassified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["StabilityVerdict", "assess_stability"]
+
+
+@dataclass(frozen=True, slots=True)
+class StabilityVerdict:
+    """Outcome of the queue-growth analysis of one run."""
+
+    stable: bool
+    growth_rate: float
+    tail_mean: float
+    head_mean: float
+    peak: int
+
+    @property
+    def drifting(self) -> bool:
+        """True when the tail of the run is markedly higher than its middle."""
+        if self.head_mean <= 0:
+            return self.tail_mean > 0 and self.growth_rate > 0
+        return self.tail_mean / self.head_mean > 1.5
+
+
+def assess_stability(
+    queue_series: np.ndarray,
+    *,
+    growth_tolerance: float = 0.01,
+    min_rounds: int = 32,
+) -> StabilityVerdict:
+    """Classify a total-queue time series as stable or unstable.
+
+    Parameters
+    ----------
+    queue_series:
+        Per-round total queue sizes.
+    growth_tolerance:
+        Maximum per-round growth rate (packets/round, from a least-squares
+        fit over the second half of the series) still considered stable.
+    min_rounds:
+        Series shorter than this are always considered stable (not enough
+        evidence of divergence).
+    """
+    series = np.asarray(queue_series, dtype=np.float64)
+    if series.size == 0:
+        return StabilityVerdict(True, 0.0, 0.0, 0.0, 0)
+    peak = int(series.max())
+    if series.size < min_rounds:
+        return StabilityVerdict(True, 0.0, float(series.mean()), float(series.mean()), peak)
+
+    half = series.size // 2
+    tail = series[half:]
+    # Middle quarter: rounds [1/4, 1/2) — after warm-up, before the tail.
+    head = series[series.size // 4 : half]
+    if head.size == 0:
+        head = series[:half]
+
+    x = np.arange(tail.size, dtype=np.float64)
+    slope = float(np.polyfit(x, tail, deg=1)[0]) if tail.size >= 2 else 0.0
+
+    tail_mean = float(tail.mean())
+    head_mean = float(head.mean())
+
+    growing = slope > growth_tolerance
+    drifting_up = tail_mean > head_mean + max(1.0, 0.25 * max(head_mean, 1.0))
+    stable = not (growing and drifting_up)
+    return StabilityVerdict(
+        stable=stable,
+        growth_rate=slope,
+        tail_mean=tail_mean,
+        head_mean=head_mean,
+        peak=peak,
+    )

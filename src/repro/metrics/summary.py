@@ -1,0 +1,58 @@
+"""Run summaries: the condensed result of one simulated execution."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+__all__ = ["RunSummary"]
+
+
+@dataclass(frozen=True, slots=True)
+class RunSummary:
+    """Headline statistics of a finished simulation run.
+
+    The fields mirror the performance measures used in the paper:
+    ``max_queue`` is the queue-size measure, ``observed_latency`` the
+    latency measure (maximum delay of a delivered packet, or the age of
+    the oldest still-queued packet if that is larger), and ``stable``
+    records whether the total queue size shows no significant growth trend
+    over the run.
+    """
+
+    label: str
+    rounds: int
+    injected: int
+    delivered: int
+    max_queue: int
+    max_delay: int
+    observed_latency: int
+    mean_delay: float
+    delivery_ratio: float
+    throughput: float
+    energy_per_round: float
+    max_energy: int
+    energy_per_delivery: float
+    queue_growth_rate: float
+    stable: bool
+
+    def as_dict(self) -> dict:
+        """Plain-dict view, convenient for CSV/JSON reporting."""
+        return asdict(self)
+
+    def format_row(self) -> str:
+        """One-line human-readable rendering used by the reporting module."""
+        return (
+            f"{self.label:<38s} rounds={self.rounds:<8d} inj={self.injected:<7d} "
+            f"del={self.delivered:<7d} maxQ={self.max_queue:<7d} "
+            f"lat={self.observed_latency:<7d} E/rnd={self.energy_per_round:5.2f} "
+            f"growth={self.queue_growth_rate:+7.4f} "
+            f"{'STABLE' if self.stable else 'UNSTABLE'}"
+        )
+
+    @staticmethod
+    def header() -> str:
+        """Column header matching :meth:`format_row`."""
+        return (
+            f"{'run':<38s} {'rounds':<15s} {'injected':<11s} {'delivered':<11s} "
+            f"{'max queue':<12s} {'latency':<11s} {'energy':<10s} {'growth':<13s} verdict"
+        )

@@ -1,0 +1,13 @@
+"""Prior-work protocols the paper builds on: RRW, OF-RRW [3, 18] and MBTF [17]."""
+
+from .mbtf import MoveBigToFront
+from .rrw import OldFirstRoundRobinWithholding, RoundRobinWithholding
+from .token_ring import MoveBigToFrontReplica, TokenRingReplica
+
+__all__ = [
+    "MoveBigToFront",
+    "MoveBigToFrontReplica",
+    "OldFirstRoundRobinWithholding",
+    "RoundRobinWithholding",
+    "TokenRingReplica",
+]

@@ -1,0 +1,86 @@
+"""Move-Big-To-Front (MBTF) broadcast protocol (prior work [17]).
+
+MBTF is the throughput-1 broadcast algorithm of Chlebus, Kowalski and
+Rokicki for the uncapped multiple access channel.  The paper uses it in
+two roles: as the per-thread sub-protocol of k-Subsets (Section 6) and,
+conceptually, as the ancestor of Orchestra's baton mechanism.  We provide
+it both as a reusable in-group engine (via
+:class:`~repro.protocols.token_ring.MoveBigToFrontReplica`) and as a
+standalone uncapped baseline algorithm.
+
+Protocol sketch: stations keep a shared ordered list (initially by name).
+A conceptual token moves down the list; the holder transmits one queued
+packet per round while it has any, and a silent round passes the token
+on.  A station whose queue size reaches the *big* threshold (``n``, the
+number of participants) sets a control bit in its transmissions; hearing
+that bit, every station moves the sender to the front of its list copy
+and hands it the token, so a backlogged station can transmit every round
+until it drains — which is what yields stability at injection rate 1.
+"""
+
+from __future__ import annotations
+
+from ..channel.feedback import Feedback
+from ..channel.message import Message
+from ..core.algorithm import AlgorithmProperties, RoutingAlgorithm
+from ..core.controller import QueueingController
+from ..core.registry import register_algorithm
+from ..core.schedule import AlwaysOnSchedule, ObliviousSchedule
+from .token_ring import MoveBigToFrontReplica
+
+__all__ = ["MoveBigToFront"]
+
+
+class _MBTFController(QueueingController):
+    """Per-station controller of the uncapped MBTF baseline."""
+
+    def __init__(self, station_id: int, n: int, big_threshold: int | None = None) -> None:
+        super().__init__(station_id, n)
+        self.replica = MoveBigToFrontReplica(list(range(n)))
+        self.big_threshold = big_threshold if big_threshold is not None else n
+
+    def wakes(self, round_no: int) -> bool:
+        return True
+
+    def act(self, round_no: int) -> Message | None:
+        if self.replica.holder != self.station_id:
+            return None
+        packet = self.queue.peek_any()
+        if packet is None:
+            return None
+        control = {}
+        if len(self.queue) >= self.big_threshold:
+            control[MoveBigToFrontReplica.BIG_FLAG] = True
+        return self.transmit(packet, control=control)
+
+    def after_feedback(self, round_no: int, feedback: Feedback) -> None:
+        self.replica.observe(feedback.outcome, feedback.message)
+
+
+@register_algorithm("mbtf")
+class MoveBigToFront(RoutingAlgorithm):
+    """Uncapped MBTF baseline: stable for injection rate 1 with energy cap n."""
+
+    name = "MBTF"
+
+    def __init__(self, n: int, big_threshold: int | None = None) -> None:
+        super().__init__(n)
+        self.big_threshold = big_threshold
+
+    def build_controllers(self) -> list[_MBTFController]:
+        return [
+            _MBTFController(i, self.n, big_threshold=self.big_threshold)
+            for i in range(self.n)
+        ]
+
+    def properties(self) -> AlgorithmProperties:
+        return AlgorithmProperties(
+            name=self.name,
+            energy_cap=self.n,
+            oblivious=True,
+            direct=True,
+            plain_packet=False,
+        )
+
+    def oblivious_schedule(self) -> ObliviousSchedule:
+        return AlwaysOnSchedule(self.n)

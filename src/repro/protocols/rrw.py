@@ -1,0 +1,110 @@
+"""Round-Robin-Withholding broadcast protocols (prior work [3, 18]).
+
+``RRW`` and its old-first variant ``OF-RRW`` are the building blocks the
+paper reuses inside k-Cycle and k-Clique, and — run with every station
+switched on — they are the natural *uncapped* baselines against which the
+energy-capped algorithms are compared in the figure-style sweeps.
+
+Protocol (single shared channel, all participants awake):
+
+* a conceptual token circulates round-robin over the stations;
+* the token holder transmits its eligible packets one per round
+  (eligible = any queued packet for RRW, only *old* packets — those
+  present when the current phase began — for OF-RRW);
+* a silent round advances the token; when the token has passed every
+  station a *phase* ends and, for OF-RRW, packets queued meanwhile become
+  old.
+
+Because every station is always on, every heard packet is immediately
+delivered to its destination, so the protocols route directly.  Their
+energy cap is ``n`` — the point of the paper is to do better.
+"""
+
+from __future__ import annotations
+
+from ..channel.feedback import Feedback
+from ..channel.message import Message
+from ..core.algorithm import AlgorithmProperties, RoutingAlgorithm
+from ..core.controller import QueueingController
+from ..core.registry import register_algorithm
+from ..core.schedule import AlwaysOnSchedule, ObliviousSchedule
+from .token_ring import TokenRingReplica
+
+__all__ = ["RoundRobinWithholding", "OldFirstRoundRobinWithholding"]
+
+
+class _RRWController(QueueingController):
+    """Per-station controller for the uncapped RRW / OF-RRW baselines."""
+
+    def __init__(self, station_id: int, n: int, old_first: bool) -> None:
+        super().__init__(station_id, n)
+        self.old_first = old_first
+        self.replica = TokenRingReplica(list(range(n)))
+        if not old_first:
+            # Plain RRW has no aging: treat every packet as immediately old.
+            self.queue.age_all()
+
+    def wakes(self, round_no: int) -> bool:
+        return True
+
+    def _eligible(self):
+        if self.old_first:
+            return self.queue.peek_old()
+        return self.queue.peek_any()
+
+    def act(self, round_no: int) -> Message | None:
+        if self.replica.holder != self.station_id:
+            return None
+        packet = self._eligible()
+        if packet is None:
+            return None
+        return self.transmit(packet)
+
+    def on_inject(self, round_no: int, packet) -> None:
+        super().on_inject(round_no, packet)
+        if not self.old_first:
+            self.queue.age_all()
+
+    def after_feedback(self, round_no: int, feedback: Feedback) -> None:
+        phase_done = self.replica.observe(feedback.outcome)
+        if phase_done and self.old_first:
+            self.queue.age_all()
+
+
+class _RRWBase(RoutingAlgorithm):
+    """Shared scaffolding of the two withholding baselines."""
+
+    old_first: bool = False
+
+    def build_controllers(self) -> list[_RRWController]:
+        return [
+            _RRWController(i, self.n, old_first=self.old_first) for i in range(self.n)
+        ]
+
+    def properties(self) -> AlgorithmProperties:
+        return AlgorithmProperties(
+            name=self.name,
+            energy_cap=self.n,
+            oblivious=True,
+            direct=True,
+            plain_packet=True,
+        )
+
+    def oblivious_schedule(self) -> ObliviousSchedule:
+        return AlwaysOnSchedule(self.n)
+
+
+@register_algorithm("rrw")
+class RoundRobinWithholding(_RRWBase):
+    """RRW [18]: token round-robin, holder drains its whole queue."""
+
+    name = "RRW"
+    old_first = False
+
+
+@register_algorithm("of-rrw")
+class OldFirstRoundRobinWithholding(_RRWBase):
+    """OF-RRW [3]: token round-robin, holder drains only its *old* packets."""
+
+    name = "OF-RRW"
+    old_first = True

@@ -1,0 +1,115 @@
+"""Feedback-driven token consensus.
+
+The round-robin withholding protocols of prior work (RRW, OF-RRW [3, 18])
+and the in-group sub-protocols of k-Cycle and k-Clique all rely on a
+*conceptual token* circulating among a set of stations.  The token is not
+a message: every participating station infers its position purely from
+the shared channel feedback — a silent round means the holder had nothing
+to send, so the token advances; a heard message means the holder keeps it.
+Because all participants hear the same feedback whenever they are awake
+together, their replicas of the token state evolve identically.
+
+Similarly, Move-Big-To-Front (MBTF [17]) maintains a shared ordered list
+of stations that is updated deterministically from heard control bits, so
+each participant can keep an identical private replica.
+"""
+
+from __future__ import annotations
+
+from ..channel.feedback import ChannelOutcome
+from ..channel.message import Message
+
+__all__ = ["TokenRingReplica", "MoveBigToFrontReplica"]
+
+
+class TokenRingReplica:
+    """Replica of the round-robin token state shared by a group of stations.
+
+    Parameters
+    ----------
+    members:
+        Station names in the group's cyclic order.  The token starts at
+        ``members[0]``.
+    """
+
+    def __init__(self, members: list[int]) -> None:
+        if not members:
+            raise ValueError("a token group needs at least one member")
+        if len(set(members)) != len(members):
+            raise ValueError("group members must be distinct")
+        self.members = list(members)
+        self.token_pos = 0
+        self.advancements = 0
+        self.phase_no = 0
+
+    @property
+    def holder(self) -> int:
+        """The station currently holding the token."""
+        return self.members[self.token_pos]
+
+    def observe(self, outcome: ChannelOutcome) -> bool:
+        """Update the replica with this round's channel outcome.
+
+        Returns True when the token completed a full cycle this round,
+        i.e. a *phase* of the group's protocol ended.
+        """
+        if outcome is ChannelOutcome.SILENCE:
+            return self._advance()
+        # A heard message keeps the token with its holder; collisions do
+        # not occur in the withholding protocols (only the holder may
+        # transmit), but if one did the conservative choice is to keep
+        # the token where it is so that replicas stay consistent.
+        return False
+
+    def _advance(self) -> bool:
+        self.token_pos = (self.token_pos + 1) % len(self.members)
+        self.advancements += 1
+        if self.advancements >= len(self.members):
+            self.advancements = 0
+            self.phase_no += 1
+            return True
+        return False
+
+
+class MoveBigToFrontReplica:
+    """Replica of the MBTF station list and token position.
+
+    The list starts in name order.  The token holder transmits while it
+    has packets; a silent round advances the token to the next station in
+    the current list order.  When a heard message carries the ``big``
+    control bit, its sender is moved to the front of the list and receives
+    the token, so that a heavily loaded station can transmit for long
+    stretches without wasting rounds.
+    """
+
+    BIG_FLAG = "big"
+
+    def __init__(self, members: list[int]) -> None:
+        if not members:
+            raise ValueError("MBTF needs at least one member")
+        if len(set(members)) != len(members):
+            raise ValueError("group members must be distinct")
+        self.order = list(members)
+        self.token_pos = 0
+
+    @property
+    def holder(self) -> int:
+        """The station currently expected to transmit."""
+        return self.order[self.token_pos]
+
+    def observe(self, outcome: ChannelOutcome, message: Message | None) -> None:
+        """Update the replica with this round's outcome (and heard message)."""
+        if outcome is ChannelOutcome.SILENCE:
+            self.token_pos = (self.token_pos + 1) % len(self.order)
+            return
+        if outcome is ChannelOutcome.HEARD and message is not None:
+            if message.control.get(self.BIG_FLAG):
+                self._move_to_front(message.sender)
+            # Otherwise the holder keeps the token.
+
+    def _move_to_front(self, station: int) -> None:
+        if station not in self.order:
+            return
+        self.order.remove(station)
+        self.order.insert(0, station)
+        self.token_pos = 0

@@ -1,0 +1,13 @@
+"""Simulation harness: runner, parameter sweeps, experiments and reporting."""
+
+from .runner import RunResult, run_simulation, worst_case_over
+from .sweep import SweepPoint, SweepSeries, sweep
+
+__all__ = [
+    "RunResult",
+    "SweepPoint",
+    "SweepSeries",
+    "run_simulation",
+    "sweep",
+    "worst_case_over",
+]

@@ -1,0 +1,88 @@
+"""Plain-text and CSV reporting of runs, sweeps and experiments."""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable
+
+from ..metrics.summary import RunSummary
+from .runner import RunResult
+from .sweep import SweepSeries
+
+__all__ = [
+    "summaries_table",
+    "sweep_table",
+    "series_to_csv",
+    "write_csv",
+    "queue_trajectory_sparkline",
+]
+
+
+def summaries_table(results: Iterable[RunResult]) -> str:
+    """Render a list of runs as an aligned text table."""
+    lines = [RunSummary.header()]
+    for result in results:
+        lines.append(result.summary.format_row())
+    return "\n".join(lines)
+
+
+def sweep_table(series: SweepSeries) -> str:
+    """Render one sweep series as an aligned text table."""
+    header = (
+        f"{series.parameter:>10s}  {'latency':>10s}  {'max queue':>10s}  "
+        f"{'E/round':>8s}  verdict"
+    )
+    lines = [f"series: {series.name}", header, "-" * len(header)]
+    for point in series.points:
+        lines.append(
+            f"{point.value:>10.4g}  {point.latency:>10d}  {point.max_queue:>10d}  "
+            f"{point.energy_per_round:>8.2f}  {'stable' if point.stable else 'UNSTABLE'}"
+        )
+    return "\n".join(lines)
+
+
+def series_to_csv(series_map: dict[str, SweepSeries]) -> str:
+    """Serialise a dict of sweep series (one figure) to CSV text."""
+    buffer = io.StringIO()
+    fieldnames: list[str] = []
+    rows: list[dict] = []
+    for series in series_map.values():
+        for row in series.as_rows():
+            rows.append(row)
+            for key in row:
+                if key not in fieldnames:
+                    fieldnames.append(key)
+    writer = csv.DictWriter(buffer, fieldnames=fieldnames)
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def write_csv(series_map: dict[str, SweepSeries], path: str | Path) -> Path:
+    """Write a figure's sweep series to a CSV file and return its path."""
+    path = Path(path)
+    path.write_text(series_to_csv(series_map))
+    return path
+
+
+_SPARK_CHARS = " .:-=+*#%@"
+
+
+def queue_trajectory_sparkline(result: RunResult, width: int = 72) -> str:
+    """A terminal-friendly sparkline of the total queue-size trajectory."""
+    series = result.collector.total_queue_series
+    if not series:
+        return "(empty run)"
+    bucket = max(1, len(series) // width)
+    buckets = [
+        max(series[i : i + bucket]) for i in range(0, len(series), bucket)
+    ]
+    peak = max(buckets) or 1
+    chars = [
+        _SPARK_CHARS[min(len(_SPARK_CHARS) - 1, int(v / peak * (len(_SPARK_CHARS) - 1)))]
+        for v in buckets
+    ]
+    return "".join(chars) + f"   (peak {peak})"

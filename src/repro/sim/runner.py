@@ -1,0 +1,138 @@
+"""Simulation runner: wire an algorithm, an adversary and the engine together."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from ..adversary.base import Adversary
+from ..channel.energy import EnergyReport
+from ..channel.engine import EngineConfig, RoundEngine
+from ..channel.events import ExecutionTrace
+from ..channel.packet import PacketFactory
+from ..core.algorithm import RoutingAlgorithm
+from ..metrics.collector import MetricsCollector
+from ..metrics.summary import RunSummary
+
+__all__ = ["RunResult", "run_simulation", "worst_case_over"]
+
+
+@dataclass(slots=True)
+class RunResult:
+    """Everything produced by one simulated execution."""
+
+    algorithm: str
+    adversary: str
+    n: int
+    rounds: int
+    summary: RunSummary
+    collector: MetricsCollector
+    energy: EnergyReport
+    trace: ExecutionTrace | None = None
+
+    @property
+    def max_queue(self) -> int:
+        return self.summary.max_queue
+
+    @property
+    def latency(self) -> int:
+        return self.summary.observed_latency
+
+    @property
+    def stable(self) -> bool:
+        return self.summary.stable
+
+
+def run_simulation(
+    algorithm: RoutingAlgorithm,
+    adversary: Adversary,
+    rounds: int,
+    *,
+    enforce_energy_cap: bool = True,
+    energy_cap: int | None = None,
+    record_trace: bool = False,
+    label: str | None = None,
+) -> RunResult:
+    """Simulate ``rounds`` rounds of ``algorithm`` against ``adversary``.
+
+    Parameters
+    ----------
+    algorithm:
+        A concrete :class:`RoutingAlgorithm` instance (defines ``n``).
+    adversary:
+        The packet-injection adversary; it is bound to the algorithm's
+        system size if not bound already.
+    rounds:
+        Number of rounds to simulate.
+    enforce_energy_cap:
+        When True (default) the engine raises if the algorithm ever wakes
+        more stations than its declared energy cap — a correctness check.
+        Set to False for experiments that merely *measure* energy.
+    energy_cap:
+        Override of the cap to enforce/record; defaults to the
+        algorithm's own declared cap.
+    record_trace:
+        Keep the full round-by-round execution trace (memory heavy).
+    label:
+        Label stored in the resulting summary; defaults to a description
+        of the configuration.
+    """
+    if rounds < 1:
+        raise ValueError("rounds must be positive")
+    controllers = algorithm.build_controllers()
+    if adversary.n is None:
+        adversary.bind(algorithm.n, PacketFactory())
+    elif adversary.n != algorithm.n:
+        raise ValueError(
+            f"adversary bound to n={adversary.n} but algorithm has n={algorithm.n}"
+        )
+    collector = MetricsCollector()
+    cap = energy_cap if energy_cap is not None else algorithm.energy_cap
+    config = EngineConfig(
+        energy_cap=cap,
+        enforce_energy_cap=enforce_energy_cap,
+        record_trace=record_trace,
+    )
+    engine = RoundEngine(controllers, adversary, collector=collector, config=config)
+    engine.run(rounds)
+    run_label = label or f"{algorithm.describe()} vs {adversary.describe()}"
+    return RunResult(
+        algorithm=algorithm.describe(),
+        adversary=adversary.describe(),
+        n=algorithm.n,
+        rounds=rounds,
+        summary=collector.summary(run_label),
+        collector=collector,
+        energy=engine.energy.report(),
+        trace=engine.trace,
+    )
+
+
+def worst_case_over(
+    algorithm_factory: Callable[[], RoutingAlgorithm],
+    adversary_factories: Sequence[Callable[[], Adversary]],
+    rounds: int,
+    *,
+    enforce_energy_cap: bool = True,
+) -> tuple[RunResult, list[RunResult]]:
+    """Run one fresh algorithm instance against each adversary in a family.
+
+    Returns the worst run (by observed latency, then max queue) and the
+    full list of per-adversary results.  The paper's bounds are worst-case
+    statements, so measured values reported in EXPERIMENTS.md are maxima
+    over an adversary family.
+    """
+    results: list[RunResult] = []
+    for factory in adversary_factories:
+        algorithm = algorithm_factory()
+        adversary = factory()
+        results.append(
+            run_simulation(
+                algorithm,
+                adversary,
+                rounds,
+                enforce_energy_cap=enforce_energy_cap,
+            )
+        )
+    worst = max(results, key=lambda r: (r.latency, r.max_queue))
+    return worst, results

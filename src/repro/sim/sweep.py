@@ -1,0 +1,113 @@
+"""Parameter sweeps producing figure-style series.
+
+The arXiv version of the paper reports its results as worst-case bounds
+(Table 1); the simulation sections of such papers typically plot latency
+and queue size against injection rate, system size or energy cap.  The
+sweep helpers here produce exactly those series so the benchmark harness
+can regenerate them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..adversary.base import Adversary
+from ..core.algorithm import RoutingAlgorithm
+from .runner import RunResult, run_simulation
+
+__all__ = ["SweepPoint", "SweepSeries", "sweep"]
+
+
+@dataclass(slots=True)
+class SweepPoint:
+    """One point of a sweep: the swept value and the run it produced."""
+
+    value: float
+    result: RunResult
+
+    @property
+    def latency(self) -> int:
+        return self.result.latency
+
+    @property
+    def max_queue(self) -> int:
+        return self.result.max_queue
+
+    @property
+    def stable(self) -> bool:
+        return self.result.stable
+
+    @property
+    def energy_per_round(self) -> float:
+        return self.result.summary.energy_per_round
+
+
+@dataclass(slots=True)
+class SweepSeries:
+    """A named series of sweep points (one curve of a figure)."""
+
+    name: str
+    parameter: str
+    points: list[SweepPoint] = field(default_factory=list)
+
+    def values(self) -> list[float]:
+        return [p.value for p in self.points]
+
+    def latencies(self) -> list[int]:
+        return [p.latency for p in self.points]
+
+    def max_queues(self) -> list[int]:
+        return [p.max_queue for p in self.points]
+
+    def stabilities(self) -> list[bool]:
+        return [p.stable for p in self.points]
+
+    def energies(self) -> list[float]:
+        return [p.energy_per_round for p in self.points]
+
+    def as_rows(self) -> list[dict]:
+        """Rows suitable for CSV export / text rendering."""
+        return [
+            {
+                "series": self.name,
+                self.parameter: p.value,
+                "latency": p.latency,
+                "max_queue": p.max_queue,
+                "energy_per_round": round(p.energy_per_round, 3),
+                "stable": p.stable,
+            }
+            for p in self.points
+        ]
+
+
+def sweep(
+    name: str,
+    parameter: str,
+    values: Sequence[float],
+    algorithm_factory: Callable[[float], RoutingAlgorithm],
+    adversary_factory: Callable[[float], Adversary],
+    rounds: int | Callable[[float], int],
+    *,
+    enforce_energy_cap: bool = True,
+) -> SweepSeries:
+    """Run one simulation per swept value and collect the results.
+
+    ``algorithm_factory`` and ``adversary_factory`` receive the swept
+    value; ``rounds`` may be a constant or a function of the value (larger
+    systems typically need longer runs).
+    """
+    series = SweepSeries(name=name, parameter=parameter)
+    for value in values:
+        algorithm = algorithm_factory(value)
+        adversary = adversary_factory(value)
+        run_rounds = rounds(value) if callable(rounds) else rounds
+        result = run_simulation(
+            algorithm,
+            adversary,
+            run_rounds,
+            enforce_energy_cap=enforce_energy_cap,
+            label=f"{name}[{parameter}={value}]",
+        )
+        series.points.append(SweepPoint(value=value, result=result))
+    return series

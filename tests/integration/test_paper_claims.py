@@ -1,0 +1,138 @@
+"""Integration tests reproducing the paper's headline claims (Table 1 + theorems).
+
+These are scaled-down versions of the benchmark experiments: small systems
+and short runs, but the same qualitative assertions — stability where the
+paper proves stability, divergence where it proves impossibility, and
+measured values within the proven bounds where a closed-form bound exists.
+"""
+
+import pytest
+
+from repro.adversary import (
+    LeastOnPairAdversary,
+    LeastOnStationAdversary,
+    SaturatingAdversary,
+    SingleSourceSprayAdversary,
+    SingleTargetAdversary,
+)
+from repro.algorithms import CountHop, KClique, KCycle, KSubsets, Orchestra
+from repro.analysis import bounds
+from repro.sim import run_simulation
+from repro.sim.experiments import (
+    experiment_cap2_impossibility,
+    experiment_count_hop_latency,
+    experiment_k_cycle_latency,
+    experiment_k_subsets_stability,
+    experiment_oblivious_direct_impossibility,
+    experiment_oblivious_impossibility,
+    experiment_orchestra_queue,
+)
+
+
+class TestTheorem1Orchestra:
+    def test_queue_bound_at_rate_one(self):
+        n, beta = 5, 2.0
+        result = run_simulation(Orchestra(n), SaturatingAdversary(1.0, beta), 4000)
+        assert result.stable
+        assert result.max_queue <= bounds.orchestra_queue_bound(n, beta)
+
+    def test_experiment_entry_point(self):
+        outcome = experiment_orchestra_queue(n=5, rounds=2500)
+        assert outcome.shape_ok
+        assert outcome.measured["max_queue"] <= outcome.paper["queue_bound"]
+
+
+class TestTheorem2Cap2Impossibility:
+    def test_count_hop_diverges_at_rate_one(self):
+        result = run_simulation(CountHop(5), SaturatingAdversary(1.0, 1.0), 5000)
+        assert not result.stable
+        assert result.max_queue > 100
+
+    def test_experiment_entry_point(self):
+        outcome = experiment_cap2_impossibility(n=5, rounds=4000)
+        assert outcome.shape_ok
+
+    def test_orchestra_with_cap3_beats_the_cap2_limit(self):
+        """The contrast that motivates the energy cap 3: same traffic, cap 3 is stable."""
+        adversary = SaturatingAdversary(1.0, 1.0)
+        orchestra = run_simulation(Orchestra(5), SaturatingAdversary(1.0, 1.0), 5000)
+        count_hop = run_simulation(CountHop(5), adversary, 5000)
+        assert orchestra.stable and not count_hop.stable
+
+
+class TestTheorem3CountHop:
+    def test_universal_stability(self):
+        for rho in (0.3, 0.7):
+            result = run_simulation(CountHop(5), SingleSourceSprayAdversary(rho, 2.0), 5000)
+            assert result.stable
+
+    def test_experiment_entry_point(self):
+        outcome = experiment_count_hop_latency(n=5, rho=0.5, rounds=4000)
+        assert outcome.shape_ok
+
+
+class TestTheorem5KCycle:
+    def test_stable_below_threshold_unstable_above_kn(self):
+        n, k = 9, 3
+        below = 0.6 * bounds.k_cycle_rate_threshold(n, k)
+        stable_run = run_simulation(KCycle(n, k), SingleTargetAdversary(below, 1.0), 8000)
+        assert stable_run.stable
+        above = min(1.0, 1.6 * bounds.oblivious_rate_upper_bound(n, k))
+        schedule = KCycle(n, k).oblivious_schedule()
+        adversary = LeastOnStationAdversary(above, 1.0, schedule, horizon=schedule.period_length)
+        unstable_run = run_simulation(KCycle(n, k), adversary, 8000)
+        assert not unstable_run.stable
+
+    def test_latency_bound(self):
+        outcome = experiment_k_cycle_latency(n=7, k=3, rounds=6000)
+        assert outcome.shape_ok
+        assert outcome.measured["max_latency"] <= bounds.k_cycle_latency_bound(7, 2.0)
+
+    def test_experiment_impossibility_entry_point(self):
+        outcome = experiment_oblivious_impossibility(n=6, k=2, rounds=6000)
+        assert outcome.shape_ok
+
+
+class TestTheorem7KClique:
+    def test_bounded_latency_below_threshold(self):
+        n, k = 6, 2
+        rho = 0.8 * bounds.k_clique_latency_rate_threshold(n, k)
+        result = run_simulation(KClique(n, k), SingleTargetAdversary(rho, 2.0), 12000)
+        assert result.stable
+        assert result.latency <= 2 * bounds.k_clique_latency_bound(n, k, 2.0)
+
+
+class TestTheorems8And9KSubsets:
+    def test_stable_at_exact_threshold(self):
+        outcome = experiment_k_subsets_stability(n=5, k=2, rounds=8000)
+        assert outcome.shape_ok
+
+    def test_unstable_above_threshold(self):
+        outcome = experiment_oblivious_direct_impossibility(n=5, k=2, rounds=10000)
+        assert outcome.shape_ok
+
+    def test_least_on_pair_adversary_beats_k_clique(self):
+        n, k = 6, 2
+        rho = min(1.0, 3.0 * bounds.oblivious_direct_rate_upper_bound(n, k))
+        algo = KClique(n, k)
+        adversary = LeastOnPairAdversary(
+            rho, 1.0, algo.oblivious_schedule(), horizon=algo.num_pairs
+        )
+        result = run_simulation(KClique(n, k), adversary, 10000)
+        assert not result.stable
+
+
+class TestEnergyLatencyTradeoffShape:
+    """More energy (larger k) buys lower latency for the oblivious algorithms."""
+
+    @pytest.mark.slow
+    def test_k_cycle_latency_improves_with_k(self):
+        n, beta = 13, 1.0
+        latencies = {}
+        for k in (3, 6):
+            rho = 0.4 * bounds.k_cycle_rate_threshold(n, k)
+            result = run_simulation(
+                KCycle(n, k), SingleSourceSprayAdversary(rho, beta), 12000
+            )
+            latencies[k] = result.latency
+        assert latencies[6] <= latencies[3] * 1.5

@@ -1,0 +1,122 @@
+"""Property-based tests of the channel engine's physics.
+
+Random scripted wake/transmit patterns must always satisfy the model of
+Section 2: a message is heard iff exactly one station transmits, a packet
+is delivered iff it is heard while its destination is awake, energy equals
+the number of awake stations, and the collector's exactly-once accounting
+never trips.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary import NoInjectionAdversary
+from repro.channel.engine import EngineConfig, RoundEngine
+from repro.channel.feedback import ChannelOutcome
+from repro.channel.message import Message
+from repro.channel.packet import Packet
+from repro.channel.station import StationController
+from repro.metrics.collector import MetricsCollector
+
+
+class _RandomScriptController(StationController):
+    """Wakes and transmits according to a pre-drawn random script.
+
+    Transmitted packets are registered with the collector at creation so
+    that the engine's delivery bookkeeping (which requires every delivered
+    packet to have been injected) stays consistent.
+    """
+
+    def __init__(self, station_id, n, awake_script, transmit_script, collector):
+        super().__init__(station_id, n)
+        self.awake_script = awake_script
+        self.transmit_script = transmit_script
+        self.collector = collector
+        self.next_packet_id = station_id * 10_000
+
+    def wakes(self, round_no):
+        return self.awake_script[round_no]
+
+    def act(self, round_no):
+        dest = self.transmit_script[round_no]
+        if dest is None:
+            return None
+        packet = Packet(
+            destination=dest,
+            injected_at=round_no,
+            origin=self.station_id,
+            packet_id=self.next_packet_id,
+        )
+        self.next_packet_id += 1
+        self.collector.record_injection(packet, round_no)
+        return Message(sender=self.station_id, packet=packet)
+
+    def on_feedback(self, round_no, feedback):
+        pass
+
+    def on_inject(self, round_no, packet):
+        pass
+
+    def queued_packets(self):
+        return 0
+
+
+@st.composite
+def scripts(draw):
+    n = draw(st.integers(2, 5))
+    rounds = draw(st.integers(1, 40))
+    awake = [
+        [draw(st.booleans()) for _ in range(rounds)] for _ in range(n)
+    ]
+    transmit = []
+    for station in range(n):
+        row = []
+        for t in range(rounds):
+            if awake[station][t] and draw(st.booleans()):
+                row.append(draw(st.integers(0, n - 1)))
+            else:
+                row.append(None)
+        transmit.append(row)
+    return n, rounds, awake, transmit
+
+
+@given(script=scripts())
+@settings(max_examples=100, deadline=None)
+def test_channel_physics_invariants(script):
+    n, rounds, awake, transmit = script
+    collector = MetricsCollector()
+    controllers = [
+        _RandomScriptController(i, n, awake[i], transmit[i], collector)
+        for i in range(n)
+    ]
+    engine = RoundEngine(
+        controllers,
+        NoInjectionAdversary().bind(n),
+        collector,
+        EngineConfig(record_trace=True),
+    )
+    for t in range(rounds):
+        event = engine.step()
+        awake_expected = {i for i in range(n) if awake[i][t]}
+        transmitters_expected = {
+            i for i in awake_expected if transmit[i][t] is not None
+        }
+        # Energy equals the number of awake stations.
+        assert set(event.awake) == awake_expected
+        assert event.energy == len(awake_expected)
+        # Arbitration follows the 0/1/many rule.
+        if len(transmitters_expected) == 0:
+            assert event.outcome is ChannelOutcome.SILENCE
+        elif len(transmitters_expected) == 1:
+            assert event.outcome is ChannelOutcome.HEARD
+            assert event.message is not None
+            assert event.message.sender in transmitters_expected
+        else:
+            assert event.outcome is ChannelOutcome.COLLISION
+            assert event.message is None
+        # Delivery requires a heard packet whose destination is awake.
+        if event.delivered_packet is not None:
+            assert event.outcome is ChannelOutcome.HEARD
+            assert event.delivered_packet.destination in awake_expected
+        elif event.outcome is ChannelOutcome.HEARD and event.message.packet is not None:
+            assert event.message.packet.destination not in awake_expected

@@ -1,0 +1,75 @@
+"""Property-based tests for the leaky-bucket constraint tracker."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary.leaky_bucket import (
+    AdversaryType,
+    LeakyBucketConstraint,
+    verify_injection_record,
+)
+
+rates = st.floats(min_value=0.05, max_value=1.0, allow_nan=False, allow_infinity=False)
+bursts = st.floats(min_value=0.0, max_value=8.0, allow_nan=False, allow_infinity=False)
+
+
+@given(rho=rates, beta=bursts, decisions=st.lists(st.floats(0, 1), min_size=1, max_size=200))
+@settings(max_examples=120, deadline=None)
+def test_greedy_fractional_consumption_never_violates_envelope(rho, beta, decisions):
+    """Consuming any fraction of the online budget always yields a legal record."""
+    adversary_type = AdversaryType(rho=rho, beta=beta)
+    constraint = LeakyBucketConstraint(adversary_type)
+    counts = []
+    for fraction in decisions:
+        budget = constraint.budget()
+        count = int(budget * fraction)
+        constraint.consume(count)
+        counts.append(count)
+    assert verify_injection_record(counts, adversary_type)
+
+
+@given(rho=rates, beta=bursts, idle=st.integers(0, 50))
+@settings(max_examples=60, deadline=None)
+def test_budget_never_exceeds_single_round_burstiness(rho, beta, idle):
+    """No amount of idling accumulates more than the one-round burstiness."""
+    adversary_type = AdversaryType(rho=rho, beta=beta)
+    constraint = LeakyBucketConstraint(adversary_type)
+    for _ in range(idle):
+        constraint.consume(0)
+    assert constraint.budget() <= adversary_type.burstiness
+
+
+@given(rho=rates, beta=bursts, rounds=st.integers(1, 150))
+@settings(max_examples=60, deadline=None)
+def test_total_injections_bounded_by_window_bound(rho, beta, rounds):
+    """A maximally greedy adversary never exceeds rho * t + beta injections."""
+    adversary_type = AdversaryType(rho=rho, beta=beta)
+    constraint = LeakyBucketConstraint(adversary_type)
+    total = 0
+    for _ in range(rounds):
+        budget = constraint.budget()
+        constraint.consume(budget)
+        total += budget
+    assert total <= adversary_type.window_bound(rounds) + 1e-6
+
+
+@given(
+    rho=rates,
+    beta=bursts,
+    counts=st.lists(st.integers(0, 3), min_size=1, max_size=60),
+)
+@settings(max_examples=80, deadline=None)
+def test_online_tracker_agrees_with_reference_checker(rho, beta, counts):
+    """The O(1) tracker accepts a record iff the O(t^2) reference checker does."""
+    adversary_type = AdversaryType(rho=rho, beta=beta)
+    constraint = LeakyBucketConstraint(adversary_type)
+    online_ok = True
+    for count in counts:
+        if count > constraint.budget():
+            online_ok = False
+            break
+        constraint.consume(count)
+    reference_ok = verify_injection_record(counts, adversary_type, strict=False)
+    if online_ok:
+        assert reference_ok
+    # When the online tracker rejects, the prefix that was accepted is still legal.

@@ -1,0 +1,96 @@
+"""Property-based tests for PacketQueue invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channel.packet import Packet
+from repro.core.queues import PacketQueue
+
+
+def _packet(i: int, dest: int) -> Packet:
+    return Packet(destination=dest, injected_at=0, origin=0, packet_id=i)
+
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("push"), st.integers(0, 4)),
+        st.tuples(st.just("push_old"), st.integers(0, 4)),
+        st.tuples(st.just("age"), st.just(0)),
+        st.tuples(st.just("pop_any"), st.just(0)),
+        st.tuples(st.just("pop_old"), st.just(0)),
+        st.tuples(st.just("pop_for"), st.integers(0, 4)),
+    ),
+    max_size=120,
+)
+
+
+@given(ops=operations)
+@settings(max_examples=150, deadline=None)
+def test_counts_always_consistent(ops):
+    """old_count + new_count == len(queue) and never negative, under any op mix."""
+    queue = PacketQueue()
+    next_id = 0
+    live: set[int] = set()
+    for op, arg in ops:
+        if op == "push":
+            queue.push(_packet(next_id, arg))
+            live.add(next_id)
+            next_id += 1
+        elif op == "push_old":
+            queue.push_old(_packet(next_id, arg))
+            live.add(next_id)
+            next_id += 1
+        elif op == "age":
+            queue.age_all()
+        elif op == "pop_any" and len(queue):
+            live.discard(queue.pop_any().packet_id)
+        elif op == "pop_old" and queue.old_count:
+            live.discard(queue.pop_old().packet_id)
+        elif op == "pop_for":
+            popped = queue.pop_any_for(arg)
+            if popped is not None:
+                assert popped.destination == arg
+                live.discard(popped.packet_id)
+        assert queue.old_count + queue.new_count == len(queue)
+        assert len(queue) == len(live)
+        assert {p.packet_id for p in queue} == live
+
+
+@given(destinations=st.lists(st.integers(0, 5), min_size=1, max_size=60))
+@settings(max_examples=100, deadline=None)
+def test_per_destination_counts_sum_to_total(destinations):
+    queue = PacketQueue()
+    for i, dest in enumerate(destinations):
+        queue.push(_packet(i, dest))
+    assert sum(queue.count_for(d) for d in range(6)) == len(queue)
+    queue.age_all()
+    assert sum(queue.count_old_for(d) for d in range(6)) == len(queue)
+
+
+@given(destinations=st.lists(st.integers(0, 5), min_size=1, max_size=60))
+@settings(max_examples=100, deadline=None)
+def test_aging_preserves_fifo_order(destinations):
+    """age_all never reorders packets relative to each other."""
+    queue = PacketQueue()
+    packets = [_packet(i, dest) for i, dest in enumerate(destinations)]
+    for p in packets[: len(packets) // 2]:
+        queue.push(p)
+    queue.age_all()
+    for p in packets[len(packets) // 2 :]:
+        queue.push(p)
+    queue.age_all()
+    drained = [queue.pop_old() for _ in range(len(packets))]
+    assert drained == packets
+
+
+@given(destinations=st.lists(st.integers(0, 3), min_size=1, max_size=40),
+       target=st.integers(0, 3))
+@settings(max_examples=100, deadline=None)
+def test_peek_matches_subsequent_pop(destinations, target):
+    queue = PacketQueue()
+    for i, dest in enumerate(destinations):
+        queue.push(_packet(i, dest))
+    queue.age_all()
+    peeked = queue.peek_old_for(target)
+    popped = queue.pop_old_for(target)
+    assert peeked is popped

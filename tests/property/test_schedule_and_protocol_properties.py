@@ -1,0 +1,105 @@
+"""Property-based tests for oblivious schedules, token replicas and stability."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import KClique, KCycle, KSubsets
+from repro.channel.feedback import ChannelOutcome
+from repro.core.schedule import PeriodicSchedule
+from repro.metrics.stability import assess_stability
+from repro.protocols.token_ring import TokenRingReplica
+
+
+@st.composite
+def periodic_schedules(draw):
+    n = draw(st.integers(2, 6))
+    period = draw(st.integers(1, 12))
+    sets = [
+        draw(st.lists(st.integers(0, n - 1), max_size=n, unique=True))
+        for _ in range(period)
+    ]
+    return PeriodicSchedule(n, sets)
+
+
+@given(schedule=periodic_schedules(), horizon=st.integers(1, 60))
+@settings(max_examples=100, deadline=None)
+def test_on_fractions_bounded_and_consistent(schedule, horizon):
+    total = 0.0
+    for station in range(schedule.n):
+        fraction = schedule.on_fraction(station, horizon)
+        assert 0.0 <= fraction <= 1.0
+        total += fraction
+    # Sum of per-station on-fractions equals the average awake-set size.
+    mean_awake = np.mean([len(schedule.awake_set(t)) for t in range(horizon)])
+    assert abs(total - mean_awake) < 1e-9
+
+
+@given(schedule=periodic_schedules(), horizon=st.integers(1, 40))
+@settings(max_examples=100, deadline=None)
+def test_pair_fraction_never_exceeds_individual_fractions(schedule, horizon):
+    for a in range(schedule.n):
+        for b in range(schedule.n):
+            if a == b:
+                continue
+            pair = schedule.pair_on_fraction(a, b, horizon)
+            assert pair <= schedule.on_fraction(a, horizon) + 1e-12
+            assert pair <= schedule.on_fraction(b, horizon) + 1e-12
+
+
+@given(
+    n=st.integers(5, 10),
+    k=st.integers(2, 4),
+)
+@settings(max_examples=40, deadline=None)
+def test_oblivious_algorithm_schedules_respect_cap(n, k):
+    """Published schedules of the oblivious algorithms never exceed their cap."""
+    if k >= n:
+        return
+    for algo in (KCycle(n, k), KClique(n, k)):
+        schedule = algo.oblivious_schedule()
+        assert schedule.max_awake(schedule.period_length) <= algo.energy_cap
+    if __import__("math").comb(n, k) <= 400:
+        algo = KSubsets(n, k)
+        schedule = algo.oblivious_schedule()
+        assert schedule.max_awake(schedule.period_length) <= algo.energy_cap == k
+
+
+@given(
+    members=st.lists(st.integers(0, 20), min_size=1, max_size=8, unique=True),
+    outcomes=st.lists(st.sampled_from([ChannelOutcome.SILENCE, ChannelOutcome.HEARD]),
+                      max_size=100),
+)
+@settings(max_examples=120, deadline=None)
+def test_token_replicas_with_identical_feedback_agree(members, outcomes):
+    """Any two replicas fed the same outcome sequence agree on holder and phase."""
+    a, b = TokenRingReplica(list(members)), TokenRingReplica(list(members))
+    silences = 0
+    for outcome in outcomes:
+        a.observe(outcome)
+        b.observe(outcome)
+        if outcome is ChannelOutcome.SILENCE:
+            silences += 1
+        assert a.holder == b.holder
+        assert a.phase_no == b.phase_no
+    # Phase count equals the number of completed token cycles.
+    assert a.phase_no == silences // len(members)
+
+
+@given(
+    level=st.integers(0, 500),
+    noise=st.integers(0, 10),
+    length=st.integers(64, 400),
+)
+@settings(max_examples=80, deadline=None)
+def test_bounded_series_always_classified_stable(level, noise, length):
+    rng = np.random.default_rng(0)
+    series = level + rng.integers(0, noise + 1, size=length)
+    assert assess_stability(series).stable
+
+
+@given(slope=st.floats(0.5, 5.0), length=st.integers(100, 400))
+@settings(max_examples=60, deadline=None)
+def test_linearly_growing_series_always_classified_unstable(slope, length):
+    series = slope * np.arange(length)
+    assert not assess_stability(series).stable

@@ -1,0 +1,123 @@
+"""Unit tests for the analytical bounds, admissibility regimes and Table 1 data."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    Regime,
+    TABLE1_ROWS,
+    bounds,
+    classify_rate,
+    paper_row_for,
+    render_comparison,
+)
+
+
+class TestBounds:
+    def test_orchestra_queue_bound(self):
+        assert bounds.orchestra_queue_bound(10, 5) == 2005
+
+    def test_count_hop_latency_bound(self):
+        assert bounds.count_hop_latency_bound(5, 0.5, 2) == pytest.approx(108.0)
+        assert math.isinf(bounds.count_hop_latency_bound(5, 1.0, 2))
+
+    def test_count_hop_bound_diverges_near_rate_one(self):
+        low = bounds.count_hop_latency_bound(5, 0.5, 1)
+        high = bounds.count_hop_latency_bound(5, 0.99, 1)
+        assert high > 10 * low
+
+    def test_adjust_window_bound_polynomially_larger_than_count_hop(self):
+        n = 64
+        assert bounds.adjust_window_latency_bound(n, 0.5, 1) > 10 * bounds.count_hop_latency_bound(n, 0.5, 1)
+
+    def test_k_cycle_thresholds_and_bound(self):
+        assert bounds.k_cycle_rate_threshold(10, 4) == pytest.approx(3 / 9)
+        assert bounds.k_cycle_latency_bound(10, 2) == pytest.approx(340)
+        assert bounds.oblivious_rate_upper_bound(10, 4) == pytest.approx(0.4)
+        assert bounds.k_cycle_rate_threshold(10, 4) < bounds.oblivious_rate_upper_bound(10, 4)
+
+    def test_k_clique_thresholds_and_bound(self):
+        n, k = 8, 4
+        assert bounds.k_clique_rate_threshold(n, k) == pytest.approx(16 / (8 * 12))
+        assert bounds.k_clique_latency_rate_threshold(n, k) == pytest.approx(
+            bounds.k_clique_rate_threshold(n, k) / 2
+        )
+        assert bounds.k_clique_latency_bound(n, k, 2) == pytest.approx(
+            8 * (64 / 4) * (1 + 2 / 8)
+        )
+
+    def test_k_subsets_threshold_matches_impossibility(self):
+        n, k = 7, 3
+        assert bounds.k_subsets_rate_threshold(n, k) == pytest.approx(
+            bounds.oblivious_direct_rate_upper_bound(n, k)
+        )
+
+    def test_k_subsets_queue_bound(self):
+        assert bounds.k_subsets_queue_bound(5, 2, 1) == 2 * 10 * 26
+
+    def test_latency_bounds_grow_with_n(self):
+        for fn in (
+            lambda n: bounds.count_hop_latency_bound(n, 0.5, 1),
+            lambda n: bounds.adjust_window_latency_bound(n, 0.5, 1),
+            lambda n: bounds.k_cycle_latency_bound(n, 1),
+            lambda n: bounds.k_clique_latency_bound(n, 2, 1),
+        ):
+            assert fn(20) > fn(10)
+
+    def test_oblivious_thresholds_grow_with_k(self):
+        assert bounds.oblivious_rate_upper_bound(10, 5) > bounds.oblivious_rate_upper_bound(10, 2)
+        assert bounds.oblivious_direct_rate_upper_bound(10, 5) > bounds.oblivious_direct_rate_upper_bound(10, 2)
+
+
+class TestAdmissibility:
+    def test_universal_algorithms_cover_everything_below_one(self):
+        for name in ("count-hop", "adjust-window"):
+            assert classify_rate(name, 8, None, 0.95).regime is Regime.COVERED
+
+    def test_orchestra_covers_rate_one(self):
+        assert classify_rate("orchestra", 8, None, 1.0).regime is Regime.COVERED
+
+    def test_k_cycle_regimes(self):
+        n, k = 10, 4
+        below = 0.5 * bounds.k_cycle_rate_threshold(n, k)
+        between = 0.38  # between (k-1)/(n-1) = 1/3 and k/n = 0.4
+        above = 0.6
+        assert classify_rate("k-cycle", n, k, below).regime is Regime.COVERED
+        assert classify_rate("k-cycle", n, k, between).regime is Regime.UNCHARTED
+        assert classify_rate("k-cycle", n, k, above).regime is Regime.IMPOSSIBLE
+
+    def test_k_subsets_has_no_uncharted_gap(self):
+        n, k = 6, 3
+        threshold = bounds.k_subsets_rate_threshold(n, k)
+        assert classify_rate("k-subsets", n, k, threshold * 0.9).regime is Regime.COVERED
+        assert classify_rate("k-subsets", n, k, threshold * 1.1).regime is Regime.IMPOSSIBLE
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(KeyError):
+            classify_rate("nope", 5, 2, 0.5)
+
+
+class TestTable1:
+    def test_all_nine_rows_present(self):
+        assert len(TABLE1_ROWS) == 9
+        keys = {row.key for row in TABLE1_ROWS}
+        assert {"orchestra", "count-hop", "adjust-window", "k-cycle",
+                "k-clique", "k-subsets"} <= keys
+        assert sum(1 for row in TABLE1_ROWS if row.impossibility) == 3
+
+    def test_paper_row_evaluation(self):
+        row = paper_row_for("orchestra", n=6, k=3, rho=1.0, beta=2.0)
+        assert row["queue_bound"] == pytest.approx(2 * 216 + 2)
+        assert math.isinf(row["latency_bound"])
+        row = paper_row_for("k-cycle", n=10, k=4, rho=0.2, beta=2.0)
+        assert row["rate_threshold"] == pytest.approx(1 / 3)
+
+    def test_render_comparison_contains_all_rows(self):
+        rows = [
+            {"label": "T1.1 Orchestra", "params": "n=6", "paper": "Q<=434", "measured": "Q=76"},
+            {"label": "T1.3 Count-Hop", "params": "n=6", "paper": "L<=152", "measured": "L=120"},
+        ]
+        text = render_comparison(rows)
+        assert "T1.1 Orchestra" in text and "Q=76" in text
+        assert text.count("\n") >= 3

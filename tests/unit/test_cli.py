@@ -1,0 +1,73 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_requires_algorithm_and_n(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--n", "5"])
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--algorithm", "nope", "--n", "5"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "orchestra" in out and "k-cycle" in out and "spray" in out
+
+    def test_run_stable_configuration_returns_zero(self, capsys):
+        code = main(
+            [
+                "run",
+                "--algorithm", "count-hop",
+                "--n", "5",
+                "--rho", "0.4",
+                "--rounds", "2000",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "STABLE" in out
+
+    def test_run_unstable_configuration_returns_two(self):
+        code = main(
+            [
+                "run",
+                "--algorithm", "k-clique",
+                "--n", "6",
+                "--k", "2",
+                "--adversary", "single-target",
+                "--rho", "0.9",
+                "--rounds", "4000",
+            ]
+        )
+        assert code == 2
+
+    def test_run_oblivious_algorithm_requires_k(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--algorithm", "k-cycle", "--n", "9", "--rounds", "100"])
+
+    def test_sweep(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--algorithm", "count-hop",
+                "--n", "5",
+                "--rates", "0.2,0.5",
+                "--rounds", "1500",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "series: count-hop" in out
+        assert out.count("stable") + out.count("UNSTABLE") >= 2

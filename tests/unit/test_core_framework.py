@@ -1,0 +1,123 @@
+"""Unit tests for the algorithm framework: properties, registry, QueueingController."""
+
+import pytest
+
+from repro.channel.feedback import ChannelOutcome, Feedback
+from repro.channel.message import Message
+from repro.core.algorithm import AlgorithmProperties
+from repro.core.controller import QueueingController
+from repro.core.registry import available_algorithms, make_algorithm
+from repro.algorithms import CountHop, KClique, KCycle, KSubsets, Orchestra
+
+
+class TestAlgorithmProperties:
+    def test_tags(self):
+        props = AlgorithmProperties("X", 2, oblivious=True, direct=True, plain_packet=True)
+        assert props.tag() == "Obl-PP-Dir"
+        props = AlgorithmProperties("X", 2, oblivious=False, direct=False, plain_packet=False)
+        assert props.tag() == "NObl-Gen-Ind"
+
+    def test_paper_table1_tags(self):
+        assert Orchestra(5).properties().tag() == "NObl-Gen-Dir"
+        assert CountHop(5).properties().tag() == "NObl-Gen-Dir"
+        assert KCycle(7, 3).properties().tag() == "Obl-PP-Ind"
+        assert KClique(6, 2).properties().tag() == "Obl-PP-Dir"
+        assert KSubsets(5, 2).properties().tag() == "Obl-Gen-Dir"
+
+    def test_paper_energy_caps(self):
+        assert Orchestra(5).energy_cap == 3
+        assert CountHop(5).energy_cap == 2
+        assert KCycle(9, 3).energy_cap <= 3
+        assert KSubsets(5, 2).energy_cap == 2
+
+
+class TestRegistry:
+    def test_all_paper_algorithms_registered(self):
+        names = available_algorithms()
+        for expected in (
+            "orchestra",
+            "count-hop",
+            "adjust-window",
+            "k-cycle",
+            "k-clique",
+            "k-subsets",
+            "rrw",
+            "of-rrw",
+            "mbtf",
+        ):
+            assert expected in names
+
+    def test_make_algorithm_constructs_instances(self):
+        algo = make_algorithm("k-cycle", n=9, k=3)
+        assert isinstance(algo, KCycle)
+        assert algo.n == 9
+
+    def test_make_algorithm_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_algorithm("does-not-exist", n=5)
+
+    def test_small_system_rejected(self):
+        with pytest.raises(ValueError):
+            CountHop(2)
+
+
+class _EchoController(QueueingController):
+    """Minimal concrete QueueingController used to exercise the base class."""
+
+    def wakes(self, round_no):
+        return True
+
+    def act(self, round_no):
+        packet = self.queue.peek_any()
+        if packet is None:
+            return None
+        return self.transmit(packet)
+
+
+def _feedback(message=None, outcome=ChannelOutcome.SILENCE, delivered=False):
+    return Feedback(round_no=0, outcome=outcome, message=message, delivered=delivered)
+
+
+class TestQueueingController:
+    def test_injection_lands_in_queue(self, make_packet):
+        c = _EchoController(0, 3)
+        c.on_inject(0, make_packet(1))
+        assert c.queued_packets() == 1
+
+    def test_own_heard_transmission_removes_packet(self, make_packet):
+        c = _EchoController(0, 3)
+        p = make_packet(1)
+        c.on_inject(0, p)
+        message = c.act(0)
+        assert message.packet is p
+        c.on_feedback(0, _feedback(message, ChannelOutcome.HEARD, delivered=True))
+        assert c.queued_packets() == 0
+
+    def test_collision_keeps_packet(self, make_packet):
+        c = _EchoController(0, 3)
+        p = make_packet(1)
+        c.on_inject(0, p)
+        c.act(0)
+        c.on_feedback(0, _feedback(outcome=ChannelOutcome.COLLISION))
+        assert c.queued_packets() == 1
+
+    def test_foreign_message_does_not_touch_queue(self, make_packet):
+        c = _EchoController(0, 3)
+        c.on_inject(0, make_packet(1))
+        foreign = Message(sender=2, packet=make_packet(0))
+        c.on_feedback(0, _feedback(foreign, ChannelOutcome.HEARD))
+        assert c.queued_packets() == 1
+
+    def test_adopt_rejects_own_packets(self, make_packet):
+        c = _EchoController(1, 3)
+        with pytest.raises(ValueError):
+            c.adopt(make_packet(1))
+
+    def test_adopt_as_old(self, make_packet):
+        c = _EchoController(0, 3)
+        c.adopt(make_packet(2), as_old=True)
+        assert c.queue.old_count == 1
+
+    def test_station_id_validated(self):
+        with pytest.raises(ValueError):
+            _EchoController(5, 3)

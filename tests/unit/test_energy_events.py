@@ -1,0 +1,93 @@
+"""Unit tests for energy accounting and execution traces."""
+
+import pytest
+
+from repro.channel.energy import EnergyCapViolation, EnergyMonitor
+from repro.channel.events import ExecutionTrace, InjectionEvent, RoundEvent
+from repro.channel.feedback import ChannelOutcome
+from repro.channel.message import Message
+from repro.channel.packet import Packet
+
+
+class TestEnergyMonitor:
+    def test_records_usage(self):
+        monitor = EnergyMonitor(cap=None)
+        for t, awake in enumerate([1, 3, 2]):
+            monitor.observe(t, awake)
+        report = monitor.report()
+        assert report.rounds == 3
+        assert report.total_station_rounds == 6
+        assert report.max_awake == 3
+        assert report.average_awake == pytest.approx(2.0)
+
+    def test_enforced_cap_raises(self):
+        monitor = EnergyMonitor(cap=2, enforce=True)
+        monitor.observe(0, 2)
+        with pytest.raises(EnergyCapViolation) as excinfo:
+            monitor.observe(1, 3)
+        assert excinfo.value.round_no == 1
+        assert excinfo.value.awake == 3
+        assert excinfo.value.cap == 2
+
+    def test_unenforced_cap_counts_violations(self):
+        monitor = EnergyMonitor(cap=2, enforce=False)
+        monitor.observe(0, 5)
+        monitor.observe(1, 1)
+        assert monitor.violations == 1
+        assert monitor.report().max_awake == 5
+
+    def test_empty_report(self):
+        report = EnergyMonitor(cap=1).report()
+        assert report.rounds == 0
+        assert report.average_awake == 0.0
+        assert report.energy_per_round() == 0.0
+
+
+def _round_event(t, awake=(), outcome=ChannelOutcome.SILENCE, message=None,
+                 delivered=None, injections=()):
+    return RoundEvent(
+        round_no=t,
+        awake=tuple(awake),
+        transmitters=tuple(m.sender for m in ([message] if message else [])),
+        outcome=outcome,
+        message=message,
+        delivered_packet=delivered,
+        injections=tuple(injections),
+    )
+
+
+class TestExecutionTrace:
+    def test_round_queries(self):
+        p = Packet(destination=1, injected_at=0, origin=0, packet_id=0)
+        msg = Message(sender=0, packet=p)
+        light = Message(sender=0, control={"x": 1})
+        trace = ExecutionTrace()
+        trace.append(_round_event(0))
+        trace.append(_round_event(1, awake=(0, 1), outcome=ChannelOutcome.HEARD,
+                                  message=msg, delivered=p))
+        trace.append(_round_event(2, awake=(0,), outcome=ChannelOutcome.HEARD,
+                                  message=light))
+        trace.append(_round_event(3, awake=(0, 1, 2), outcome=ChannelOutcome.COLLISION))
+
+        assert len(trace) == 4
+        assert trace.silent_rounds() == [0]
+        assert trace.collision_rounds() == [3]
+        assert trace.light_rounds() == [2]
+        assert trace.delivered_packets() == [p]
+        assert trace.energy_series() == [0, 2, 1, 3]
+        assert trace.awake_sets()[3] == (0, 1, 2)
+        assert trace[1].energy == 2
+
+    def test_injections_collected_in_order(self):
+        p0 = Packet(destination=1, injected_at=0, origin=0, packet_id=0)
+        p1 = Packet(destination=2, injected_at=1, origin=0, packet_id=1)
+        trace = ExecutionTrace()
+        trace.append(_round_event(0, injections=[InjectionEvent(0, 0, p0)]))
+        trace.append(_round_event(1, injections=[InjectionEvent(1, 0, p1)]))
+        assert [e.packet for e in trace.injections()] == [p0, p1]
+
+    def test_iteration(self):
+        trace = ExecutionTrace()
+        trace.append(_round_event(0))
+        trace.append(_round_event(1))
+        assert [e.round_no for e in trace] == [0, 1]

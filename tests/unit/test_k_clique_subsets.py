@@ -1,0 +1,158 @@
+"""Unit tests for k-Clique and k-Subsets (Section 6)."""
+
+import math
+
+import pytest
+
+from repro.adversary import (
+    GroupLocalAdversary,
+    NoInjectionAdversary,
+    SingleTargetAdversary,
+)
+from repro.algorithms.k_clique import KClique, clique_pairs, half_groups
+from repro.algorithms.k_subsets import KSubsets, MAX_THREADS
+from repro.analysis import bounds
+from repro.sim import run_simulation
+
+
+class TestKCliqueStructure:
+    def test_half_groups_partition_stations(self):
+        blocks = half_groups(8, 4)
+        flat = [s for block in blocks for s in block]
+        assert sorted(flat) == list(range(8))
+        assert all(len(b) <= 2 for b in blocks)
+
+    def test_pairs_enumerate_all_block_pairs(self):
+        blocks = half_groups(8, 4)
+        pairs = clique_pairs(8, 4)
+        assert len(pairs) == math.comb(len(blocks), 2)
+        assert all(len(p) <= 4 for p in pairs)
+
+    def test_num_pairs_property(self):
+        algo = KClique(8, 4)
+        assert algo.num_pairs == len(clique_pairs(8, 4))
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            KClique(6, 1)
+        with pytest.raises(ValueError):
+            KClique(6, 6)
+
+    def test_schedule_cap_and_membership(self):
+        algo = KClique(8, 4)
+        schedule = algo.oblivious_schedule()
+        assert schedule.max_awake() <= algo.energy_cap <= 4
+        pair_sets = {frozenset(p) for p in algo.pairs}
+        for t in range(schedule.period_length):
+            assert schedule.awake_set(t) in pair_sets
+
+    def test_controllers_follow_published_schedule(self):
+        algo = KClique(8, 4)
+        schedule = algo.oblivious_schedule()
+        controllers = algo.build_controllers()
+        for t in range(2 * schedule.period_length):
+            awake = {c.station_id for c in controllers if c.wakes(t)}
+            assert awake == set(schedule.awake_set(t))
+
+    def test_threshold_helpers(self):
+        algo = KClique(8, 4)
+        assert algo.stability_threshold() == pytest.approx(1 / algo.num_pairs)
+        assert algo.latency_rate_threshold() == pytest.approx(1 / (2 * algo.num_pairs))
+        assert algo.latency_bound(2.0) == pytest.approx(
+            bounds.k_clique_latency_bound(8, 2 * algo.half, 2.0)
+        )
+
+
+class TestKCliqueRouting:
+    def test_quiescent(self):
+        result = run_simulation(KClique(8, 4), NoInjectionAdversary(), 200)
+        assert result.summary.injected == 0
+
+    def test_delivers_below_threshold(self):
+        algo = KClique(8, 4)
+        rho = 0.5 * algo.latency_rate_threshold()
+        result = run_simulation(KClique(8, 4), SingleTargetAdversary(rho, 1.0), 12000)
+        assert result.stable
+        assert result.summary.delivery_ratio > 0.9
+
+    def test_group_local_traffic_is_the_hard_case_but_still_delivered(self):
+        algo = KClique(8, 4)
+        rho = 0.5 * algo.latency_rate_threshold()
+        adversary = GroupLocalAdversary(rho, 1.0, group_start=0, group_size=2)
+        result = run_simulation(KClique(8, 4), adversary, 12000)
+        assert result.summary.delivered > 0
+        assert result.stable
+
+
+class TestKSubsetsStructure:
+    def test_gamma_is_binomial_coefficient(self):
+        algo = KSubsets(6, 3)
+        assert algo.gamma == math.comb(6, 3)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            KSubsets(5, 1)
+        with pytest.raises(ValueError):
+            KSubsets(5, 5)
+
+    def test_thread_explosion_guard(self):
+        with pytest.raises(ValueError, match="too many"):
+            KSubsets(30, 15)
+        assert math.comb(30, 15) > MAX_THREADS
+
+    def test_schedule_matches_subset_enumeration(self):
+        algo = KSubsets(5, 2)
+        schedule = algo.oblivious_schedule()
+        assert schedule.period_length == algo.gamma
+        for i, subset in enumerate(algo.subsets):
+            assert schedule.awake_set(i) == frozenset(subset)
+
+    def test_controllers_follow_published_schedule(self):
+        algo = KSubsets(5, 2)
+        schedule = algo.oblivious_schedule()
+        controllers = algo.build_controllers()
+        for t in range(2 * algo.gamma):
+            awake = {c.station_id for c in controllers if c.wakes(t)}
+            assert awake == set(schedule.awake_set(t))
+
+    def test_threshold_and_queue_bound(self):
+        algo = KSubsets(6, 3)
+        assert algo.stability_threshold() == pytest.approx(
+            bounds.k_subsets_rate_threshold(6, 3)
+        )
+        assert algo.queue_bound(1.0) == pytest.approx(
+            bounds.k_subsets_queue_bound(6, 3, 1.0)
+        )
+
+
+class TestKSubsetsRouting:
+    def test_quiescent(self):
+        result = run_simulation(KSubsets(5, 2), NoInjectionAdversary(), 200)
+        assert result.summary.injected == 0
+
+    def test_delivers_all_traffic_at_stability_threshold(self):
+        algo = KSubsets(5, 2)
+        rho = algo.stability_threshold()
+        result = run_simulation(KSubsets(5, 2), SingleTargetAdversary(rho, 1.0), 8000)
+        assert result.stable
+        assert result.summary.delivered > 0
+        assert result.summary.max_queue <= algo.queue_bound(1.0)
+
+    def test_balanced_assignment_spreads_threads(self):
+        algo = KSubsets(5, 2)
+        controllers = algo.build_controllers()
+        source = controllers[0]
+        # Inject many packets for destination 1 before the first phase boundary.
+        from repro.channel.packet import PacketFactory
+
+        factory = PacketFactory()
+        for _ in range(6):
+            source.on_inject(0, factory.make(1, 0, 0))
+        # Trigger the phase-boundary assignment at the start of phase 1.
+        source.wakes(algo.gamma)
+        used_threads = [i for i, q in source.thread_queues.items() if q]
+        # Only one thread contains both stations 0 and 1 when k = 2, so all
+        # packets land there; with k = 3 they would spread.
+        assert used_threads
+        for thread in used_threads:
+            assert 0 in algo.subsets[thread] and 1 in algo.subsets[thread]

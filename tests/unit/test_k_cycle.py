@@ -1,0 +1,113 @@
+"""Unit tests for the k-Cycle algorithm (Section 5)."""
+
+import pytest
+
+from repro.adversary import NoInjectionAdversary, SingleSourceSprayAdversary, SingleTargetAdversary
+from repro.algorithms.k_cycle import (
+    KCycle,
+    activity_segment_length,
+    cycle_groups,
+    effective_group_size,
+)
+from repro.analysis import bounds
+from repro.sim import run_simulation
+
+
+class TestGroupConstruction:
+    def test_groups_have_k_consecutive_stations(self):
+        groups = cycle_groups(9, 3)
+        assert all(len(g) == 3 for g in groups)
+        # Consecutive groups share exactly one station.
+        for a, b in zip(groups, groups[1:]):
+            assert len(set(a) & set(b)) >= 1
+
+    def test_groups_cover_all_stations(self):
+        for n, k in [(9, 3), (10, 4), (7, 3), (12, 5)]:
+            covered = set()
+            for group in cycle_groups(n, k):
+                covered.update(group)
+            assert covered == set(range(n))
+
+    def test_cycle_wraps_to_station_zero(self):
+        groups = cycle_groups(9, 3)
+        assert 0 in groups[0]
+        assert set(groups[-1]) & set(groups[0])
+
+    def test_effective_group_size_shrinks_large_k(self):
+        assert effective_group_size(7, 6) == 4  # 2k <= n + 1
+        assert effective_group_size(9, 3) == 3
+
+    def test_segment_length_matches_formula(self):
+        assert activity_segment_length(9, 3) == pytest.approx(
+            -(-4 * 8 * 3 // (9 - 3))
+        )
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            KCycle(5, 1)
+        with pytest.raises(ValueError):
+            KCycle(5, 5)
+
+
+class TestSchedule:
+    def test_schedule_respects_energy_cap(self):
+        algo = KCycle(9, 3)
+        schedule = algo.oblivious_schedule()
+        assert schedule.max_awake(schedule.period_length) <= algo.energy_cap
+
+    def test_exactly_one_group_awake_per_round(self):
+        algo = KCycle(10, 4)
+        schedule = algo.oblivious_schedule()
+        groups = {frozenset(g) for g in algo.groups}
+        for t in range(schedule.period_length):
+            assert schedule.awake_set(t) in groups
+
+    def test_every_station_gets_on_time(self):
+        algo = KCycle(9, 3)
+        schedule = algo.oblivious_schedule()
+        horizon = schedule.period_length
+        for station in range(9):
+            assert schedule.on_fraction(station, horizon) > 0
+
+    def test_controllers_follow_published_schedule(self):
+        algo = KCycle(9, 3)
+        schedule = algo.oblivious_schedule()
+        controllers = algo.build_controllers()
+        for t in range(2 * schedule.period_length):
+            awake = {c.station_id for c in controllers if c.wakes(t)}
+            assert awake == set(schedule.awake_set(t))
+
+    def test_thresholds_exposed(self):
+        algo = KCycle(9, 3)
+        assert algo.stability_threshold() == pytest.approx(
+            bounds.k_cycle_rate_threshold(9, 3)
+        )
+        assert algo.latency_bound(2.0) == pytest.approx((32 + 2) * 9)
+
+
+class TestRouting:
+    def test_no_traffic_means_no_transmissions(self):
+        result = run_simulation(KCycle(9, 3), NoInjectionAdversary(), 500, record_trace=True)
+        assert result.summary.injected == 0
+        assert all(e.outcome.name == "SILENCE" for e in result.trace)
+
+    def test_delivers_cross_group_traffic(self):
+        # Source 0 and destination 5 live in different groups for n=9, k=3.
+        result = run_simulation(
+            KCycle(9, 3), SingleTargetAdversary(0.05, 1.0, source=0, destination=5), 4000
+        )
+        assert result.summary.delivered > 0
+        assert result.summary.delivery_ratio > 0.8
+
+    def test_stable_below_threshold(self):
+        rho = 0.5 * bounds.k_cycle_rate_threshold(9, 3)
+        result = run_simulation(KCycle(9, 3), SingleSourceSprayAdversary(rho, 2.0), 6000)
+        assert result.stable
+        assert result.summary.delivery_ratio > 0.9
+
+    def test_energy_cap_never_violated(self):
+        # run_simulation enforces the cap; reaching the end is the assertion.
+        result = run_simulation(
+            KCycle(10, 4), SingleSourceSprayAdversary(0.2, 2.0), 3000
+        )
+        assert result.summary.max_energy <= KCycle(10, 4).energy_cap

@@ -1,0 +1,144 @@
+"""Unit tests for the metrics collector, stability assessment and summaries."""
+
+import numpy as np
+import pytest
+
+from repro.channel.feedback import ChannelOutcome
+from repro.metrics import (
+    DeliveryError,
+    MetricsCollector,
+    RunSummary,
+    assess_stability,
+)
+
+
+class TestMetricsCollector:
+    def test_injection_and_delivery_flow(self, make_packet):
+        c = MetricsCollector()
+        p = make_packet(2, injected_at=3)
+        c.record_injection(p, 3)
+        c.record_delivery(p, 2, 10)
+        assert c.injected_count == 1
+        assert c.delivered_count == 1
+        assert c.pending_count == 0
+        assert c.delays == [7]
+        assert c.max_delay() == 7
+
+    def test_duplicate_injection_rejected(self, make_packet):
+        c = MetricsCollector()
+        p = make_packet(1)
+        c.record_injection(p, 0)
+        with pytest.raises(DeliveryError):
+            c.record_injection(p, 1)
+
+    def test_delivery_to_wrong_station_rejected(self, make_packet):
+        c = MetricsCollector()
+        p = make_packet(2)
+        c.record_injection(p, 0)
+        with pytest.raises(DeliveryError):
+            c.record_delivery(p, 1, 5)
+
+    def test_double_delivery_rejected(self, make_packet):
+        c = MetricsCollector()
+        p = make_packet(2)
+        c.record_injection(p, 0)
+        c.record_delivery(p, 2, 5)
+        with pytest.raises(DeliveryError):
+            c.record_delivery(p, 2, 6)
+
+    def test_delivery_of_uninjected_packet_rejected(self, make_packet):
+        c = MetricsCollector()
+        with pytest.raises(DeliveryError):
+            c.record_delivery(make_packet(1), 1, 0)
+
+    def test_round_statistics(self, make_packet):
+        c = MetricsCollector()
+        c.record_round(0, [1, 0, 2], 2, ChannelOutcome.HEARD)
+        c.record_round(1, [0, 0, 5], 3, ChannelOutcome.SILENCE)
+        assert c.total_queue_series == [3, 5]
+        assert c.max_queue() == 5
+        assert c.per_station_max_queue == [1, 0, 5]
+        assert c.energy_series == [2, 3]
+        assert c.total_energy() == 5
+        assert c.energy_per_round() == pytest.approx(2.5)
+        assert c.outcome_counts[ChannelOutcome.HEARD] == 1
+
+    def test_pending_age_contributes_to_latency(self, make_packet):
+        c = MetricsCollector()
+        p = make_packet(1, injected_at=0)
+        c.record_injection(p, 0)
+        for t in range(10):
+            c.record_round(t, [1, 0], 1, ChannelOutcome.SILENCE)
+        assert c.max_delay() == 0
+        assert c.max_pending_age() == 10
+        assert c.observed_latency() == 10
+        assert c.undelivered_packets() == [p]
+
+    def test_ratios_and_throughput(self, make_packet):
+        c = MetricsCollector()
+        a, b = make_packet(1), make_packet(1)
+        c.record_injection(a, 0)
+        c.record_injection(b, 0)
+        c.record_delivery(a, 1, 2)
+        for t in range(4):
+            c.record_round(t, [0, 0], 2, ChannelOutcome.SILENCE)
+        assert c.delivery_ratio() == pytest.approx(0.5)
+        assert c.throughput() == pytest.approx(0.25)
+        assert c.energy_per_delivery() == pytest.approx(8.0)
+
+    def test_energy_per_delivery_with_no_deliveries(self):
+        c = MetricsCollector()
+        c.record_round(0, [0], 1, ChannelOutcome.SILENCE)
+        assert c.energy_per_delivery() == float("inf")
+
+    def test_summary_round_trip(self, make_packet):
+        c = MetricsCollector()
+        p = make_packet(1, injected_at=0)
+        c.record_injection(p, 0)
+        c.record_delivery(p, 1, 1)
+        for t in range(40):
+            c.record_round(t, [0, 0], 2, ChannelOutcome.SILENCE)
+        summary = c.summary("demo")
+        assert isinstance(summary, RunSummary)
+        assert summary.label == "demo"
+        assert summary.rounds == 40
+        assert summary.injected == 1 and summary.delivered == 1
+        assert summary.stable
+        as_dict = summary.as_dict()
+        assert as_dict["max_queue"] == summary.max_queue
+        assert "STABLE" in summary.format_row()
+        assert "max queue" in RunSummary.header()
+
+
+class TestStability:
+    def test_flat_series_is_stable(self):
+        verdict = assess_stability(np.full(500, 7))
+        assert verdict.stable
+        assert verdict.growth_rate == pytest.approx(0.0, abs=1e-9)
+
+    def test_linear_growth_is_unstable(self):
+        verdict = assess_stability(np.arange(500))
+        assert not verdict.stable
+        assert verdict.growth_rate > 0.5
+        assert verdict.drifting
+
+    def test_bounded_oscillation_is_stable(self):
+        t = np.arange(2000)
+        series = 50 + 40 * np.sin(t / 50.0)
+        assert assess_stability(series).stable
+
+    def test_short_series_defaults_to_stable(self):
+        assert assess_stability(np.arange(10)).stable
+
+    def test_empty_series(self):
+        verdict = assess_stability(np.array([]))
+        assert verdict.stable and verdict.peak == 0
+
+    def test_plateau_after_burst_is_stable(self):
+        series = np.concatenate([np.linspace(0, 300, 200), np.full(800, 300)])
+        assert assess_stability(series).stable
+
+    def test_growth_tolerance_parameter(self):
+        series = np.arange(400) * 0.02
+        assert not assess_stability(series, growth_tolerance=0.001).stable
+        assert assess_stability(series, growth_tolerance=0.1).stable

@@ -1,0 +1,130 @@
+"""Unit tests for Orchestra (Section 3.1) and Count-Hop (Section 4.1)."""
+
+import pytest
+
+from repro.adversary import (
+    NoInjectionAdversary,
+    SaturatingAdversary,
+    SingleSourceSprayAdversary,
+    SingleTargetAdversary,
+)
+from repro.algorithms import CountHop, Orchestra
+from repro.analysis import bounds
+from repro.sim import run_simulation
+
+
+class TestOrchestraStructure:
+    def test_properties(self):
+        algo = Orchestra(6)
+        props = algo.properties()
+        assert props.energy_cap == 3
+        assert not props.oblivious and props.direct and not props.plain_packet
+
+    def test_queue_bound_helper(self):
+        assert Orchestra(6).queue_bound(2.0) == pytest.approx(2 * 216 + 2)
+
+    def test_conductor_is_always_awake_and_transmits(self):
+        result = run_simulation(
+            Orchestra(5), NoInjectionAdversary(), 4 * 4, record_trace=True
+        )
+        # With no traffic every round still carries a (light) conductor message.
+        assert all(e.outcome.name == "HEARD" for e in result.trace)
+        assert all(e.message.sender in range(5) for e in result.trace)
+
+    def test_at_most_three_stations_awake(self):
+        result = run_simulation(
+            Orchestra(6), SaturatingAdversary(1.0, 2.0), 3000, record_trace=True
+        )
+        assert max(e.energy for e in result.trace) <= 3
+
+    def test_baton_starts_at_station_zero(self):
+        result = run_simulation(
+            Orchestra(5), NoInjectionAdversary(), 4, record_trace=True
+        )
+        assert all(e.message.sender == 0 for e in result.trace)
+
+
+class TestOrchestraRouting:
+    def test_delivers_under_light_load(self):
+        result = run_simulation(
+            Orchestra(5), SingleTargetAdversary(0.2, 1.0), 4000
+        )
+        assert result.summary.delivered > 0
+        assert result.summary.delivery_ratio > 0.8
+        assert result.stable
+
+    def test_stable_at_rate_one(self):
+        result = run_simulation(Orchestra(5), SaturatingAdversary(1.0, 2.0), 5000)
+        assert result.stable
+        assert result.summary.max_queue <= Orchestra(5).queue_bound(2.0)
+
+    def test_stable_at_rate_one_single_target(self):
+        result = run_simulation(
+            Orchestra(5), SingleTargetAdversary(1.0, 2.0), 5000
+        )
+        assert result.stable
+        assert result.summary.max_queue <= Orchestra(5).queue_bound(2.0)
+
+    def test_exactly_once_delivery_is_engine_checked(self):
+        # The collector raises on duplicate delivery; completing the run is
+        # the assertion that Orchestra never double-delivers.
+        result = run_simulation(
+            Orchestra(6), SingleSourceSprayAdversary(0.8, 2.0), 4000
+        )
+        assert result.summary.delivered <= result.summary.injected
+
+
+class TestCountHopStructure:
+    def test_properties(self):
+        props = CountHop(6).properties()
+        assert props.energy_cap == 2
+        assert not props.oblivious and props.direct and not props.plain_packet
+
+    def test_latency_bound_helper(self):
+        assert CountHop(5).latency_bound(0.5, 2.0) == pytest.approx(108.0)
+        assert CountHop(5).latency_bound(1.0, 2.0) == float("inf")
+
+    def test_warmup_phase_is_silent(self):
+        result = run_simulation(
+            CountHop(5), NoInjectionAdversary(), 5, record_trace=True
+        )
+        assert all(e.outcome.name == "SILENCE" for e in result.trace)
+        assert all(e.energy == 0 for e in result.trace)
+
+    def test_at_most_two_stations_awake(self):
+        result = run_simulation(
+            CountHop(5), SingleSourceSprayAdversary(0.6, 2.0), 2000, record_trace=True
+        )
+        assert max(e.energy for e in result.trace) <= 2
+
+
+class TestCountHopRouting:
+    def test_delivers_under_light_load(self):
+        result = run_simulation(CountHop(5), SingleTargetAdversary(0.3, 1.0), 3000)
+        assert result.summary.delivery_ratio > 0.9
+        assert result.stable
+
+    def test_universal_for_moderate_rates(self):
+        for rho in (0.3, 0.6, 0.8):
+            result = run_simulation(
+                CountHop(5), SingleSourceSprayAdversary(rho, 2.0), 5000
+            )
+            assert result.stable, f"Count-Hop unstable at rho={rho}"
+
+    def test_latency_within_implementation_bound(self):
+        rho, beta = 0.5, 2.0
+        result = run_simulation(CountHop(5), SingleSourceSprayAdversary(rho, beta), 5000)
+        assert result.latency <= 2 * bounds.count_hop_latency_bound(5, rho, beta)
+
+    def test_traffic_to_coordinator_is_delivered(self):
+        # Station 0 is the coordinator; packets addressed to it must arrive.
+        result = run_simulation(
+            CountHop(5), SingleTargetAdversary(0.3, 1.0, source=2, destination=0), 3000
+        )
+        assert result.summary.delivery_ratio > 0.9
+
+    def test_traffic_from_coordinator_is_delivered(self):
+        result = run_simulation(
+            CountHop(5), SingleTargetAdversary(0.3, 1.0, source=0, destination=3), 3000
+        )
+        assert result.summary.delivery_ratio > 0.9
