@@ -18,3 +18,7 @@ if str(SRC) not in sys.path:
 
 def pytest_configure(config):
     config.addinivalue_line("markers", "slow: long-running simulation test")
+    config.addinivalue_line(
+        "markers",
+        "parallel: exercises the process-pool executor (spawns worker processes)",
+    )

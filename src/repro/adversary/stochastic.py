@@ -16,17 +16,50 @@ import numpy as np
 
 from ..channel.engine import AdversaryView
 from .base import Adversary, InjectionDemand
+from .leaky_bucket import LeakyBucketConstraint
 
-__all__ = ["UniformRandomAdversary", "HotspotAdversary", "RandomWalkAdversary"]
+__all__ = [
+    "SeededAdversary",
+    "UniformRandomAdversary",
+    "HotspotAdversary",
+    "RandomWalkAdversary",
+]
 
 
-class UniformRandomAdversary(Adversary):
-    """Bernoulli(rho)-per-round arrivals with uniformly random endpoints."""
+class SeededAdversary(Adversary):
+    """Base class of the stochastic adversaries: explicit, replayable seeding.
+
+    The seed is part of the adversary's identity: it appears in
+    :meth:`describe`, so worst-case reports and deterministic tie-breaks
+    distinguish different seeds, and spec-based runs reconstruct the exact
+    generator in any process (parallel workers build adversaries fresh
+    from their specs; that construction-from-seed is what makes parallel
+    runs bit-identical to serial ones).  :meth:`reset_rng` additionally
+    lets a caller reuse one instance for several replays; subclasses with
+    RNG-derived state must override it to reset that state too.
+    """
 
     def __init__(self, rho: float, beta: float, seed: int = 0) -> None:
         super().__init__(rho, beta)
         self.seed = seed
         self._rng = np.random.default_rng(seed)
+
+    def reset_rng(self) -> None:
+        """Restore the generator (and any derived state) to its seeded start.
+
+        The leaky-bucket constraint tracker is reset too: a replayed run
+        must see the same per-round budgets as the first, not the slack
+        left over from a previous execution.
+        """
+        self._rng = np.random.default_rng(self.seed)
+        self.constraint = LeakyBucketConstraint(self.adversary_type)
+
+    def describe(self) -> str:
+        return f"{type(self).__name__}{self.adversary_type}[seed={self.seed}]"
+
+
+class UniformRandomAdversary(SeededAdversary):
+    """Bernoulli(rho)-per-round arrivals with uniformly random endpoints."""
 
     def demand(
         self, round_no: int, budget: int, view: AdversaryView
@@ -46,7 +79,7 @@ class UniformRandomAdversary(Adversary):
         return demands
 
 
-class HotspotAdversary(Adversary):
+class HotspotAdversary(SeededAdversary):
     """A fraction of the traffic targets one hot destination.
 
     ``hot_fraction`` of packets are addressed to ``hot_station``; the rest
@@ -61,13 +94,11 @@ class HotspotAdversary(Adversary):
         hot_fraction: float = 0.75,
         seed: int = 0,
     ) -> None:
-        super().__init__(rho, beta)
+        super().__init__(rho, beta, seed)
         if not 0 <= hot_fraction <= 1:
             raise ValueError("hot_fraction must lie in [0, 1]")
         self.hot_station = hot_station
         self.hot_fraction = hot_fraction
-        self.seed = seed
-        self._rng = np.random.default_rng(seed)
 
     def demand(
         self, round_no: int, budget: int, view: AdversaryView
@@ -90,7 +121,7 @@ class HotspotAdversary(Adversary):
         return demands
 
 
-class RandomWalkAdversary(Adversary):
+class RandomWalkAdversary(SeededAdversary):
     """Traffic locality drifts over time.
 
     The 'focus' station performs a lazy random walk over station names;
@@ -102,12 +133,14 @@ class RandomWalkAdversary(Adversary):
     def __init__(
         self, rho: float, beta: float, drift_probability: float = 0.2, seed: int = 0
     ) -> None:
-        super().__init__(rho, beta)
+        super().__init__(rho, beta, seed)
         if not 0 <= drift_probability <= 1:
             raise ValueError("drift_probability must lie in [0, 1]")
         self.drift_probability = drift_probability
-        self.seed = seed
-        self._rng = np.random.default_rng(seed)
+        self._focus = 0
+
+    def reset_rng(self) -> None:
+        super().reset_rng()
         self._focus = 0
 
     def demand(

@@ -4,11 +4,14 @@ Provides quick access to the library from a shell::
 
     python -m repro list
     python -m repro run --algorithm k-cycle --n 9 --k 3 --rho 0.15 --rounds 20000
-    python -m repro table1 [--full]
-    python -m repro sweep --algorithm count-hop --n 6 --rates 0.2,0.4,0.6,0.8
+    python -m repro table1 [--full] [--workers N]
+    python -m repro sweep --algorithm count-hop --n 6 --rates 0.2,0.4,0.6,0.8 --workers 4
 
 The CLI is a thin wrapper over :mod:`repro.sim`; anything beyond a quick
-look should use the Python API directly.
+look should use the Python API directly.  ``--workers N`` fans independent
+runs out over N spawn-safe worker processes with results bit-identical to
+the serial path, and ``--cache-dir`` reuses finished runs across
+invocations (defaults to ``~/.cache/repro-sim`` when ``--cache`` is set).
 """
 
 from __future__ import annotations
@@ -17,47 +20,70 @@ import argparse
 import sys
 from typing import Sequence
 
-from .adversary import (
-    Adversary,
-    BurstThenIdleAdversary,
-    RoundRobinAdversary,
-    SingleSourceSprayAdversary,
-    SingleTargetAdversary,
-    UniformRandomAdversary,
-)
-from .core import available_algorithms, make_algorithm
+from .adversary.stochastic import SeededAdversary
+from .core import available_algorithms
 from .metrics.summary import RunSummary
-from .sim import run_simulation, sweep
+from .sim import ResultCache, run_simulation, spec_fragment, sweep
 from .sim.reporting import sweep_table
+from .sim.specs import (
+    adversary_entry,
+    materialize_adversary,
+    materialize_algorithm,
+    rate_adversaries,
+)
 
 __all__ = ["main", "build_parser"]
 
-ADVERSARIES = {
-    "single-target": SingleTargetAdversary,
-    "spray": SingleSourceSprayAdversary,
-    "round-robin": RoundRobinAdversary,
-    "bursty": BurstThenIdleAdversary,
-    "random": UniformRandomAdversary,
-}
 
-
-def _make_algorithm(name: str, n: int, k: int | None):
-    """Instantiate a registry algorithm, passing k only where it applies."""
+def _algorithm_fragment(name: str, n: int, k: int | None) -> dict:
+    """Declarative algorithm fragment, passing k only where it applies."""
     if name in ("k-cycle", "k-clique", "k-subsets"):
         if k is None:
             raise SystemExit(f"algorithm {name!r} requires --k")
-        return make_algorithm(name, n=n, k=k)
-    return make_algorithm(name, n=n)
+        return spec_fragment(name, n=n, k=k)
+    return spec_fragment(name, n=n)
 
 
-def _make_adversary(name: str, rho: float, beta: float) -> Adversary:
+def _effective_seed(name: str, seed: int | None) -> int | None:
+    """Return ``seed`` if the adversary is stochastic, warning (once) if not."""
+    if seed is None:
+        return None
     try:
-        factory = ADVERSARIES[name]
+        entry = adversary_entry(name)
     except KeyError as exc:
-        raise SystemExit(
-            f"unknown adversary {name!r}; choose from {sorted(ADVERSARIES)}"
-        ) from exc
-    return factory(rho, beta)
+        raise SystemExit(str(exc)) from exc
+    if issubclass(entry.cls, SeededAdversary):
+        return seed
+    print(
+        f"warning: adversary {name!r} is deterministic; --seed ignored",
+        file=sys.stderr,
+    )
+    return None
+
+
+def _adversary_fragment(name: str, rho: float, beta: float, seed: int | None) -> dict:
+    params: dict = {"rho": rho, "beta": beta}
+    if seed is not None:
+        params["seed"] = seed
+    return spec_fragment(name, **params)
+
+
+def _worker_count(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}") from exc
+    if value < 1:
+        raise argparse.ArgumentTypeError("workers must be at least 1")
+    return value
+
+
+def _cache_from_args(args: argparse.Namespace) -> ResultCache | None:
+    if getattr(args, "cache_dir", None):
+        return ResultCache(args.cache_dir)
+    if getattr(args, "cache", False):
+        return ResultCache()
+    return None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -74,13 +100,21 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--algorithm", required=True, choices=available_algorithms())
     run_p.add_argument("--n", type=int, required=True, help="number of stations")
     run_p.add_argument("--k", type=int, default=None, help="energy cap (oblivious algorithms)")
-    run_p.add_argument("--adversary", default="spray", choices=sorted(ADVERSARIES))
+    run_p.add_argument("--adversary", default="spray", choices=rate_adversaries())
     run_p.add_argument("--rho", type=float, default=0.5, help="injection rate")
     run_p.add_argument("--beta", type=float, default=2.0, help="burstiness coefficient")
     run_p.add_argument("--rounds", type=int, default=10_000)
+    run_p.add_argument("--seed", type=int, default=None,
+                       help="RNG seed for stochastic adversaries")
 
     table_p = sub.add_parser("table1", help="regenerate Table 1 (paper vs measured)")
     table_p.add_argument("--full", action="store_true", help="full-size experiments")
+    table_p.add_argument("--workers", type=_worker_count, default=1,
+                         help="parallel worker processes per adversary family")
+    table_p.add_argument("--cache", action="store_true",
+                         help="reuse finished runs from the default on-disk cache")
+    table_p.add_argument("--cache-dir", default=None,
+                         help="reuse finished runs from this cache directory")
 
     sweep_p = sub.add_parser("sweep", help="sweep the injection rate for one algorithm")
     sweep_p.add_argument("--algorithm", required=True, choices=available_algorithms())
@@ -90,7 +124,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="comma-separated injection rates")
     sweep_p.add_argument("--beta", type=float, default=2.0)
     sweep_p.add_argument("--rounds", type=int, default=8_000)
-    sweep_p.add_argument("--adversary", default="spray", choices=sorted(ADVERSARIES))
+    sweep_p.add_argument("--adversary", default="spray", choices=rate_adversaries())
+    sweep_p.add_argument("--seed", type=int, default=None,
+                         help="RNG seed for stochastic adversaries")
+    sweep_p.add_argument("--workers", type=_worker_count, default=1,
+                         help="parallel worker processes (1 = serial fallback)")
+    sweep_p.add_argument("--cache", action="store_true",
+                         help="reuse finished runs from the default on-disk cache")
+    sweep_p.add_argument("--cache-dir", default=None,
+                         help="reuse finished runs from this cache directory")
     return parser
 
 
@@ -99,14 +141,17 @@ def _cmd_list() -> int:
     for name in available_algorithms():
         print(f"  {name}")
     print("adversaries:")
-    for name in sorted(ADVERSARIES):
+    for name in rate_adversaries():
         print(f"  {name}")
     return 0
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    algorithm = _make_algorithm(args.algorithm, args.n, args.k)
-    adversary = _make_adversary(args.adversary, args.rho, args.beta)
+    seed = _effective_seed(args.adversary, args.seed)
+    algorithm = materialize_algorithm(_algorithm_fragment(args.algorithm, args.n, args.k))
+    adversary = materialize_adversary(
+        _adversary_fragment(args.adversary, args.rho, args.beta, seed), algorithm
+    )
     result = run_simulation(algorithm, adversary, args.rounds)
     print(RunSummary.header())
     print(result.summary.format_row())
@@ -116,20 +161,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_table1(args: argparse.Namespace) -> int:
     from .sim.experiments import regenerate_table1
 
-    table, results = regenerate_table1(quick=not args.full)
+    table, results = regenerate_table1(
+        quick=not args.full, workers=args.workers, cache=_cache_from_args(args)
+    )
     print(table)
     return 0 if all(r.shape_ok for r in results) else 1
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     rates = [float(x) for x in args.rates.split(",") if x]
+    seed = _effective_seed(args.adversary, args.seed)
     series = sweep(
         args.algorithm,
         "rho",
         rates,
-        lambda rho: _make_algorithm(args.algorithm, args.n, args.k),
-        lambda rho: _make_adversary(args.adversary, rho, args.beta),
+        lambda rho: _algorithm_fragment(args.algorithm, args.n, args.k),
+        lambda rho: _adversary_fragment(args.adversary, rho, args.beta, seed),
         args.rounds,
+        workers=args.workers,
+        cache=_cache_from_args(args),
     )
     print(sweep_table(series))
     return 0

@@ -1,13 +1,40 @@
-"""Simulation harness: runner, parameter sweeps, experiments and reporting."""
+"""Simulation harness: runner, parameter sweeps, experiments and reporting.
 
+The orchestration layer is spec-first: declarative :class:`RunSpec`
+descriptions of runs can be executed serially, fanned out over a process
+pool by :class:`ParallelExecutor`, and cached on disk by
+:class:`ResultCache`.
+"""
+
+from .cache import ResultCache, default_cache_dir
+from .parallel import ParallelExecutor, default_worker_count, run_specs
 from .runner import RunResult, run_simulation, worst_case_over
+from .specs import (
+    RunSpec,
+    available_adversaries,
+    execute_spec,
+    make_adversary,
+    register_adversary,
+    spec_fragment,
+)
 from .sweep import SweepPoint, SweepSeries, sweep
 
 __all__ = [
+    "ParallelExecutor",
+    "ResultCache",
     "RunResult",
+    "RunSpec",
     "SweepPoint",
     "SweepSeries",
+    "available_adversaries",
+    "default_cache_dir",
+    "default_worker_count",
+    "execute_spec",
+    "make_adversary",
+    "register_adversary",
     "run_simulation",
+    "run_specs",
+    "spec_fragment",
     "sweep",
     "worst_case_over",
 ]

@@ -1,0 +1,130 @@
+"""On-disk result cache keyed by canonical :class:`RunSpec` hashes.
+
+Simulations are deterministic functions of their spec, so a finished
+:class:`~repro.sim.runner.RunResult` can be reused whenever the same spec
+is executed again — across processes, sessions and machines.  The cache
+stores one pickled payload per spec hash plus a small JSON sidecar (the
+spec and its headline summary) so cached results remain inspectable with
+ordinary shell tools.
+
+The default location is ``~/.cache/repro-sim`` and can be overridden with
+the ``REPRO_CACHE_DIR`` environment variable or per-cache with an explicit
+root path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+
+from .runner import RunResult
+from .specs import RunSpec
+
+__all__ = ["CACHE_VERSION", "ResultCache", "default_cache_dir"]
+
+CACHE_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro-sim``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-sim"
+
+
+class ResultCache:
+    """Persistent spec-hash → :class:`RunResult` store.
+
+    Corrupt, unreadable or version-mismatched entries are treated as
+    misses, never as errors: the cache must always be safe to delete.
+    """
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    # -- key layout ----------------------------------------------------------
+    def _payload_path(self, spec: RunSpec) -> Path:
+        return self.root / f"{spec.spec_hash()}.pkl"
+
+    def _sidecar_path(self, spec: RunSpec) -> Path:
+        return self.root / f"{spec.spec_hash()}.json"
+
+    # -- store/load ----------------------------------------------------------
+    def get(self, spec: RunSpec) -> RunResult | None:
+        """Return the cached result for ``spec``, or None on a miss."""
+        path = self._payload_path(spec)
+        try:
+            with path.open("rb") as fh:
+                payload = pickle.load(fh)
+        except Exception:
+            # Corrupt/truncated pickles raise a zoo of types (UnpicklingError,
+            # EOFError, ValueError, AttributeError, ...); all of them mean
+            # "recompute", never "crash".
+            self.misses += 1
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("version") != CACHE_VERSION
+            or payload.get("spec") != spec.to_dict()
+            or not isinstance(payload.get("result"), RunResult)
+        ):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload["result"]
+
+    def put(self, spec: RunSpec, result: RunResult) -> None:
+        """Store ``result`` under ``spec``'s hash (atomic write)."""
+        payload = {
+            "version": CACHE_VERSION,
+            "spec": spec.to_dict(),
+            "result": result,
+        }
+        self._atomic_write(self._payload_path(spec), pickle.dumps(payload))
+        sidecar = json.dumps(
+            {
+                "version": CACHE_VERSION,
+                "spec": spec.to_dict(),
+                "summary": result.summary.as_dict(),
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        self._atomic_write(self._sidecar_path(spec), sidecar.encode("utf-8"))
+
+    def _atomic_write(self, path: Path, data: bytes) -> None:
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -- maintenance ----------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.pkl"))
+
+    def __contains__(self, spec: RunSpec) -> bool:
+        return self._payload_path(spec).exists()
+
+    def clear(self) -> int:
+        """Delete every cache entry; return the number of payloads removed."""
+        removed = 0
+        for path in self.root.glob("*.pkl"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        for path in self.root.glob("*.json"):
+            path.unlink(missing_ok=True)
+        return removed

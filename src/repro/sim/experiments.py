@@ -19,23 +19,20 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from ..adversary import (
-    AdaptiveStarvationAdversary,
     Adversary,
     AlternatingPairAdversary,
     BurstThenIdleAdversary,
-    GroupLocalAdversary,
     LeastOnPairAdversary,
     LeastOnStationAdversary,
     RoundRobinAdversary,
-    SaturatingAdversary,
     SingleSourceSprayAdversary,
     SingleTargetAdversary,
     UniformRandomAdversary,
 )
-from ..algorithms import AdjustWindow, CountHop, KClique, KCycle, KSubsets, Orchestra
+from ..algorithms import AdjustWindow, KClique, KCycle, KSubsets
 from ..analysis import bounds
-from ..core.algorithm import RoutingAlgorithm
 from .runner import RunResult, run_simulation, worst_case_over
+from .specs import spec_fragment
 from .sweep import SweepSeries, sweep
 
 __all__ = [
@@ -91,10 +88,32 @@ def _fmt(value) -> str:
 
 
 def default_adversary_family(
-    rho: float, beta: float, *, include_stochastic: bool = True
-) -> list[Callable[[], Adversary]]:
-    """The adversary family over which worst-case metrics are maximised."""
-    family: list[Callable[[], Adversary]] = [
+    rho: float,
+    beta: float,
+    *,
+    include_stochastic: bool = True,
+    seed: int = 7,
+    as_specs: bool = False,
+) -> list[Callable[[], Adversary | dict]]:
+    """The adversary family over which worst-case metrics are maximised.
+
+    With ``as_specs=True`` the factories return declarative
+    :func:`~repro.sim.specs.spec_fragment` dicts instead of live objects,
+    which lets :func:`~repro.sim.runner.worst_case_over` fan the family out
+    over parallel worker processes (and cache results on disk).
+    """
+    if as_specs:
+        family: list[Callable[[], Adversary | dict]] = [
+            lambda: spec_fragment("single-target", rho=rho, beta=beta),
+            lambda: spec_fragment("spray", rho=rho, beta=beta),
+            lambda: spec_fragment("round-robin", rho=rho, beta=beta),
+            lambda: spec_fragment("alternating-pair", rho=rho, beta=beta),
+            lambda: spec_fragment("bursty", rho=rho, beta=beta),
+        ]
+        if include_stochastic:
+            family.append(lambda: spec_fragment("random", rho=rho, beta=beta, seed=seed))
+        return family
+    family = [
         lambda: SingleTargetAdversary(rho, beta),
         lambda: SingleSourceSprayAdversary(rho, beta),
         lambda: RoundRobinAdversary(rho, beta),
@@ -102,7 +121,7 @@ def default_adversary_family(
         lambda: BurstThenIdleAdversary(rho, beta),
     ]
     if include_stochastic:
-        family.append(lambda: UniformRandomAdversary(rho, beta, seed=7))
+        family.append(lambda: UniformRandomAdversary(rho, beta, seed=seed))
     return family
 
 
@@ -111,12 +130,16 @@ def default_adversary_family(
 # ---------------------------------------------------------------------------
 
 def experiment_orchestra_queue(
-    n: int = 6, beta: float = 2.0, rounds: int = 6000
+    n: int = 6, beta: float = 2.0, rounds: int = 6000,
+    *, workers: int = 1, executor=None, cache=None,
 ) -> ExperimentResult:
     """T1.1 — Orchestra keeps queues below ``2 n^3 + beta`` at injection rate 1."""
-    family = default_adversary_family(1.0, beta)
-    family.append(lambda: SaturatingAdversary(1.0, beta))
-    worst, runs = worst_case_over(lambda: Orchestra(n), family, rounds)
+    family = default_adversary_family(1.0, beta, as_specs=True)
+    family.append(lambda: spec_fragment("saturating", rho=1.0, beta=beta))
+    worst, runs = worst_case_over(
+        lambda: spec_fragment("orchestra", n=n), family, rounds,
+        workers=workers, executor=executor, cache=cache,
+    )
     queue_bound = bounds.orchestra_queue_bound(n, beta)
     max_queue = max(r.max_queue for r in runs)
     all_stable = all(r.stable for r in runs)
@@ -136,21 +159,25 @@ def experiment_orchestra_queue(
 
 
 def experiment_cap2_impossibility(
-    n: int = 6, beta: float = 1.0, rounds: int = 6000
+    n: int = 6, beta: float = 1.0, rounds: int = 6000,
+    *, workers: int = 1, executor=None, cache=None,
 ) -> ExperimentResult:
     """T1.2 / Theorem 2 — cap-2 algorithms cannot sustain injection rate 1."""
-    def families() -> list[tuple[str, Callable[[], RoutingAlgorithm]]]:
-        return [("Count-Hop", lambda: CountHop(n))]
+    def families() -> list[tuple[str, Callable[[], dict]]]:
+        return [("Count-Hop", lambda: spec_fragment("count-hop", n=n))]
 
-    adversaries: list[Callable[[], Adversary]] = [
-        lambda: AdaptiveStarvationAdversary(1.0, beta),
-        lambda: SingleTargetAdversary(1.0, beta),
-        lambda: SaturatingAdversary(1.0, beta),
+    adversaries: list[Callable[[], dict]] = [
+        lambda: spec_fragment("adaptive-starvation", rho=1.0, beta=beta),
+        lambda: spec_fragment("single-target", rho=1.0, beta=beta),
+        lambda: spec_fragment("saturating", rho=1.0, beta=beta),
     ]
     runs: list[RunResult] = []
     any_unstable = False
     for _, algo_factory in families():
-        worst, results = worst_case_over(algo_factory, adversaries, rounds)
+        worst, results = worst_case_over(
+            algo_factory, adversaries, rounds,
+            workers=workers, executor=executor, cache=cache,
+        )
         runs.extend(results)
         if any(not r.stable for r in results):
             any_unstable = True
@@ -167,7 +194,8 @@ def experiment_cap2_impossibility(
 
 
 def experiment_count_hop_latency(
-    n: int = 6, rho: float = 0.5, beta: float = 2.0, rounds: int = 8000
+    n: int = 6, rho: float = 0.5, beta: float = 2.0, rounds: int = 8000,
+    *, workers: int = 1, executor=None, cache=None,
 ) -> ExperimentResult:
     """T1.3 — Count-Hop latency scales like ``2 (n^2 + beta)/(1 - rho)``.
 
@@ -177,8 +205,11 @@ def experiment_count_hop_latency(
     therefore compared against twice the paper's bound, and the 1/(1-rho)
     and n^2 scaling is exercised by the F1/F2 sweeps.  See EXPERIMENTS.md.
     """
-    family = default_adversary_family(rho, beta)
-    worst, runs = worst_case_over(lambda: CountHop(n), family, rounds)
+    family = default_adversary_family(rho, beta, as_specs=True)
+    worst, runs = worst_case_over(
+        lambda: spec_fragment("count-hop", n=n), family, rounds,
+        workers=workers, executor=executor, cache=cache,
+    )
     latency_bound = bounds.count_hop_latency_bound(n, rho, beta)
     max_latency = max(r.latency for r in runs)
     all_stable = all(r.stable for r in runs)
@@ -199,7 +230,8 @@ def experiment_count_hop_latency(
 
 
 def experiment_adjust_window_latency(
-    n: int = 4, rho: float = 0.4, beta: float = 2.0, rounds: int | None = None
+    n: int = 4, rho: float = 0.4, beta: float = 2.0, rounds: int | None = None,
+    *, workers: int = 1, executor=None, cache=None,
 ) -> ExperimentResult:
     """T1.4 — Adjust-Window is universal (stable for rho < 1) at energy cap 2.
 
@@ -211,8 +243,11 @@ def experiment_adjust_window_latency(
     algorithm = AdjustWindow(n)
     if rounds is None:
         rounds = 4 * algorithm.initial_window
-    family = default_adversary_family(rho, beta, include_stochastic=False)
-    worst, runs = worst_case_over(lambda: AdjustWindow(n), family, rounds)
+    family = default_adversary_family(rho, beta, include_stochastic=False, as_specs=True)
+    worst, runs = worst_case_over(
+        lambda: spec_fragment("adjust-window", n=n), family, rounds,
+        workers=workers, executor=executor, cache=cache,
+    )
     asymptotic = bounds.adjust_window_latency_bound(n, rho, beta)
     max_latency = max(r.latency for r in runs)
     all_stable = all(r.stable for r in runs)
@@ -240,11 +275,15 @@ def experiment_adjust_window_latency(
 def experiment_k_cycle_latency(
     n: int = 9, k: int = 4, beta: float = 2.0, rounds: int = 12000,
     rate_fraction: float = 0.6,
+    *, workers: int = 1, executor=None, cache=None,
 ) -> ExperimentResult:
     """T1.5 — k-Cycle is stable below ``(k-1)/(n-1)`` with latency O(n)."""
     rho = rate_fraction * bounds.k_cycle_rate_threshold(n, k)
-    family = default_adversary_family(rho, beta)
-    worst, runs = worst_case_over(lambda: KCycle(n, k), family, rounds)
+    family = default_adversary_family(rho, beta, as_specs=True)
+    worst, runs = worst_case_over(
+        lambda: spec_fragment("k-cycle", n=n, k=k), family, rounds,
+        workers=workers, executor=executor, cache=cache,
+    )
     latency_bound = bounds.k_cycle_latency_bound(n, beta)
     max_latency = max(r.latency for r in runs)
     all_stable = all(r.stable for r in runs)
@@ -295,12 +334,18 @@ def experiment_oblivious_impossibility(
 def experiment_k_clique_latency(
     n: int = 8, k: int = 4, beta: float = 2.0, rounds: int = 20000,
     rate_fraction: float = 0.8,
+    *, workers: int = 1, executor=None, cache=None,
 ) -> ExperimentResult:
     """T1.7 — k-Clique latency within ``8 (n^2/k)(1 + beta/2k)`` below its threshold."""
     rho = rate_fraction * bounds.k_clique_latency_rate_threshold(n, k)
-    family = default_adversary_family(rho, beta)
-    family.append(lambda: GroupLocalAdversary(rho, beta, group_size=max(2, k // 2)))
-    worst, runs = worst_case_over(lambda: KClique(n, k), family, rounds)
+    family = default_adversary_family(rho, beta, as_specs=True)
+    family.append(
+        lambda: spec_fragment("group-local", rho=rho, beta=beta, group_size=max(2, k // 2))
+    )
+    worst, runs = worst_case_over(
+        lambda: spec_fragment("k-clique", n=n, k=k), family, rounds,
+        workers=workers, executor=executor, cache=cache,
+    )
     latency_bound = bounds.k_clique_latency_bound(n, k, beta)
     max_latency = max(r.latency for r in runs)
     all_stable = all(r.stable for r in runs)
@@ -325,11 +370,15 @@ def experiment_k_clique_latency(
 
 def experiment_k_subsets_stability(
     n: int = 6, k: int = 3, beta: float = 1.0, rounds: int = 20000,
+    *, workers: int = 1, executor=None, cache=None,
 ) -> ExperimentResult:
     """T1.8 — k-Subsets is stable at rate ``k(k-1)/(n(n-1))`` with bounded queues."""
     rho = bounds.k_subsets_rate_threshold(n, k)
-    family = default_adversary_family(rho, beta)
-    worst, runs = worst_case_over(lambda: KSubsets(n, k), family, rounds)
+    family = default_adversary_family(rho, beta, as_specs=True)
+    worst, runs = worst_case_over(
+        lambda: spec_fragment("k-subsets", n=n, k=k), family, rounds,
+        workers=workers, executor=executor, cache=cache,
+    )
     queue_bound = bounds.k_subsets_queue_bound(n, k, beta)
     max_queue = max(r.max_queue for r in runs)
     all_stable = all(r.stable for r in runs)
@@ -393,25 +442,26 @@ def figure_latency_vs_rate(
     beta: float = 1.0,
     rates: tuple[float, ...] = (0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9),
     rounds: int = 6000,
+    workers: int = 1,
+    cache=None,
 ) -> dict[str, SweepSeries]:
     """F1 — latency as a function of the injection rate, one curve per algorithm."""
-    def adversary(rho: float) -> Adversary:
-        return SingleSourceSprayAdversary(rho, beta)
+    def adversary(rho: float) -> dict:
+        return spec_fragment("spray", rho=rho, beta=beta)
 
-    series = {}
-    series["Count-Hop"] = sweep(
-        "Count-Hop", "rho", rates, lambda rho: CountHop(n), adversary, rounds
-    )
-    series["Orchestra"] = sweep(
-        "Orchestra", "rho", rates, lambda rho: Orchestra(n), adversary, rounds
-    )
-    series["k-Cycle"] = sweep(
-        "k-Cycle", "rho", rates, lambda rho: KCycle(n, k), adversary, rounds
-    )
-    series["k-Clique"] = sweep(
-        "k-Clique", "rho", rates, lambda rho: KClique(n, k), adversary, rounds
-    )
-    return series
+    curves = {
+        "Count-Hop": lambda rho: spec_fragment("count-hop", n=n),
+        "Orchestra": lambda rho: spec_fragment("orchestra", n=n),
+        "k-Cycle": lambda rho: spec_fragment("k-cycle", n=n, k=k),
+        "k-Clique": lambda rho: spec_fragment("k-clique", n=n, k=k),
+    }
+    return {
+        name: sweep(
+            name, "rho", rates, algorithm, adversary, rounds,
+            workers=workers, cache=cache,
+        )
+        for name, algorithm in curves.items()
+    }
 
 
 def figure_scaling_n(
@@ -419,28 +469,28 @@ def figure_scaling_n(
     rho: float = 0.4,
     beta: float = 1.0,
     rounds_per_station: int = 1200,
+    workers: int = 1,
+    cache=None,
 ) -> dict[str, SweepSeries]:
     """F2 — latency and queue size as the system grows (fixed rate)."""
-    def adversary(_: float) -> Adversary:
-        return RoundRobinAdversary(rho, beta)
+    def adversary(_: float) -> dict:
+        return spec_fragment("round-robin", rho=rho, beta=beta)
 
     rounds = lambda n: int(rounds_per_station * n)
-    series = {}
-    series["Count-Hop"] = sweep(
-        "Count-Hop", "n", sizes, lambda n: CountHop(int(n)), adversary, rounds
-    )
-    series["Orchestra"] = sweep(
-        "Orchestra", "n", sizes, lambda n: Orchestra(int(n)), adversary, rounds
-    )
-    series["k-Cycle (k=n/2)"] = sweep(
-        "k-Cycle (k=n/2)",
-        "n",
-        sizes,
-        lambda n: KCycle(int(n), max(2, int(n) // 2)),
-        adversary,
-        rounds,
-    )
-    return series
+    curves = {
+        "Count-Hop": lambda n: spec_fragment("count-hop", n=int(n)),
+        "Orchestra": lambda n: spec_fragment("orchestra", n=int(n)),
+        "k-Cycle (k=n/2)": lambda n: spec_fragment(
+            "k-cycle", n=int(n), k=max(2, int(n) // 2)
+        ),
+    }
+    return {
+        name: sweep(
+            name, "n", sizes, algorithm, adversary, rounds,
+            workers=workers, cache=cache,
+        )
+        for name, algorithm in curves.items()
+    }
 
 
 def figure_energy_tradeoff(
@@ -449,64 +499,78 @@ def figure_energy_tradeoff(
     beta: float = 1.0,
     rate_fraction: float = 0.5,
     rounds: int = 15000,
+    workers: int = 1,
+    cache=None,
 ) -> dict[str, SweepSeries]:
     """F3 — latency of the oblivious algorithms as the energy cap grows."""
-    def cycle_adversary(k: float) -> Adversary:
+    def cycle_adversary(k: float) -> dict:
         rho = rate_fraction * bounds.k_cycle_rate_threshold(n, max(2, int(k)))
-        return SingleSourceSprayAdversary(rho, beta)
+        return spec_fragment("spray", rho=rho, beta=beta)
 
-    def clique_adversary(k: float) -> Adversary:
+    def clique_adversary(k: float) -> dict:
         rho = max(
             0.01, rate_fraction * bounds.k_clique_latency_rate_threshold(n, max(2, int(k)))
         )
-        return SingleSourceSprayAdversary(rho, beta)
+        return spec_fragment("spray", rho=rho, beta=beta)
 
     series = {}
     series["k-Cycle"] = sweep(
         "k-Cycle",
         "k",
         [c for c in caps if c >= 2],
-        lambda k: KCycle(n, int(k)),
+        lambda k: spec_fragment("k-cycle", n=n, k=int(k)),
         cycle_adversary,
         rounds,
+        workers=workers,
+        cache=cache,
     )
     series["k-Clique"] = sweep(
         "k-Clique",
         "k",
         [c for c in caps if c >= 2],
-        lambda k: KClique(n, int(k)),
+        lambda k: spec_fragment("k-clique", n=n, k=int(k)),
         clique_adversary,
         rounds,
+        workers=workers,
+        cache=cache,
     )
     return series
 
 
 def figure_energy_usage(
-    n: int = 8, k: int = 4, rho: float = 0.3, beta: float = 1.0, rounds: int = 6000
+    n: int = 8, k: int = 4, rho: float = 0.3, beta: float = 1.0, rounds: int = 6000,
+    workers: int = 1, cache=None,
 ) -> dict[str, RunResult]:
     """F4 — energy per round / per delivered packet for every algorithm."""
-    from ..protocols import MoveBigToFront, RoundRobinWithholding
+    from .parallel import run_specs
+    from .specs import RunSpec
 
-    adversaries = lambda: RoundRobinAdversary(rho, beta)
-    configs: dict[str, RoutingAlgorithm] = {
-        "Orchestra": Orchestra(n),
-        "Count-Hop": CountHop(n),
-        "k-Cycle": KCycle(n, k),
-        "k-Clique": KClique(n, k),
-        "k-Subsets": KSubsets(n, 2),
-        "RRW (uncapped)": RoundRobinWithholding(n),
-        "MBTF (uncapped)": MoveBigToFront(n),
+    adversary = spec_fragment("round-robin", rho=rho, beta=beta)
+    configs: dict[str, dict] = {
+        "Orchestra": spec_fragment("orchestra", n=n),
+        "Count-Hop": spec_fragment("count-hop", n=n),
+        "k-Cycle": spec_fragment("k-cycle", n=n, k=k),
+        "k-Clique": spec_fragment("k-clique", n=n, k=k),
+        "k-Subsets": spec_fragment("k-subsets", n=n, k=2),
+        "RRW (uncapped)": spec_fragment("rrw", n=n),
+        "MBTF (uncapped)": spec_fragment("mbtf", n=n),
     }
-    return {
-        name: run_simulation(algorithm, adversaries(), rounds)
-        for name, algorithm in configs.items()
-    }
+    specs = [
+        RunSpec.from_fragments(algorithm, adversary, rounds)
+        for algorithm in configs.values()
+    ]
+    results = run_specs(specs, workers=workers, cache=cache)
+    return dict(zip(configs, results))
 
 
 def figure_queue_trajectories(
-    n: int = 9, k: int = 3, beta: float = 1.0, rounds: int = 12000
+    n: int = 9, k: int = 3, beta: float = 1.0, rounds: int = 12000,
+    workers: int = 1, cache=None,
 ) -> dict[str, RunResult]:
     """F5 — queue-size trajectories below, at and above the oblivious threshold."""
+    from .parallel import run_specs
+    from .specs import RunSpec
+
     threshold = bounds.k_cycle_rate_threshold(n, k)
     impossibility = bounds.oblivious_rate_upper_bound(n, k)
     rates = {
@@ -514,49 +578,61 @@ def figure_queue_trajectories(
         "at threshold": threshold,
         "above impossibility": min(1.0, 1.4 * impossibility),
     }
-    out: dict[str, RunResult] = {}
-    for label, rho in rates.items():
-        adversary = SingleTargetAdversary(rho, beta)
-        out[label] = run_simulation(KCycle(n, k), adversary, rounds)
-    return out
+    specs = [
+        RunSpec.from_fragments(
+            spec_fragment("k-cycle", n=n, k=k),
+            spec_fragment("single-target", rho=rho, beta=beta),
+            rounds,
+        )
+        for rho in rates.values()
+    ]
+    results = run_specs(specs, workers=workers, cache=cache)
+    return dict(zip(rates, results))
 
 
 # ---------------------------------------------------------------------------
 # Table 1 regeneration
 # ---------------------------------------------------------------------------
 
-def regenerate_table1(quick: bool = True) -> tuple[str, list[ExperimentResult]]:
+def regenerate_table1(
+    quick: bool = True, *, workers: int = 1, cache=None
+) -> tuple[str, list[ExperimentResult]]:
     """Run every Table 1 experiment and render a paper-vs-measured table.
 
     With ``quick=True`` (the default) small systems and shorter runs are
     used so that the whole table regenerates in a couple of minutes; the
-    benchmark harness runs the full-size versions row by row.
+    benchmark harness runs the full-size versions row by row.  With
+    ``workers > 1`` each row's adversary family fans out over a shared
+    process pool; the summaries are bit-identical to a serial run.
     """
     from ..analysis.table1 import render_comparison
+    from .parallel import ParallelExecutor
 
-    if quick:
-        results = [
-            experiment_orchestra_queue(n=5, rounds=3000),
-            experiment_cap2_impossibility(n=5, rounds=4000),
-            experiment_count_hop_latency(n=5, rho=0.5, rounds=4000),
-            experiment_adjust_window_latency(n=3, rho=0.4),
-            experiment_k_cycle_latency(n=7, k=3, rounds=8000),
-            experiment_oblivious_impossibility(n=6, k=2, rounds=8000),
-            experiment_k_clique_latency(n=6, k=2, rounds=10000),
-            experiment_k_subsets_stability(n=5, k=2, rounds=10000),
-            experiment_oblivious_direct_impossibility(n=5, k=2, rounds=10000),
-        ]
-    else:
-        results = [
-            experiment_orchestra_queue(),
-            experiment_cap2_impossibility(),
-            experiment_count_hop_latency(),
-            experiment_adjust_window_latency(),
-            experiment_k_cycle_latency(),
-            experiment_oblivious_impossibility(),
-            experiment_k_clique_latency(),
-            experiment_k_subsets_stability(),
-            experiment_oblivious_direct_impossibility(),
-        ]
+    with ParallelExecutor(workers, cache=cache) as executor:
+        fan = {"executor": executor}
+        if quick:
+            results = [
+                experiment_orchestra_queue(n=5, rounds=3000, **fan),
+                experiment_cap2_impossibility(n=5, rounds=4000, **fan),
+                experiment_count_hop_latency(n=5, rho=0.5, rounds=4000, **fan),
+                experiment_adjust_window_latency(n=3, rho=0.4, **fan),
+                experiment_k_cycle_latency(n=7, k=3, rounds=8000, **fan),
+                experiment_oblivious_impossibility(n=6, k=2, rounds=8000),
+                experiment_k_clique_latency(n=6, k=2, rounds=10000, **fan),
+                experiment_k_subsets_stability(n=5, k=2, rounds=10000, **fan),
+                experiment_oblivious_direct_impossibility(n=5, k=2, rounds=10000),
+            ]
+        else:
+            results = [
+                experiment_orchestra_queue(**fan),
+                experiment_cap2_impossibility(**fan),
+                experiment_count_hop_latency(**fan),
+                experiment_adjust_window_latency(**fan),
+                experiment_k_cycle_latency(**fan),
+                experiment_oblivious_impossibility(),
+                experiment_k_clique_latency(**fan),
+                experiment_k_subsets_stability(**fan),
+                experiment_oblivious_direct_impossibility(),
+            ]
     table = render_comparison([r.comparison_row() for r in results])
     return table, results

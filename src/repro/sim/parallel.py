@@ -1,0 +1,202 @@
+"""Parallel experiment orchestration.
+
+The paper's results are worst-case statements over adversary *families*,
+so regenerating Table 1 and the figure sweeps means executing many
+independent simulations.  :class:`ParallelExecutor` fans declarative
+:class:`~repro.sim.specs.RunSpec` batches out to a process pool and
+collects their :class:`~repro.sim.runner.RunResult` objects in order.
+
+Design constraints:
+
+* **Determinism** — a worker process reconstructs every algorithm,
+  adversary and RNG from the spec alone, so a parallel run is bit-identical
+  to its serial counterpart (asserted by
+  ``tests/property/test_parallel_determinism.py``).
+* **Spawn safety** — workers are started with the ``spawn`` method (no
+  inherited state, works identically on Linux/macOS/Windows); the unit of
+  work, :func:`repro.sim.specs.execute_spec`, is a module-level function,
+  so it pickles cleanly.
+* **Serial fallback** — ``workers=1`` executes in-process with no pool at
+  all, which keeps single-run debugging (pdb, profilers, exceptions with
+  full local state) trivial.
+* **Caching** — an optional :class:`~repro.sim.cache.ResultCache` is
+  consulted before any work is scheduled and updated as results arrive.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from typing import Iterable, Mapping, Sequence
+
+from .cache import ResultCache
+from .runner import RunResult
+from .specs import RunSpec, execute_spec
+
+__all__ = [
+    "ParallelExecutor",
+    "default_worker_count",
+    "dispatch_specs",
+    "run_specs",
+]
+
+
+def default_worker_count() -> int:
+    """A sensible default worker count: the machine's CPU count."""
+    return max(1, os.cpu_count() or 1)
+
+
+def _coerce_specs(specs: Iterable[RunSpec | Mapping]) -> list[RunSpec]:
+    out: list[RunSpec] = []
+    for spec in specs:
+        if isinstance(spec, RunSpec):
+            out.append(spec)
+        elif isinstance(spec, Mapping):
+            out.append(RunSpec.from_dict(spec))
+        else:
+            raise TypeError(f"expected RunSpec or mapping, got {type(spec).__name__}")
+    return out
+
+
+class ParallelExecutor:
+    """Process-pool-backed executor for batches of :class:`RunSpec`.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes.  ``1`` (the default) runs everything
+        serially in the calling process; ``None`` uses the CPU count.
+    cache:
+        Optional :class:`ResultCache`; hits skip execution entirely and
+        fresh results are written back.
+    mp_context:
+        Multiprocessing start method; ``"spawn"`` is the safe default.
+
+    The executor may be used as a context manager; the worker pool is
+    created lazily on the first parallel batch and reused across ``run``
+    calls until :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = 1,
+        *,
+        cache: ResultCache | None = None,
+        mp_context: str = "spawn",
+    ) -> None:
+        if workers is None:
+            workers = default_worker_count()
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.workers = workers
+        self.cache = cache
+        self._mp_context = mp_context
+        self._pool: ProcessPoolExecutor | None = None
+
+    # -- lifecycle ------------------------------------------------------------
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=multiprocessing.get_context(self._mp_context),
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- execution ------------------------------------------------------------
+    def run(self, specs: Sequence[RunSpec | Mapping]) -> list[RunResult]:
+        """Execute every spec and return results in input order."""
+        batch = _coerce_specs(specs)
+        results: list[RunResult | None] = [None] * len(batch)
+
+        pending: list[int] = []
+        for i, spec in enumerate(batch):
+            hit = self.cache.get(spec) if self.cache is not None else None
+            if hit is not None:
+                results[i] = hit
+            else:
+                pending.append(i)
+
+        if not pending:
+            return results  # type: ignore[return-value]
+
+        if self.workers == 1 or len(pending) == 1:
+            for i in pending:
+                results[i] = self._finish(batch[i], execute_spec(batch[i]))
+        else:
+            pool = self._ensure_pool()
+            futures = {pool.submit(execute_spec, batch[i]): i for i in pending}
+            done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
+            failure: BaseException | None = None
+            for future in done:
+                exc = future.exception()
+                if exc is not None and failure is None:
+                    failure = exc
+            if failure is not None:
+                for future in not_done:
+                    future.cancel()
+                raise failure
+            for future, i in futures.items():
+                results[i] = self._finish(batch[i], future.result())
+
+        return results  # type: ignore[return-value]
+
+    def run_one(self, spec: RunSpec | Mapping) -> RunResult:
+        """Execute a single spec (always serial, but cache-aware)."""
+        return self.run([spec])[0]
+
+    def _finish(self, spec: RunSpec, result: RunResult) -> RunResult:
+        if self.cache is not None:
+            self.cache.put(spec, result)
+        return result
+
+
+def run_specs(
+    specs: Sequence[RunSpec | Mapping],
+    *,
+    workers: int | None = 1,
+    cache: ResultCache | None = None,
+) -> list[RunResult]:
+    """One-shot convenience wrapper: execute ``specs`` and tear the pool down."""
+    with ParallelExecutor(workers, cache=cache) as executor:
+        return executor.run(specs)
+
+
+def dispatch_specs(
+    specs: Sequence[RunSpec | Mapping],
+    *,
+    workers: int | None = 1,
+    executor: ParallelExecutor | None = None,
+    cache: ResultCache | None = None,
+) -> list[RunResult]:
+    """Run a spec batch on a caller-provided executor, or a one-shot pool.
+
+    The shared dispatch step behind every fragment-based entry point
+    (``sweep``, ``worst_case_over``): an explicit ``executor`` wins (its
+    own workers/cache apply); otherwise a pool is spun up and torn down
+    around this one batch.
+    """
+    if executor is not None:
+        return executor.run(specs)
+    return run_specs(specs, workers=workers, cache=cache)
+
+
+def require_serial_factories(context: str, workers: int, executor) -> None:
+    """Raise the shared error when live-object factories meet parallel options."""
+    if workers != 1 or executor is not None:
+        raise ValueError(
+            f"parallel {context} needs declarative factories: return "
+            "spec_fragment(...) dicts instead of live objects"
+        )

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
 from ..adversary.base import Adversary
 from ..channel.energy import EnergyReport
@@ -114,25 +114,53 @@ def worst_case_over(
     rounds: int,
     *,
     enforce_energy_cap: bool = True,
+    workers: int = 1,
+    executor=None,
+    cache=None,
 ) -> tuple[RunResult, list[RunResult]]:
     """Run one fresh algorithm instance against each adversary in a family.
 
-    Returns the worst run (by observed latency, then max queue) and the
-    full list of per-adversary results.  The paper's bounds are worst-case
+    Returns the worst run (by observed latency, then max queue, with the
+    adversary description as a final deterministic tie-break) and the full
+    list of per-adversary results.  The paper's bounds are worst-case
     statements, so measured values reported in EXPERIMENTS.md are maxima
     over an adversary family.
+
+    Factories may return live objects or declarative
+    :func:`~repro.sim.specs.spec_fragment` dicts; with fragments the family
+    fans out over the parallel executor (``workers`` processes, optional
+    on-disk ``cache``), and ``workers=1`` is the serial fallback.
     """
+    from .specs import RunSpec, materialize_adversary, materialize_algorithm
+
+    jobs = [(algorithm_factory(), factory()) for factory in adversary_factories]
+    all_fragments = all(
+        isinstance(algo, Mapping) and isinstance(adv, Mapping) for algo, adv in jobs
+    )
     results: list[RunResult] = []
-    for factory in adversary_factories:
-        algorithm = algorithm_factory()
-        adversary = factory()
-        results.append(
-            run_simulation(
-                algorithm,
-                adversary,
-                rounds,
-                enforce_energy_cap=enforce_energy_cap,
+    if all_fragments:
+        specs = [
+            RunSpec.from_fragments(
+                algo, adv, rounds, enforce_energy_cap=enforce_energy_cap
             )
-        )
-    worst = max(results, key=lambda r: (r.latency, r.max_queue))
+            for algo, adv in jobs
+        ]
+        from .parallel import dispatch_specs
+
+        results = dispatch_specs(specs, workers=workers, executor=executor, cache=cache)
+    else:
+        from .parallel import require_serial_factories
+
+        require_serial_factories("worst_case_over", workers, executor)
+        for algo, adv in jobs:
+            algorithm = materialize_algorithm(algo)
+            results.append(
+                run_simulation(
+                    algorithm,
+                    materialize_adversary(adv, algorithm),
+                    rounds,
+                    enforce_energy_cap=enforce_energy_cap,
+                )
+            )
+    worst = max(results, key=lambda r: (r.latency, r.max_queue, r.adversary))
     return worst, results

@@ -1,0 +1,389 @@
+"""Declarative run specifications.
+
+A :class:`RunSpec` describes one simulated execution — algorithm, adversary,
+horizon and engine knobs — as plain data (registry keys + JSON-serialisable
+parameter dicts).  Because a spec is pure data it can
+
+* cross process boundaries (the parallel executor ships specs to worker
+  processes, which reconstruct the objects locally),
+* be hashed canonically (the on-disk result cache keys entries by
+  :meth:`RunSpec.spec_hash`), and
+* be written down in experiment manifests and replayed bit-identically.
+
+Algorithms are resolved through :mod:`repro.core.registry`; adversaries
+through the registry defined here.  Schedule-aware adversaries (the
+Theorem 6/9 lower-bound constructions) are registered with
+``needs_schedule=True``: at execution time they receive the spec'd
+algorithm's published oblivious schedule, so even those constructions are
+expressible as plain data.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from ..adversary import (
+    AdaptiveStarvationAdversary,
+    Adversary,
+    AlternatingPairAdversary,
+    BurstThenIdleAdversary,
+    GroupLocalAdversary,
+    HotspotAdversary,
+    LeastOnPairAdversary,
+    LeastOnStationAdversary,
+    NoInjectionAdversary,
+    RandomWalkAdversary,
+    RoundRobinAdversary,
+    SaturatingAdversary,
+    SingleSourceSprayAdversary,
+    SingleTargetAdversary,
+    UniformRandomAdversary,
+)
+from ..core import available_algorithms, make_algorithm
+from ..core.algorithm import RoutingAlgorithm
+from .runner import RunResult, run_simulation
+
+__all__ = [
+    "AdversaryEntry",
+    "RunSpec",
+    "available_adversaries",
+    "execute_spec",
+    "make_adversary",
+    "materialize_adversary",
+    "materialize_algorithm",
+    "rate_adversaries",
+    "register_adversary",
+    "spec_fragment",
+]
+
+
+# ---------------------------------------------------------------------------
+# Adversary registry
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class AdversaryEntry:
+    """One registered adversary constructor.
+
+    ``needs_schedule`` marks the schedule-aware lower-bound adversaries:
+    their ``schedule`` argument cannot be spec'd as data and is instead
+    derived from the algorithm under test at execution time.
+    ``takes_rate`` marks constructors with the standard ``(rho, beta)``
+    leading parameters (everything except :class:`NoInjectionAdversary`);
+    the CLI only exposes those.
+    """
+
+    cls: type
+    needs_schedule: bool = False
+    takes_rate: bool = True
+
+
+_ADVERSARIES: dict[str, AdversaryEntry] = {}
+
+
+def register_adversary(
+    name: str,
+    cls: type | None = None,
+    *,
+    needs_schedule: bool = False,
+    takes_rate: bool = True,
+) -> Callable[[type], type] | type:
+    """Register an :class:`Adversary` subclass under a canonical key.
+
+    Usable directly (``register_adversary("spray", SprayAdversary)``) or as
+    a class decorator (``@register_adversary("spray")``).
+    """
+
+    def _register(klass: type) -> type:
+        key = name.lower()
+        if key in _ADVERSARIES:
+            raise ValueError(f"adversary name {name!r} already registered")
+        _ADVERSARIES[key] = AdversaryEntry(
+            cls=klass, needs_schedule=needs_schedule, takes_rate=takes_rate
+        )
+        return klass
+
+    if cls is not None:
+        return _register(cls)
+    return _register
+
+
+register_adversary("single-target", SingleTargetAdversary)
+register_adversary("spray", SingleSourceSprayAdversary)
+register_adversary("round-robin", RoundRobinAdversary)
+register_adversary("alternating-pair", AlternatingPairAdversary)
+register_adversary("saturating", SaturatingAdversary)
+register_adversary("bursty", BurstThenIdleAdversary)
+register_adversary("group-local", GroupLocalAdversary)
+register_adversary("no-injection", NoInjectionAdversary, takes_rate=False)
+register_adversary("random", UniformRandomAdversary)
+register_adversary("hotspot", HotspotAdversary)
+register_adversary("random-walk", RandomWalkAdversary)
+register_adversary("adaptive-starvation", AdaptiveStarvationAdversary)
+register_adversary("least-on-station", LeastOnStationAdversary, needs_schedule=True)
+register_adversary("least-on-pair", LeastOnPairAdversary, needs_schedule=True)
+
+
+def available_adversaries(*, include_schedule_aware: bool = True) -> list[str]:
+    """Names of all registered adversaries, sorted."""
+    return sorted(
+        key
+        for key, entry in _ADVERSARIES.items()
+        if include_schedule_aware or not entry.needs_schedule
+    )
+
+
+def rate_adversaries() -> list[str]:
+    """Registered adversaries with the standard ``(rho, beta)`` constructor."""
+    return sorted(
+        key
+        for key, entry in _ADVERSARIES.items()
+        if entry.takes_rate and not entry.needs_schedule
+    )
+
+
+def adversary_entry(name: str) -> AdversaryEntry:
+    """Look up a registered adversary, with a helpful error."""
+    key = name.lower()
+    if key not in _ADVERSARIES:
+        raise KeyError(
+            f"unknown adversary {name!r}; available: {sorted(_ADVERSARIES)}"
+        )
+    return _ADVERSARIES[key]
+
+
+def make_adversary(name: str, *, schedule=None, **params) -> Adversary:
+    """Instantiate a registered adversary by name.
+
+    ``schedule`` must be provided (and is only accepted) for adversaries
+    registered with ``needs_schedule=True``.
+    """
+    entry = adversary_entry(name)
+    if entry.needs_schedule:
+        if schedule is None:
+            raise ValueError(
+                f"adversary {name!r} is schedule-aware and needs a schedule"
+            )
+        return entry.cls(schedule=schedule, **params)
+    if schedule is not None:
+        raise ValueError(f"adversary {name!r} does not take a schedule")
+    return entry.cls(**params)
+
+
+# ---------------------------------------------------------------------------
+# Spec fragments
+# ---------------------------------------------------------------------------
+
+def spec_fragment(key: str, **params) -> dict:
+    """A declarative piece of a :class:`RunSpec`: a registry key plus kwargs.
+
+    Sweep and worst-case factories may return fragments instead of live
+    objects; the harness then assembles full :class:`RunSpec` objects and can
+    execute them in parallel worker processes.
+    """
+    return {"key": key, "params": dict(params)}
+
+
+def _as_fragment(obj: Any) -> tuple[str, dict] | None:
+    """Interpret ``obj`` as a (key, params) fragment, else return None."""
+    if isinstance(obj, Mapping) and set(obj) <= {"key", "params"} and "key" in obj:
+        return str(obj["key"]), dict(obj.get("params") or {})
+    return None
+
+
+def _json_ready(params: Mapping[str, Any], what: str) -> dict:
+    """Validate that ``params`` round-trips through JSON; return a plain dict."""
+    plain = dict(params)
+    try:
+        encoded = json.dumps(plain, sort_keys=True)
+    except (TypeError, ValueError) as exc:
+        raise TypeError(
+            f"{what} parameters must be JSON-serialisable scalars; got {plain!r}"
+        ) from exc
+    return json.loads(encoded)
+
+
+# ---------------------------------------------------------------------------
+# RunSpec
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True, eq=False)
+class RunSpec:
+    """A declarative, hashable description of one simulation run."""
+
+    algorithm: str
+    adversary: str
+    rounds: int
+    algorithm_params: dict = field(default_factory=dict)
+    adversary_params: dict = field(default_factory=dict)
+    enforce_energy_cap: bool = True
+    energy_cap: int | None = None
+    record_trace: bool = False
+    label: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.rounds < 1:
+            raise ValueError("rounds must be positive")
+        # Fail fast on unknown keys, at the construction site rather than
+        # later inside a worker process.
+        adversary_entry(self.adversary)
+        if self.algorithm.lower() not in available_algorithms():
+            raise KeyError(
+                f"unknown algorithm {self.algorithm!r}; "
+                f"available: {available_algorithms()}"
+            )
+        object.__setattr__(
+            self, "algorithm_params", _json_ready(self.algorithm_params, "algorithm")
+        )
+        object.__setattr__(
+            self, "adversary_params", _json_ready(self.adversary_params, "adversary")
+        )
+
+    # -- serialisation -------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "algorithm": self.algorithm,
+            "algorithm_params": self.algorithm_params,
+            "adversary": self.adversary,
+            "adversary_params": self.adversary_params,
+            "rounds": self.rounds,
+            "enforce_energy_cap": self.enforce_energy_cap,
+            "energy_cap": self.energy_cap,
+            "record_trace": self.record_trace,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunSpec":
+        return cls(
+            algorithm=data["algorithm"],
+            adversary=data["adversary"],
+            rounds=int(data["rounds"]),
+            algorithm_params=dict(data.get("algorithm_params") or {}),
+            adversary_params=dict(data.get("adversary_params") or {}),
+            enforce_energy_cap=bool(data.get("enforce_energy_cap", True)),
+            energy_cap=data.get("energy_cap"),
+            record_trace=bool(data.get("record_trace", False)),
+            label=data.get("label"),
+        )
+
+    @classmethod
+    def from_fragments(
+        cls,
+        algorithm: Mapping[str, Any],
+        adversary: Mapping[str, Any],
+        rounds: int,
+        **kwargs,
+    ) -> "RunSpec":
+        """Assemble a spec from two :func:`spec_fragment` dicts."""
+        algo = _as_fragment(algorithm)
+        adv = _as_fragment(adversary)
+        if algo is None or adv is None:
+            raise TypeError(
+                "expected {'key': ..., 'params': {...}} fragments, got "
+                f"{algorithm!r} and {adversary!r}"
+            )
+        return cls(
+            algorithm=algo[0],
+            algorithm_params=algo[1],
+            adversary=adv[0],
+            adversary_params=adv[1],
+            rounds=rounds,
+            **kwargs,
+        )
+
+    def canonical_json(self) -> str:
+        """Canonical JSON encoding: the identity of the run."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def spec_hash(self) -> str:
+        """SHA-256 of the canonical encoding — the cache key of the run."""
+        return hashlib.sha256(self.canonical_json().encode("utf-8")).hexdigest()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RunSpec):
+            return NotImplemented
+        return self.canonical_json() == other.canonical_json()
+
+    def __hash__(self) -> int:
+        return hash(self.canonical_json())
+
+    # -- construction of live objects ---------------------------------------
+    def build_algorithm(self) -> RoutingAlgorithm:
+        return make_algorithm(self.algorithm, **self.algorithm_params)
+
+    def build_adversary(self, algorithm: RoutingAlgorithm) -> Adversary:
+        entry = adversary_entry(self.adversary)
+        if entry.needs_schedule:
+            schedule = algorithm.oblivious_schedule()
+            if schedule is None:
+                raise ValueError(
+                    f"adversary {self.adversary!r} needs an oblivious schedule, "
+                    f"but algorithm {self.algorithm!r} does not publish one"
+                )
+            return make_adversary(
+                self.adversary, schedule=schedule, **self.adversary_params
+            )
+        return make_adversary(self.adversary, **self.adversary_params)
+
+
+def materialize_algorithm(obj: RoutingAlgorithm | Mapping[str, Any]) -> RoutingAlgorithm:
+    """Turn a live algorithm or a :func:`spec_fragment` into a live algorithm."""
+    fragment = _as_fragment(obj)
+    if fragment is not None:
+        return make_algorithm(fragment[0], **fragment[1])
+    if isinstance(obj, RoutingAlgorithm):
+        return obj
+    raise TypeError(f"expected RoutingAlgorithm or fragment, got {type(obj).__name__}")
+
+
+def materialize_adversary(
+    obj: Adversary | Mapping[str, Any],
+    algorithm: RoutingAlgorithm | None = None,
+) -> Adversary:
+    """Turn a live adversary or a :func:`spec_fragment` into a live adversary.
+
+    Schedule-aware fragments read ``algorithm``'s published oblivious
+    schedule, mirroring :meth:`RunSpec.build_adversary`.
+    """
+    fragment = _as_fragment(obj)
+    if fragment is not None:
+        key, params = fragment
+        entry = adversary_entry(key)
+        if entry.needs_schedule:
+            schedule = algorithm.oblivious_schedule() if algorithm is not None else None
+            if schedule is None:
+                raise ValueError(
+                    f"adversary {key!r} needs an algorithm with an oblivious schedule"
+                )
+            return make_adversary(key, schedule=schedule, **params)
+        return make_adversary(key, **params)
+    if isinstance(obj, Adversary):
+        return obj
+    raise TypeError(f"expected Adversary or fragment, got {type(obj).__name__}")
+
+
+def execute_spec(spec: RunSpec | Mapping[str, Any]) -> RunResult:
+    """Execute one :class:`RunSpec` and return its :class:`RunResult`.
+
+    This is the (picklable, module-level) unit of work shipped to parallel
+    worker processes; executing a spec twice — in any process — yields
+    bit-identical summaries because every piece of state is constructed
+    fresh from the spec.
+    """
+    if not isinstance(spec, RunSpec):
+        spec = RunSpec.from_dict(spec)
+    algorithm = spec.build_algorithm()
+    adversary = spec.build_adversary(algorithm)
+    return run_simulation(
+        algorithm,
+        adversary,
+        spec.rounds,
+        enforce_energy_cap=spec.enforce_energy_cap,
+        energy_cap=spec.energy_cap,
+        record_trace=spec.record_trace,
+        label=spec.label,
+    )

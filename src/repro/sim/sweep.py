@@ -10,11 +10,12 @@ can regenerate them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Callable, Mapping, Sequence
 
 from ..adversary.base import Adversary
 from ..core.algorithm import RoutingAlgorithm
 from .runner import RunResult, run_simulation
+from .specs import RunSpec, materialize_adversary, materialize_algorithm
 
 __all__ = ["SweepPoint", "SweepSeries", "sweep"]
 
@@ -85,28 +86,74 @@ def sweep(
     name: str,
     parameter: str,
     values: Sequence[float],
-    algorithm_factory: Callable[[float], RoutingAlgorithm],
-    adversary_factory: Callable[[float], Adversary],
+    algorithm_factory: Callable[[float], RoutingAlgorithm | Mapping],
+    adversary_factory: Callable[[float], Adversary | Mapping],
     rounds: int | Callable[[float], int],
     *,
     enforce_energy_cap: bool = True,
+    energy_cap: int | None = None,
+    record_trace: bool = False,
+    workers: int = 1,
+    executor=None,
+    cache=None,
 ) -> SweepSeries:
     """Run one simulation per swept value and collect the results.
 
     ``algorithm_factory`` and ``adversary_factory`` receive the swept
-    value; ``rounds`` may be a constant or a function of the value (larger
-    systems typically need longer runs).
+    value and return either live objects or declarative
+    :func:`~repro.sim.specs.spec_fragment` dicts; ``rounds`` may be a
+    constant or a function of the value (larger systems typically need
+    longer runs).
+
+    With fragments, the sweep runs through the parallel executor
+    (``workers`` processes, optional on-disk ``cache``); ``workers=1`` is
+    the serial fallback and produces bit-identical results.  Live objects
+    cannot cross process boundaries, so they require ``workers=1``.
     """
     series = SweepSeries(name=name, parameter=parameter)
+    jobs = []
     for value in values:
-        algorithm = algorithm_factory(value)
-        adversary = adversary_factory(value)
         run_rounds = rounds(value) if callable(rounds) else rounds
+        jobs.append(
+            (value, algorithm_factory(value), adversary_factory(value), run_rounds)
+        )
+
+    all_fragments = all(
+        isinstance(algo, Mapping) and isinstance(adv, Mapping)
+        for _, algo, adv, _ in jobs
+    )
+    if all_fragments:
+        specs = [
+            RunSpec.from_fragments(
+                algo,
+                adv,
+                run_rounds,
+                enforce_energy_cap=enforce_energy_cap,
+                energy_cap=energy_cap,
+                record_trace=record_trace,
+                label=f"{name}[{parameter}={value}]",
+            )
+            for value, algo, adv, run_rounds in jobs
+        ]
+        from .parallel import dispatch_specs
+
+        results = dispatch_specs(specs, workers=workers, executor=executor, cache=cache)
+        for (value, _, _, _), result in zip(jobs, results):
+            series.points.append(SweepPoint(value=value, result=result))
+        return series
+
+    from .parallel import require_serial_factories
+
+    require_serial_factories("sweep", workers, executor)
+    for value, algorithm, adversary, run_rounds in jobs:
+        algorithm = materialize_algorithm(algorithm)
         result = run_simulation(
             algorithm,
-            adversary,
+            materialize_adversary(adversary, algorithm),
             run_rounds,
             enforce_energy_cap=enforce_energy_cap,
+            energy_cap=energy_cap,
+            record_trace=record_trace,
             label=f"{name}[{parameter}={value}]",
         )
         series.points.append(SweepPoint(value=value, result=result))

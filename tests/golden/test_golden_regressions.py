@@ -1,0 +1,84 @@
+"""Golden regression tests: pin Table 1 rows and the F2 series to disk.
+
+The simulations are deterministic, so small Table 1 rows and the prefix of
+the F2 scaling sweep can be pinned against checked-in expected values.
+Any change to the engine, the algorithms, the adversaries or the
+orchestration layer that shifts a measured number — even by one round of
+latency — fails here, which is the safety net that lets the harness be
+refactored (e.g. rewired onto the parallel executor) with confidence.
+
+To intentionally re-baseline after a behaviour-changing fix, regenerate
+``table1_rows_expected.json`` with the parameters below and copy
+``benchmarks/results/f2_scaling_n.csv`` over ``f2_scaling_n_expected.csv``.
+"""
+
+import csv
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.sim import experiments as exp
+
+GOLDEN_DIR = Path(__file__).parent
+
+TABLE1_CASES = {
+    "T1.1": lambda: exp.experiment_orchestra_queue(n=4, rounds=800),
+    "T1.3": lambda: exp.experiment_count_hop_latency(n=4, rho=0.5, rounds=1000),
+    "T1.5": lambda: exp.experiment_k_cycle_latency(n=5, k=2, rounds=800),
+    "T1.8": lambda: exp.experiment_k_subsets_stability(n=4, k=2, rounds=1000),
+}
+
+
+def _assert_measured_equal(measured: dict, expected: dict, context: str) -> None:
+    assert set(measured) == set(expected), context
+    for key, want in expected.items():
+        got = measured[key]
+        if isinstance(want, float):
+            assert got == pytest.approx(want, rel=1e-9, abs=1e-12), f"{context}: {key}"
+        else:
+            assert got == want, f"{context}: {key}"
+
+
+@pytest.mark.parametrize("row", sorted(TABLE1_CASES))
+def test_table1_row_matches_golden(row):
+    expected = json.loads((GOLDEN_DIR / "table1_rows_expected.json").read_text())
+    result = TABLE1_CASES[row]()
+    assert result.shape_ok, f"{row} lost its qualitative shape"
+    _assert_measured_equal(result.measured, expected[row], row)
+
+
+def test_table1_row_matches_golden_in_parallel():
+    """The parallel executor reproduces the pinned rows bit-identically."""
+    expected = json.loads((GOLDEN_DIR / "table1_rows_expected.json").read_text())
+    result = exp.experiment_orchestra_queue(n=4, rounds=800, workers=2)
+    _assert_measured_equal(result.measured, expected["T1.1"], "T1.1 (workers=2)")
+
+
+def test_f2_scaling_prefix_matches_checked_in_csv():
+    """Regenerating the first F2 sizes reproduces the checked-in series.
+
+    The expected file is a snapshot of ``benchmarks/results/f2_scaling_n.csv``
+    (sizes 4..10); regenerating the n=4 and n=6 points with the same
+    parameters as the benchmark must reproduce those rows exactly.
+    """
+    with (GOLDEN_DIR / "f2_scaling_n_expected.csv").open() as fh:
+        expected_rows = [row for row in csv.DictReader(fh) if row["n"] in ("4", "6")]
+    assert expected_rows, "golden CSV lost its n=4/n=6 rows"
+
+    series = exp.figure_scaling_n(sizes=(4, 6), rho=0.25)
+    regenerated = {
+        (row["series"], str(row["n"])): row
+        for s in series.values()
+        for row in s.as_rows()
+    }
+    assert len(regenerated) == len(expected_rows)
+    for want in expected_rows:
+        got = regenerated[(want["series"], want["n"])]
+        context = f"{want['series']} n={want['n']}"
+        assert str(got["latency"]) == want["latency"], context
+        assert str(got["max_queue"]) == want["max_queue"], context
+        assert float(got["energy_per_round"]) == pytest.approx(
+            float(want["energy_per_round"]), abs=1e-9
+        ), context
+        assert str(got["stable"]) == want["stable"], context

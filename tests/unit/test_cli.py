@@ -71,3 +71,59 @@ class TestCommands:
         assert code == 0
         assert "series: count-hop" in out
         assert out.count("stable") + out.count("UNSTABLE") >= 2
+
+    @pytest.mark.parallel
+    def test_sweep_parallel_matches_serial(self, capsys):
+        argv = [
+            "sweep",
+            "--algorithm", "count-hop",
+            "--n", "4",
+            "--rates", "0.2,0.4,0.6",
+            "--rounds", "600",
+        ]
+        assert main(argv) == 0
+        serial_out = capsys.readouterr().out
+        assert main(argv + ["--workers", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert parallel_out == serial_out
+
+    def test_sweep_with_cache_dir_reuses_runs(self, capsys, tmp_path):
+        argv = [
+            "sweep",
+            "--algorithm", "count-hop",
+            "--n", "4",
+            "--rates", "0.3",
+            "--rounds", "500",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert len(list(tmp_path.glob("*.pkl"))) == 1
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_run_seed_changes_stochastic_traffic(self, capsys):
+        def run_with_seed(seed):
+            code = main(
+                [
+                    "run",
+                    "--algorithm", "count-hop",
+                    "--n", "5",
+                    "--adversary", "random",
+                    "--rho", "0.5",
+                    "--rounds", "800",
+                    "--seed", seed,
+                ]
+            )
+            assert code == 0
+            return capsys.readouterr().out
+
+        assert "seed=3" in run_with_seed("3")
+        assert run_with_seed("3") == run_with_seed("3")
+        assert run_with_seed("3") != run_with_seed("4")
+
+    def test_list_includes_registry_adversaries(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("hotspot", "random-walk", "group-local", "saturating"):
+            assert name in out

@@ -1,0 +1,235 @@
+"""Unit tests for the orchestration layer: specs, cache, executor wiring."""
+
+import pickle
+
+import pytest
+
+from repro.adversary import NoInjectionAdversary, SingleTargetAdversary
+from repro.algorithms import CountHop
+from repro.sim import (
+    ParallelExecutor,
+    ResultCache,
+    RunSpec,
+    execute_spec,
+    run_simulation,
+    spec_fragment,
+    sweep,
+    worst_case_over,
+)
+from repro.sim.specs import (
+    available_adversaries,
+    make_adversary,
+    materialize_adversary,
+    materialize_algorithm,
+    rate_adversaries,
+    register_adversary,
+)
+
+
+def _spec(**overrides) -> RunSpec:
+    base = dict(
+        algorithm="count-hop",
+        algorithm_params={"n": 4},
+        adversary="single-target",
+        adversary_params={"rho": 0.4, "beta": 1.0},
+        rounds=200,
+    )
+    base.update(overrides)
+    return RunSpec(**base)
+
+
+class TestRunSpec:
+    def test_round_trips_through_dict(self):
+        spec = _spec(energy_cap=3, record_trace=True, label="x")
+        assert RunSpec.from_dict(spec.to_dict()) == spec
+
+    def test_hash_ignores_param_insertion_order(self):
+        a = _spec(adversary_params={"rho": 0.4, "beta": 1.0})
+        b = _spec(adversary_params={"beta": 1.0, "rho": 0.4})
+        assert a.spec_hash() == b.spec_hash()
+        assert a == b and hash(a) == hash(b)
+
+    def test_hash_distinguishes_every_field(self):
+        base = _spec()
+        assert base.spec_hash() != _spec(rounds=201).spec_hash()
+        assert base.spec_hash() != _spec(record_trace=True).spec_hash()
+        assert base.spec_hash() != _spec(adversary="spray").spec_hash()
+
+    def test_rejects_unknown_adversary_and_bad_rounds(self):
+        with pytest.raises(KeyError, match="unknown adversary"):
+            _spec(adversary="nope")
+        with pytest.raises(ValueError, match="rounds"):
+            _spec(rounds=0)
+
+    def test_rejects_unpicklable_params(self):
+        with pytest.raises(TypeError, match="JSON-serialisable"):
+            _spec(adversary_params={"rho": 0.4, "beta": 1.0, "schedule": object()})
+
+    def test_specs_are_picklable(self):
+        spec = _spec()
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_from_fragments(self):
+        spec = RunSpec.from_fragments(
+            spec_fragment("count-hop", n=4),
+            spec_fragment("single-target", rho=0.4, beta=1.0),
+            200,
+        )
+        assert spec == _spec()
+
+    def test_execute_matches_direct_run(self):
+        direct = run_simulation(CountHop(4), SingleTargetAdversary(0.4, 1.0), 200)
+        via_spec = execute_spec(_spec())
+        assert via_spec.summary == direct.summary
+
+
+class TestAdversaryRegistry:
+    def test_registries_cover_cli_surface(self):
+        names = available_adversaries()
+        for key in ("single-target", "spray", "random", "adaptive-starvation"):
+            assert key in names
+        assert "least-on-station" not in rate_adversaries()
+        assert "no-injection" not in rate_adversaries()
+
+    def test_schedule_aware_needs_schedule(self):
+        with pytest.raises(ValueError, match="schedule"):
+            make_adversary("least-on-station", rho=0.8, beta=1.0, horizon=10)
+        with pytest.raises(ValueError, match="does not take"):
+            make_adversary("single-target", rho=0.8, beta=1.0, schedule=object())
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_adversary("single-target", SingleTargetAdversary)
+
+    def test_materialize_passthrough_and_fragments(self):
+        live = NoInjectionAdversary()
+        assert materialize_adversary(live) is live
+        built = materialize_adversary(spec_fragment("no-injection"))
+        assert isinstance(built, NoInjectionAdversary)
+        algo = materialize_algorithm(spec_fragment("count-hop", n=4))
+        assert algo.n == 4
+        with pytest.raises(TypeError):
+            materialize_algorithm(42)
+
+
+class TestResultCache:
+    def test_put_then_get(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _spec()
+        assert cache.get(spec) is None
+        result = execute_spec(spec)
+        cache.put(spec, result)
+        assert spec in cache and len(cache) == 1
+        hit = cache.get(spec)
+        assert hit is not None and hit.summary == result.summary
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_corrupt_payload_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _spec()
+        cache.put(spec, execute_spec(spec))
+        (tmp_path / f"{spec.spec_hash()}.pkl").write_bytes(b"garbage")
+        assert cache.get(spec) is None
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _spec()
+        cache.put(spec, execute_spec(spec))
+        assert cache.clear() == 1
+        assert len(cache) == 0 and cache.get(spec) is None
+
+    def test_executor_consults_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _spec()
+        with ParallelExecutor(workers=1, cache=cache) as executor:
+            first = executor.run([spec])[0]
+            second = executor.run([spec])[0]
+        assert cache.hits == 1
+        assert first.summary == second.summary
+
+    def test_env_var_overrides_default_dir(self, tmp_path, monkeypatch):
+        from repro.sim.cache import default_cache_dir
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
+        assert default_cache_dir() == tmp_path / "custom"
+
+
+class TestSweepForwarding:
+    def test_sweep_forwards_record_trace(self):
+        series = sweep(
+            "demo",
+            "rho",
+            [0.2],
+            lambda rho: CountHop(4),
+            lambda rho: SingleTargetAdversary(rho, 1.0),
+            150,
+            record_trace=True,
+        )
+        assert series.points[0].result.trace is not None
+        assert len(series.points[0].result.trace) == 150
+
+    def test_sweep_forwards_energy_cap(self):
+        series = sweep(
+            "demo",
+            "rho",
+            [0.2],
+            lambda rho: CountHop(4),
+            lambda rho: SingleTargetAdversary(rho, 1.0),
+            150,
+            energy_cap=3,
+        )
+        assert series.points[0].result.energy.cap == 3
+
+    def test_sweep_forwarding_applies_to_spec_path_too(self):
+        series = sweep(
+            "demo",
+            "rho",
+            [0.2],
+            lambda rho: spec_fragment("count-hop", n=4),
+            lambda rho: spec_fragment("single-target", rho=rho, beta=1.0),
+            150,
+            energy_cap=3,
+            record_trace=True,
+        )
+        result = series.points[0].result
+        assert result.energy.cap == 3 and result.trace is not None
+
+    def test_parallel_sweep_requires_fragments(self):
+        with pytest.raises(ValueError, match="declarative factories"):
+            sweep(
+                "demo",
+                "rho",
+                [0.2],
+                lambda rho: CountHop(4),
+                lambda rho: SingleTargetAdversary(rho, 1.0),
+                100,
+                workers=2,
+            )
+
+
+class TestWorstCaseTieBreak:
+    def test_tie_break_is_stable_under_reordering(self):
+        # Neither adversary injects within the 100-round run (the burst one
+        # first wakes at round 200), so both runs tie on (latency, max_queue)
+        # and only the description tie-break decides.
+        from repro.adversary import BurstThenIdleAdversary
+
+        factories = [
+            lambda: BurstThenIdleAdversary(0.5, 1.0, idle_rounds=200),
+            lambda: NoInjectionAdversary(),
+        ]
+        worst_fwd, _ = worst_case_over(lambda: CountHop(4), factories, 100)
+        worst_rev, _ = worst_case_over(lambda: CountHop(4), factories[::-1], 100)
+        assert worst_fwd.adversary == worst_rev.adversary
+
+    def test_parallel_worst_case_matches_serial(self):
+        algorithm = lambda: spec_fragment("count-hop", n=4)
+        factories = [
+            lambda: spec_fragment("single-target", rho=0.5, beta=1.0),
+            lambda: spec_fragment("round-robin", rho=0.5, beta=1.0),
+            lambda: spec_fragment("bursty", rho=0.5, beta=2.0),
+        ]
+        worst_s, runs_s = worst_case_over(algorithm, factories, 400, workers=1)
+        worst_p, runs_p = worst_case_over(algorithm, factories, 400, workers=2)
+        assert [r.summary for r in runs_s] == [r.summary for r in runs_p]
+        assert worst_s.summary == worst_p.summary
