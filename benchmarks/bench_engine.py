@@ -1,0 +1,148 @@
+#!/usr/bin/env python
+"""Engine micro-benchmark: kernel vs reference rounds-per-second.
+
+Times the capability-negotiated kernel loop against the checked reference
+loop on a fixed set of configurations and writes the rounds/sec
+trajectory to ``BENCH_engine.json`` so CI can archive it per commit.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py [--smoke] [--output PATH]
+
+``--smoke`` runs short horizons (a few seconds total) for CI; the default
+horizons give steadier numbers for local comparisons.  The headline
+configuration — an oblivious adversary driving a schedule-published
+k-Cycle at n=64 in the paper's energy-frugal regime (k << n) — is where
+the kernel's negotiated fast paths all engage; the other rows track the
+dynamic-wakes and adaptive-adversary paths so regressions in any
+negotiation branch show up in the trajectory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+if __package__ in (None, ""):  # run as a script
+    _src = Path(__file__).resolve().parents[1] / "src"
+    if _src.exists() and str(_src) not in sys.path:
+        sys.path.insert(0, str(_src))
+
+from repro.sim import RunSpec, execute_spec  # noqa: E402
+
+#: (name, spec template).  ``rounds`` is filled in per mode.
+CONFIGS: list[tuple[str, dict]] = [
+    (
+        "k-cycle n=64 k=4, oblivious spray (all fast paths)",
+        dict(
+            algorithm="k-cycle",
+            algorithm_params={"n": 64, "k": 4},
+            adversary="spray",
+            adversary_params={"rho": 0.04, "beta": 2.0},
+        ),
+    ),
+    (
+        "k-cycle n=64 k=8, oblivious spray",
+        dict(
+            algorithm="k-cycle",
+            algorithm_params={"n": 64, "k": 8},
+            adversary="spray",
+            adversary_params={"rho": 0.08, "beta": 2.0},
+        ),
+    ),
+    (
+        "k-clique n=32 k=8, oblivious round-robin",
+        dict(
+            algorithm="k-clique",
+            algorithm_params={"n": 32, "k": 8},
+            adversary="round-robin",
+            adversary_params={"rho": 0.05, "beta": 2.0},
+        ),
+    ),
+    (
+        "count-hop n=16, oblivious spray (dynamic wakes path)",
+        dict(
+            algorithm="count-hop",
+            algorithm_params={"n": 16},
+            adversary="spray",
+            adversary_params={"rho": 0.3, "beta": 2.0},
+        ),
+    ),
+    (
+        "k-cycle n=32 k=4, adaptive adversary (windowed view path)",
+        dict(
+            algorithm="k-cycle",
+            algorithm_params={"n": 32, "k": 4},
+            adversary="adaptive-starvation",
+            adversary_params={"rho": 0.1, "beta": 2.0},
+            enforce_energy_cap=False,
+        ),
+    ),
+]
+
+
+def _time_engine(template: dict, engine: str, rounds: int, repeats: int) -> float:
+    """Best-of-``repeats`` rounds/sec for one configuration and engine."""
+    spec = RunSpec(rounds=rounds, engine=engine, **template)
+    best = 0.0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        execute_spec(spec)
+        elapsed = time.perf_counter() - start
+        best = max(best, rounds / elapsed)
+    return best
+
+
+def run_benchmark(smoke: bool) -> dict:
+    rounds = 3_000 if smoke else 20_000
+    repeats = 2 if smoke else 3
+    rows = []
+    for name, template in CONFIGS:
+        reference = _time_engine(template, "reference", rounds, repeats)
+        kernel = _time_engine(template, "kernel", rounds, repeats)
+        rows.append(
+            {
+                "name": name,
+                "rounds": rounds,
+                "reference_rps": round(reference, 1),
+                "kernel_rps": round(kernel, 1),
+                "speedup": round(kernel / reference, 2),
+            }
+        )
+        print(
+            f"{name:<58s} reference {reference:>10,.0f} rps   "
+            f"kernel {kernel:>10,.0f} rps   x{kernel / reference:.2f}"
+        )
+    return {
+        "schema": 1,
+        "smoke": smoke,
+        "unix_time": int(time.time()),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "configs": rows,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="short horizons for CI smoke runs"
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_engine.json",
+        help="where to write the JSON trajectory (default: ./BENCH_engine.json)",
+    )
+    args = parser.parse_args(argv)
+    payload = run_benchmark(smoke=args.smoke)
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

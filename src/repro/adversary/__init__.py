@@ -12,7 +12,13 @@ from .adaptive import (
     LeastOnStationAdversary,
     ScheduleLike,
 )
-from .base import Adversary, InjectionDemand
+from .base import (
+    DEFAULT_OBSERVATION_WINDOW,
+    Adversary,
+    InjectionDemand,
+    ObliviousAdversary,
+    ObservationProfile,
+)
 from .leaky_bucket import (
     AdversaryType,
     LeakyBucketConstraint,
@@ -38,6 +44,7 @@ __all__ = [
     "AdversaryType",
     "AlternatingPairAdversary",
     "BurstThenIdleAdversary",
+    "DEFAULT_OBSERVATION_WINDOW",
     "GroupLocalAdversary",
     "HotspotAdversary",
     "InjectionDemand",
@@ -47,6 +54,8 @@ __all__ = [
     "LeastOnPairAdversary",
     "LeastOnStationAdversary",
     "NoInjectionAdversary",
+    "ObliviousAdversary",
+    "ObservationProfile",
     "RandomWalkAdversary",
     "RecordingAdversary",
     "ReplayAdversary",

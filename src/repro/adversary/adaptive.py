@@ -25,7 +25,7 @@ from __future__ import annotations
 from typing import Protocol, Sequence, runtime_checkable
 
 from ..channel.engine import AdversaryView
-from .base import Adversary, InjectionDemand
+from .base import Adversary, InjectionDemand, ObliviousAdversary, ObservationProfile
 
 __all__ = [
     "ScheduleLike",
@@ -69,8 +69,11 @@ def _pair_on_counts(
     return counts
 
 
-class LeastOnStationAdversary(Adversary):
+class LeastOnStationAdversary(ObliviousAdversary):
     """Theorem 6 adversary: flood the station the oblivious schedule starves.
+
+    Schedule-aware but view-oblivious: the victim is computed once at bind
+    time from the *published* schedule, so no execution history is needed.
 
     Parameters
     ----------
@@ -111,7 +114,7 @@ class LeastOnStationAdversary(Adversary):
         return demands
 
 
-class LeastOnPairAdversary(Adversary):
+class LeastOnPairAdversary(ObliviousAdversary):
     """Theorem 9 adversary: flood the ordered pair least often jointly awake.
 
     All packets are injected into station ``w`` with destination ``z``,
@@ -160,6 +163,12 @@ class AdaptiveStarvationAdversary(Adversary):
     def __init__(self, rho: float = 1.0, beta: float = 1.0) -> None:
         super().__init__(rho, beta)
         self._source_cursor = 0
+
+    def observation_profile(self) -> ObservationProfile:
+        # Only the per-station on-round *counts* are read; those are
+        # maintained incrementally from round 0 whatever the window, so a
+        # minimal one-round window suffices.
+        return ObservationProfile.windowed(1)
 
     def _most_starved(self, view: AdversaryView) -> int:
         assert self.n is not None

@@ -13,16 +13,74 @@ adversary can accidentally exceed its own type.
 from __future__ import annotations
 
 import abc
+from dataclasses import dataclass
 from typing import Sequence
 
 from ..channel.engine import AdversaryView
 from ..channel.packet import Packet, PacketFactory
 from .leaky_bucket import AdversaryType, LeakyBucketConstraint
 
-__all__ = ["Adversary", "InjectionDemand"]
+__all__ = [
+    "Adversary",
+    "DEFAULT_OBSERVATION_WINDOW",
+    "InjectionDemand",
+    "ObliviousAdversary",
+    "ObservationProfile",
+]
 
 # A demand is a (source station, destination station) pair.
 InjectionDemand = tuple[int, int]
+
+#: History window granted to adversaries that do not declare a profile of
+#: their own.  Large enough for any bounded-lookback heuristic, small
+#: enough that week-long runs stay at O(window) memory.
+DEFAULT_OBSERVATION_WINDOW = 1024
+
+
+@dataclass(frozen=True, slots=True)
+class ObservationProfile:
+    """How much of the execution history an adversary actually observes.
+
+    The engine negotiates the cheapest correct :class:`AdversaryView` from
+    this declaration: an *oblivious* adversary (window 0) gets a view that
+    is never updated, a *windowed* adversary a bounded ring buffer of the
+    last ``window`` rounds, and a *full-history* adversary (window None)
+    the unbounded record the worst-case model permits.  Per-station
+    on-round counts (:meth:`AdversaryView.station_on_rounds`) are
+    maintained incrementally from round 0 whenever the view is updated at
+    all, so a bounded window never changes their values.
+    """
+
+    #: Number of completed rounds visible in the view's histories;
+    #: ``0`` means the adversary never reads the view, ``None`` means the
+    #: full unbounded history is required.
+    window: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.window is not None and self.window < 0:
+            raise ValueError("observation window must be >= 0 (or None)")
+
+    @property
+    def is_oblivious(self) -> bool:
+        """True when the adversary never reads the execution history."""
+        return self.window == 0
+
+    @classmethod
+    def oblivious(cls) -> "ObservationProfile":
+        """The adversary ignores the view entirely (fixed injection pattern)."""
+        return cls(window=0)
+
+    @classmethod
+    def windowed(cls, window: int) -> "ObservationProfile":
+        """The adversary reads at most the last ``window`` completed rounds."""
+        if window < 1:
+            raise ValueError("a windowed profile needs window >= 1")
+        return cls(window=window)
+
+    @classmethod
+    def full(cls) -> "ObservationProfile":
+        """The adversary may read the entire execution history."""
+        return cls(window=None)
 
 
 class Adversary(abc.ABC):
@@ -53,6 +111,21 @@ class Adversary(abc.ABC):
     def on_bind(self, n: int) -> None:
         """Hook for subclasses that need to precompute per-``n`` state."""
 
+    # -- capability declaration ---------------------------------------------
+    def observation_profile(self) -> ObservationProfile:
+        """Declare how much execution history this adversary observes.
+
+        The engines size the :class:`~repro.channel.engine.AdversaryView`
+        from this declaration.  The conservative default grants a bounded
+        window of :data:`DEFAULT_OBSERVATION_WINDOW` rounds; subclasses
+        that never read the view should return
+        :meth:`ObservationProfile.oblivious` (the kernel then skips view
+        maintenance entirely), and subclasses that genuinely need the
+        unbounded history must return :meth:`ObservationProfile.full` (or
+        the run must set ``EngineConfig(full_history=True)``).
+        """
+        return ObservationProfile.windowed(DEFAULT_OBSERVATION_WINDOW)
+
     @property
     def rho(self) -> float:
         return self.adversary_type.rho
@@ -71,7 +144,13 @@ class Adversary(abc.ABC):
         if self.n is None or self.factory is None:
             raise RuntimeError("adversary.bind(n) must be called before inject()")
         budget = self.constraint.budget()
-        demands = list(self.demand(round_no, budget, view))
+        demanded = self.demand(round_no, budget, view)
+        if not demanded:
+            # Most rounds of a low-rate run inject nothing; still advance
+            # the constraint tracker so the budget refills.
+            self.constraint.consume(0)
+            return []
+        demands = list(demanded)
         if len(demands) > budget:
             demands = demands[:budget]
         injections: list[tuple[int, Packet]] = []
@@ -108,3 +187,15 @@ class Adversary(abc.ABC):
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return self.describe()
+
+
+class ObliviousAdversary(Adversary):
+    """Base class of adversaries whose demands never read the view.
+
+    Subclasses decide their injections from ``(round_no, budget)`` and
+    internal state alone; declaring that lets the kernel engine skip all
+    :class:`~repro.channel.engine.AdversaryView` maintenance.
+    """
+
+    def observation_profile(self) -> ObservationProfile:
+        return ObservationProfile.oblivious()

@@ -51,8 +51,14 @@ class AdversaryType:
 
     @property
     def burstiness(self) -> int:
-        """Maximum number of packets injectable in a single round."""
-        return math.floor(self.rho + self.beta)
+        """Maximum number of packets injectable in a single round.
+
+        Uses the same drift guard as :meth:`LeakyBucketConstraint.budget`
+        so that a ``rho + beta`` lying one float ulp below an integer
+        rounds consistently in both places (``budget() <= burstiness``
+        must hold for every representable type).
+        """
+        return math.floor(self.rho + self.beta + 1e-9)
 
     def window_bound(self, t: int) -> float:
         """Upper bound on injections in any interval of ``t`` rounds."""
@@ -75,11 +81,16 @@ class LeakyBucketConstraint:
 
     adversary_type: AdversaryType
     _slack: float = field(init=False)
+    _cap: float = field(init=False)
+    _rho: float = field(init=False)
     _round: int = field(init=False, default=0)
     total_injected: int = field(init=False, default=0)
 
     def __post_init__(self) -> None:
-        self._slack = self.adversary_type.rho + self.adversary_type.beta
+        # Cached scalars: budget()/consume() run once per simulated round.
+        self._rho = self.adversary_type.rho
+        self._cap = self.adversary_type.rho + self.adversary_type.beta
+        self._slack = self._cap
 
     @property
     def rho(self) -> float:
@@ -110,20 +121,20 @@ class LeakyBucketConstraint:
         """
         if count < 0:
             raise ValueError("injection count cannot be negative")
-        if count > self.budget():
+        if count > 0 and count > self.budget():
             raise LeakyBucketViolation(
                 f"round {self._round}: injecting {count} packets exceeds the "
                 f"budget {self.budget()} of adversary type {self.adversary_type}"
             )
         self.total_injected += count
-        cap = self.adversary_type.rho + self.adversary_type.beta
-        self._slack = min(self._slack - count + self.adversary_type.rho, cap)
+        slack = self._slack - count + self._rho
+        cap = self._cap
+        self._slack = slack if slack < cap else cap
         self._round += 1
 
     def peek_after_skip(self, rounds: int) -> int:
         """Budget available after skipping ``rounds`` rounds without injecting."""
-        cap = self.adversary_type.rho + self.adversary_type.beta
-        slack = min(self._slack + rounds * self.adversary_type.rho, cap)
+        slack = min(self._slack + rounds * self._rho, self._cap)
         return max(0, math.floor(slack + 1e-9))
 
 

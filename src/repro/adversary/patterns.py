@@ -6,6 +6,10 @@ leaky-bucket budget allows (unless documented otherwise), choosing sources
 and destinations according to a simple deterministic rule.  Worst-case
 metrics reported by the harness are maxima over a *family* of such
 patterns plus the adaptive adversaries of :mod:`repro.adversary.adaptive`.
+
+All patterns are :class:`~repro.adversary.base.ObliviousAdversary`
+subclasses: their demands never read the execution view, so the kernel
+engine runs them without maintaining any adversary-visible history.
 """
 
 from __future__ import annotations
@@ -14,7 +18,7 @@ import itertools
 from typing import Sequence
 
 from ..channel.engine import AdversaryView
-from .base import Adversary, InjectionDemand
+from .base import InjectionDemand, ObliviousAdversary
 
 __all__ = [
     "SingleTargetAdversary",
@@ -28,7 +32,7 @@ __all__ = [
 ]
 
 
-class NoInjectionAdversary(Adversary):
+class NoInjectionAdversary(ObliviousAdversary):
     """Injects nothing; useful to test quiescent behaviour of algorithms."""
 
     def __init__(self) -> None:
@@ -40,7 +44,7 @@ class NoInjectionAdversary(Adversary):
         return []
 
 
-class SingleTargetAdversary(Adversary):
+class SingleTargetAdversary(ObliviousAdversary):
     """All packets are injected into one station, destined to one other.
 
     This is the canonical worst case for direct and oblivious algorithms:
@@ -64,7 +68,7 @@ class SingleTargetAdversary(Adversary):
         return [(self.source, self.destination)] * budget
 
 
-class SingleSourceSprayAdversary(Adversary):
+class SingleSourceSprayAdversary(ObliviousAdversary):
     """One overloaded source station, destinations cycling over all others.
 
     Stresses algorithms whose schedules give every station the same share
@@ -92,7 +96,7 @@ class SingleSourceSprayAdversary(Adversary):
         return demands
 
 
-class RoundRobinAdversary(Adversary):
+class RoundRobinAdversary(ObliviousAdversary):
     """Sources and destinations both cycle over all stations.
 
     The most 'balanced' pattern: every station receives roughly the same
@@ -122,7 +126,7 @@ class RoundRobinAdversary(Adversary):
         return demands
 
 
-class AlternatingPairAdversary(Adversary):
+class AlternatingPairAdversary(ObliviousAdversary):
     """Packets injected into ``source``, destinations alternating between two stations.
 
     Mirrors Case I of the proof of Lemma 1 (Theorem 2): one station is
@@ -161,7 +165,7 @@ class AlternatingPairAdversary(Adversary):
         return demands
 
 
-class SaturatingAdversary(Adversary):
+class SaturatingAdversary(ObliviousAdversary):
     """Injects at full budget every round, cycling sources, fixed stride destinations.
 
     With ``rho = 1`` this keeps the channel permanently saturated — the
@@ -188,7 +192,7 @@ class SaturatingAdversary(Adversary):
         return demands
 
 
-class BurstThenIdleAdversary(Adversary):
+class BurstThenIdleAdversary(ObliviousAdversary):
     """Alternates idle stretches with maximal bursts.
 
     The adversary stays silent for ``idle_rounds`` rounds, letting its
@@ -222,7 +226,7 @@ class BurstThenIdleAdversary(Adversary):
         return [(self.source, self.destination)] * budget
 
 
-class GroupLocalAdversary(Adversary):
+class GroupLocalAdversary(ObliviousAdversary):
     """All traffic stays inside one contiguous block of ``group_size`` stations.
 
     The worst case sketched for k-Clique in Theorem 7: the adversary

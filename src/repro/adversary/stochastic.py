@@ -15,7 +15,7 @@ from typing import Sequence
 import numpy as np
 
 from ..channel.engine import AdversaryView
-from .base import Adversary, InjectionDemand
+from .base import InjectionDemand, ObliviousAdversary
 from .leaky_bucket import LeakyBucketConstraint
 
 __all__ = [
@@ -26,8 +26,12 @@ __all__ = [
 ]
 
 
-class SeededAdversary(Adversary):
+class SeededAdversary(ObliviousAdversary):
     """Base class of the stochastic adversaries: explicit, replayable seeding.
+
+    Stochastic traffic is oblivious in the adversarial sense: demands are
+    drawn from the seeded generator, never from the execution view, so the
+    kernel engine skips view maintenance for these adversaries.
 
     The seed is part of the adversary's identity: it appears in
     :meth:`describe`, so worst-case reports and deterministic tie-breaks

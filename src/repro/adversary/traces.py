@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from ..channel.engine import AdversaryView
-from .base import Adversary, InjectionDemand
+from .base import Adversary, InjectionDemand, ObliviousAdversary, ObservationProfile
 from .leaky_bucket import AdversaryType, verify_injection_record
 
 __all__ = ["TraceEntry", "InjectionTrace", "RecordingAdversary", "ReplayAdversary"]
@@ -87,6 +87,11 @@ class RecordingAdversary(Adversary):
         if self.inner.n is None:
             self.inner.bind(n, self.factory)
 
+    def observation_profile(self) -> ObservationProfile:
+        # Recording adds no observation of its own; the wrapped adversary's
+        # declaration decides what the engine must maintain.
+        return self.inner.observation_profile()
+
     def demand(
         self, round_no: int, budget: int, view: AdversaryView
     ) -> Sequence[InjectionDemand]:
@@ -102,7 +107,7 @@ class RecordingAdversary(Adversary):
         return f"Recording({self.inner.describe()})"
 
 
-class ReplayAdversary(Adversary):
+class ReplayAdversary(ObliviousAdversary):
     """Replays a previously recorded :class:`InjectionTrace`.
 
     The declared ``(rho, beta)`` type must admit the trace; this is

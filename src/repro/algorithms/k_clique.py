@@ -70,6 +70,10 @@ def clique_pairs(n: int, k: int) -> list[list[int]]:
 class _KCliqueController(QueueingController):
     """Per-station controller of k-Clique."""
 
+    # wakes() is a pure lookup of the pair rotation (published as the
+    # algorithm's PeriodicSchedule), so the kernel may batch awake sets.
+    static_wake_schedule = True
+
     def __init__(self, station_id: int, n: int, pairs: list[list[int]]) -> None:
         super().__init__(station_id, n)
         self.pairs = pairs

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import math
 
-from ..channel.feedback import Feedback
+from ..channel.feedback import ChannelOutcome, Feedback
 from ..channel.message import Message
 from ..core.algorithm import AlgorithmProperties, RoutingAlgorithm
 from ..core.controller import QueueingController
@@ -74,6 +74,10 @@ def activity_segment_length(n: int, k: int) -> int:
 class _KCycleController(QueueingController):
     """Per-station controller of k-Cycle."""
 
+    # wakes() is a pure lookup of the group rotation (published as the
+    # algorithm's PeriodicSchedule), so the kernel may batch awake sets.
+    static_wake_schedule = True
+
     def __init__(
         self,
         station_id: int,
@@ -95,6 +99,22 @@ class _KCycleController(QueueingController):
         }
         # Injected packets are immediately old for the next phase they meet;
         # OF-RRW ages them at phase boundaries of the groups we belong to.
+        self._member_sets = [set(members) for members in groups]
+        # Activity-segment cache: the active group only changes every
+        # ``delta`` rounds, so the hot hooks (act / on_heard /
+        # after_feedback, all called once per awake round) resolve it with
+        # one comparison instead of div/mod plus dict lookups.
+        self._seg_start = 0
+        self._seg_end = 0  # empty: the first hook call refreshes
+        self._seg_group = -1
+        self._seg_replica: TokenRingReplica | None = None
+
+    def _refresh_segment(self, round_no: int) -> None:
+        block = round_no // self.delta
+        self._seg_group = block % self.num_groups
+        self._seg_replica = self.replicas.get(self._seg_group)
+        self._seg_start = block * self.delta
+        self._seg_end = self._seg_start + self.delta
 
     def _shared_station(self, group_a: list[int], group_b: list[int]) -> int:
         shared = [s for s in group_a if s in set(group_b)]
@@ -115,7 +135,7 @@ class _KCycleController(QueueingController):
 
     # -- protocol -----------------------------------------------------------
     def _eligible_packet(self, group: int):
-        members = set(self.groups[group])
+        members = self._member_sets[group]
         connector = self.forward_connector[group]
 
         def progresses(packet) -> bool:
@@ -130,35 +150,39 @@ class _KCycleController(QueueingController):
         return self.queue.peek_old_matching(progresses)
 
     def act(self, round_no: int) -> Message | None:
-        group = self.active_group(round_no)
-        if group not in self.my_groups:
+        if not self._seg_start <= round_no < self._seg_end:
+            self._refresh_segment(round_no)
+        replica = self._seg_replica
+        if replica is None or replica.holder != self.station_id:
             return None
-        replica = self.replicas[group]
-        if replica.holder != self.station_id:
-            return None
-        packet = self._eligible_packet(group)
+        packet = self._eligible_packet(self._seg_group)
         if packet is None:
             return None
         return self.transmit(packet)
 
     def on_heard(self, round_no: int, message: Message, feedback: Feedback) -> None:
-        group = self.active_group(round_no)
-        if group not in self.my_groups:
-            return
+        if not self._seg_start <= round_no < self._seg_end:
+            self._refresh_segment(round_no)
+        if self._seg_replica is None:
+            return  # not a member of the active group
         packet = message.packet
         if packet is None or message.sender == self.station_id:
             return
         if packet.destination == self.station_id:
             return  # consumed; the engine records the delivery
-        if packet.destination in set(self.groups[group]):
+        group = self._seg_group
+        if packet.destination in self._member_sets[group]:
             return  # delivered to another member of the active group
         if self.station_id == self.forward_connector[group]:
             # The packet leaves the group: we are its relay.
             self.adopt(packet)
 
     def after_feedback(self, round_no: int, feedback: Feedback) -> None:
-        group = self.active_group(round_no)
-        replica = self.replicas.get(group)
+        if feedback.outcome is not ChannelOutcome.SILENCE:
+            return  # the token only moves on silent rounds
+        if not self._seg_start <= round_no < self._seg_end:
+            self._refresh_segment(round_no)
+        replica = self._seg_replica
         if replica is None:
             return
         phase_done = replica.observe(feedback.outcome)

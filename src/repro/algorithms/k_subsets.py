@@ -48,6 +48,11 @@ MAX_THREADS = 20000
 class _KSubsetsController(StationController):
     """Per-station controller of k-Subsets."""
 
+    # Thread queues shrink only when an own transmission is confirmed
+    # heard; phase-boundary reassignment moves packets between internal
+    # queues without changing the total, so heard-only polling is safe.
+    queue_changes_on_heard_only = True
+
     def __init__(
         self,
         station_id: int,

@@ -8,9 +8,10 @@ bookkeeping.
 """
 
 from .energy import EnergyCapViolation, EnergyMonitor, EnergyReport
-from .engine import AdversaryView, EngineConfig, RoundEngine
+from .engine import DEFAULT_VIEW_WINDOW, AdversaryView, EngineConfig, RoundEngine
 from .events import ExecutionTrace, InjectionEvent, RoundEvent
 from .feedback import ChannelOutcome, Feedback
+from .kernel import KernelEngine
 from .message import Message, control_bit_cost
 from .packet import Packet, PacketFactory
 from .station import StationController
@@ -18,6 +19,7 @@ from .station import StationController
 __all__ = [
     "AdversaryView",
     "ChannelOutcome",
+    "DEFAULT_VIEW_WINDOW",
     "EngineConfig",
     "EnergyCapViolation",
     "EnergyMonitor",
@@ -25,6 +27,7 @@ __all__ = [
     "ExecutionTrace",
     "Feedback",
     "InjectionEvent",
+    "KernelEngine",
     "Message",
     "Packet",
     "PacketFactory",

@@ -18,10 +18,17 @@ algorithm logic lives in :class:`~repro.channel.station.StationController`
 subclasses.  The engine performs correctness bookkeeping (exactly-once
 delivery to the right destination), metrics collection and optional
 tracing.
+
+:class:`RoundEngine` is the *reference* loop: fully checked, traceable,
+with an observable per-round event record.  Its semantics are the oracle
+for the capability-negotiated fast loop in
+:mod:`repro.channel.kernel`, which produces bit-identical summaries while
+skipping the bookkeeping a given run does not need.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
@@ -36,7 +43,22 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..adversary.base import Adversary
     from ..metrics.collector import MetricsCollector
 
-__all__ = ["AdversaryView", "RoundEngine", "EngineConfig"]
+__all__ = [
+    "AdversaryView",
+    "DEFAULT_VIEW_WINDOW",
+    "EngineConfig",
+    "RoundEngine",
+    "check_message",
+    "negotiated_view_window",
+    "validate_controllers",
+]
+
+#: History window the reference engine keeps even for adversaries that
+#: declared a smaller (or zero) observation window: short-run debugging and
+#: engine-level tests read the view directly, so the checked loop never
+#: truncates below this many rounds.  Long runs thereby stay at O(window)
+#: memory instead of O(rounds) unless ``EngineConfig(full_history=True)``.
+DEFAULT_VIEW_WINDOW = 1024
 
 
 @dataclass(slots=True)
@@ -48,6 +70,12 @@ class AdversaryView:
     history of awake sets, the channel outcomes and per-station queue
     sizes up to and including the *previous* round.  Injections for round
     ``t`` are decided before the stations of round ``t`` act.
+
+    ``window`` bounds how many completed rounds the histories retain
+    (``None`` keeps everything).  Per-station on-round counts are
+    maintained incrementally from round 0 whenever the engine feeds the
+    view through :meth:`observe_round`, so
+    :meth:`station_on_rounds` is exact regardless of the window.
     """
 
     n: int
@@ -56,25 +84,121 @@ class AdversaryView:
     outcome_history: list[ChannelOutcome] = field(default_factory=list)
     queue_sizes: list[int] = field(default_factory=list)
     delivered_total: int = 0
+    window: int | None = None
+    _on_counts: list[int] | None = field(default=None, init=False)
+    _observed_rounds: int = field(default=0, init=False)
 
+    def __post_init__(self) -> None:
+        if self.window is not None:
+            if self.window < 0:
+                raise ValueError("view window must be >= 0 (or None)")
+            self.awake_history = deque(self.awake_history, maxlen=self.window)
+            self.outcome_history = deque(self.outcome_history, maxlen=self.window)
+
+    # -- engine-facing update ------------------------------------------------
+    def observe_round(
+        self,
+        awake: tuple[int, ...],
+        outcome: ChannelOutcome,
+        queue_sizes: list[int],
+        delivered_total: int,
+    ) -> None:
+        """Record one completed round (called by the engines, once per round)."""
+        self.awake_history.append(awake)
+        self.outcome_history.append(outcome)
+        self.queue_sizes = queue_sizes
+        self.delivered_total = delivered_total
+        counts = self._on_counts
+        if counts is None:
+            counts = self._on_counts = [0] * self.n
+        for i in awake:
+            counts[i] += 1
+        self._observed_rounds += 1
+
+    # -- adversary-facing queries -------------------------------------------
     def last_awake(self) -> tuple[int, ...]:
         """Awake set of the most recent completed round (empty if none)."""
         return self.awake_history[-1] if self.awake_history else ()
 
     def station_on_rounds(self, station: int) -> int:
-        """How many completed rounds ``station`` has spent switched on."""
+        """How many completed rounds ``station`` has spent switched on.
+
+        Exact from round 0 (independent of the history window) when the
+        view is engine-maintained; hand-assembled views (tests) fall back
+        to counting over whatever history is present.
+        """
+        if self._observed_rounds:
+            assert self._on_counts is not None
+            return self._on_counts[station]
         return sum(1 for awake in self.awake_history if station in awake)
+
+
+def negotiated_view_window(adversary: "Adversary", full_history: bool) -> int | None:
+    """The history window an adversary's observation profile asks for.
+
+    ``None`` means unbounded.  Objects without an ``observation_profile``
+    capability (duck-typed so the channel layer stays decoupled from the
+    adversary package) conservatively get full history.
+    """
+    if full_history:
+        return None
+    profile = getattr(adversary, "observation_profile", None)
+    if profile is None:
+        return None
+    return profile().window
 
 
 @dataclass(slots=True)
 class EngineConfig:
-    """Configuration knobs of :class:`RoundEngine`."""
+    """Configuration knobs of :class:`RoundEngine` (and the kernel loop).
+
+    ``full_history`` overrides the adversary's declared observation
+    profile and keeps the unbounded :class:`AdversaryView` histories of
+    the original engine — the opt-in for debugging sessions and for
+    adversaries written before observation profiles existed.
+    """
 
     energy_cap: int | None = None
     enforce_energy_cap: bool = True
     record_trace: bool = False
     check_plain_packet: bool = False
     max_control_bits: int | None = None
+    full_history: bool = False
+
+
+def validate_controllers(
+    controllers: Sequence[StationController],
+) -> list[StationController]:
+    """Shared engine-construction check: one controller per station, in order."""
+    if not controllers:
+        raise ValueError("at least one station controller is required")
+    out = list(controllers)
+    for expected, ctrl in enumerate(out):
+        if ctrl.station_id != expected:
+            raise ValueError(
+                f"controller at index {expected} has station_id {ctrl.station_id}"
+            )
+    return out
+
+
+def check_message(config: EngineConfig, sender: int, message: Message) -> None:
+    """Shared per-transmission discipline checks (both engine loops)."""
+    if message.sender != sender:
+        raise ValueError(
+            f"station {sender} transmitted a message claiming sender {message.sender}"
+        )
+    if config.check_plain_packet and not message.is_plain_packet:
+        raise ValueError(
+            f"plain-packet discipline violated by station {sender}: {message!r}"
+        )
+    if (
+        config.max_control_bits is not None
+        and message.control_bits() > config.max_control_bits
+    ):
+        raise ValueError(
+            f"station {sender} transmitted {message.control_bits()} control bits, "
+            f"limit is {config.max_control_bits}"
+        )
 
 
 class RoundEngine:
@@ -100,15 +224,8 @@ class RoundEngine:
         collector: "MetricsCollector | None" = None,
         config: EngineConfig | None = None,
     ) -> None:
-        if not controllers:
-            raise ValueError("at least one station controller is required")
-        self.controllers = list(controllers)
+        self.controllers = validate_controllers(controllers)
         self.n = len(self.controllers)
-        for expected, ctrl in enumerate(self.controllers):
-            if ctrl.station_id != expected:
-                raise ValueError(
-                    f"controller at index {expected} has station_id {ctrl.station_id}"
-                )
         self.adversary = adversary
         self.config = config or EngineConfig()
         if collector is None:
@@ -120,7 +237,13 @@ class RoundEngine:
             cap=self.config.energy_cap, enforce=self.config.enforce_energy_cap
         )
         self.trace = ExecutionTrace() if self.config.record_trace else None
-        self.view = AdversaryView(n=self.n)
+        # The checked loop keeps the view observable for tests/debugging:
+        # at least DEFAULT_VIEW_WINDOW rounds of history even when the
+        # adversary declared a smaller (or zero) observation window.
+        window = negotiated_view_window(adversary, self.config.full_history)
+        if window is not None:
+            window = max(window, DEFAULT_VIEW_WINDOW)
+        self.view = AdversaryView(n=self.n, window=window)
         self.round_no = 0
 
     # -- main loop ---------------------------------------------------------
@@ -190,10 +313,9 @@ class RoundEngine:
         self.collector.record_round(t, queue_sizes, len(awake), outcome)
 
         # 8. Adversary view update.
-        self.view.awake_history.append(awake)
-        self.view.outcome_history.append(outcome)
-        self.view.queue_sizes = queue_sizes
-        self.view.delivered_total = self.collector.delivered_count
+        self.view.observe_round(
+            awake, outcome, queue_sizes, self.collector.delivered_count
+        )
 
         event = RoundEvent(
             round_no=t,
@@ -225,19 +347,4 @@ class RoundEngine:
         return events
 
     def _check_message(self, sender: int, message: Message) -> None:
-        if message.sender != sender:
-            raise ValueError(
-                f"station {sender} transmitted a message claiming sender {message.sender}"
-            )
-        if self.config.check_plain_packet and not message.is_plain_packet:
-            raise ValueError(
-                f"plain-packet discipline violated by station {sender}: {message!r}"
-            )
-        if (
-            self.config.max_control_bits is not None
-            and message.control_bits() > self.config.max_control_bits
-        ):
-            raise ValueError(
-                f"station {sender} transmitted {message.control_bits()} control bits, "
-                f"limit is {self.config.max_control_bits}"
-            )
+        check_message(self.config, sender, message)

@@ -5,18 +5,80 @@ happened: injections, the awake set, the channel outcome, the transmitted
 message and whether its packet was delivered.  Traces are used by tests
 (to assert fine-grained protocol behaviour), by the reporting module and
 by the trace record/replay facilities of the adversary package.
+
+Traces serialise to plain JSON-compatible structures
+(:meth:`ExecutionTrace.to_jsonable` / :meth:`ExecutionTrace.from_jsonable`)
+so that a recorded execution can be archived next to experiment results
+and replayed or inspected without unpickling arbitrary objects.  Packet
+``content`` and message ``control`` values must themselves be
+JSON-representable; sequence-valued control fields are restored as
+tuples (the repository's algorithms encode sequences as tuples, so their
+traces round-trip losslessly).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Any, Iterator
 
 from .feedback import ChannelOutcome
 from .message import Message
 from .packet import Packet
 
 __all__ = ["InjectionEvent", "RoundEvent", "ExecutionTrace"]
+
+
+def _packet_to_jsonable(packet: Packet | None) -> dict | None:
+    if packet is None:
+        return None
+    return {
+        "destination": packet.destination,
+        "injected_at": packet.injected_at,
+        "origin": packet.origin,
+        "packet_id": packet.packet_id,
+        "content": packet.content,
+    }
+
+
+def _packet_from_jsonable(data: dict | None) -> Packet | None:
+    if data is None:
+        return None
+    return Packet(
+        destination=int(data["destination"]),
+        injected_at=int(data["injected_at"]),
+        origin=int(data["origin"]),
+        packet_id=int(data["packet_id"]),
+        content=data.get("content"),
+    )
+
+
+def _message_to_jsonable(message: Message | None) -> dict | None:
+    if message is None:
+        return None
+    return {
+        "sender": message.sender,
+        "packet": _packet_to_jsonable(message.packet),
+        "control": dict(message.control),
+        "intended_receiver": message.intended_receiver,
+    }
+
+
+def _message_from_jsonable(data: dict | None) -> Message | None:
+    if data is None:
+        return None
+    receiver = data.get("intended_receiver")
+    # JSON has no tuples; restore sequence-valued control fields to the
+    # tuple form the algorithms transmit.
+    control = {
+        key: tuple(value) if isinstance(value, list) else value
+        for key, value in (data.get("control") or {}).items()
+    }
+    return Message(
+        sender=int(data["sender"]),
+        packet=_packet_from_jsonable(data.get("packet")),
+        control=control,
+        intended_receiver=None if receiver is None else int(receiver),
+    )
 
 
 @dataclass(frozen=True, slots=True)
@@ -26,6 +88,25 @@ class InjectionEvent:
     round_no: int
     station: int
     packet: Packet
+
+    def to_jsonable(self) -> dict:
+        """Plain-JSON representation of this injection."""
+        return {
+            "round_no": self.round_no,
+            "station": self.station,
+            "packet": _packet_to_jsonable(self.packet),
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "InjectionEvent":
+        """Inverse of :meth:`to_jsonable`."""
+        packet = _packet_from_jsonable(data["packet"])
+        assert packet is not None
+        return cls(
+            round_no=int(data["round_no"]),
+            station=int(data["station"]),
+            packet=packet,
+        )
 
 
 @dataclass(frozen=True, slots=True)
@@ -54,6 +135,34 @@ class RoundEvent:
             and self.message.packet is None
         )
 
+    def to_jsonable(self) -> dict:
+        """Plain-JSON representation of this round."""
+        return {
+            "round_no": self.round_no,
+            "awake": list(self.awake),
+            "transmitters": list(self.transmitters),
+            "outcome": self.outcome.value,
+            "message": _message_to_jsonable(self.message),
+            "delivered_packet": _packet_to_jsonable(self.delivered_packet),
+            "injections": [event.to_jsonable() for event in self.injections],
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "RoundEvent":
+        """Inverse of :meth:`to_jsonable`."""
+        return cls(
+            round_no=int(data["round_no"]),
+            awake=tuple(int(i) for i in data["awake"]),
+            transmitters=tuple(int(i) for i in data["transmitters"]),
+            outcome=ChannelOutcome(data["outcome"]),
+            message=_message_from_jsonable(data.get("message")),
+            delivered_packet=_packet_from_jsonable(data.get("delivered_packet")),
+            injections=tuple(
+                InjectionEvent.from_jsonable(event)
+                for event in data.get("injections", ())
+            ),
+        )
+
 
 @dataclass(slots=True)
 class ExecutionTrace:
@@ -73,6 +182,18 @@ class ExecutionTrace:
 
     def __getitem__(self, index: int) -> RoundEvent:
         return self.rounds[index]
+
+    # -- serialisation ------------------------------------------------------
+    def to_jsonable(self) -> dict:
+        """Plain-JSON representation of the whole trace."""
+        return {"rounds": [event.to_jsonable() for event in self.rounds]}
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "ExecutionTrace":
+        """Inverse of :meth:`to_jsonable`."""
+        return cls(
+            rounds=[RoundEvent.from_jsonable(event) for event in data["rounds"]]
+        )
 
     # -- convenience queries used by tests and reports ---------------------
     def silent_rounds(self) -> list[int]:

@@ -1,0 +1,339 @@
+"""Capability-negotiated fast simulation loop.
+
+:class:`KernelEngine` runs the exact channel semantics of
+:class:`~repro.channel.engine.RoundEngine` — same arbitration, delivery
+bookkeeping, energy enforcement and message discipline checks — but builds
+the cheapest correct loop from what the run's components declare they
+actually need:
+
+* **Adversary observation** — the adversary's
+  :class:`~repro.adversary.base.ObservationProfile` decides whether the
+  :class:`~repro.channel.engine.AdversaryView` is maintained at all
+  (oblivious adversaries skip it entirely), kept as a bounded window, or
+  kept unbounded.
+* **Wake schedules** — when every controller declares
+  ``static_wake_schedule`` and the algorithm's published
+  :class:`~repro.core.schedule.ObliviousSchedule` has a finite period, the
+  per-round awake set is a precomputed tuple lookup instead of ``n``
+  ``wakes(t)`` calls.
+* **Incremental metrics** — when every controller declares
+  ``queue_metrics_incremental``, only stations that were awake or received
+  an injection are re-polled for their queue size; everyone else is known
+  unchanged.
+
+The kernel allocates no per-round event objects and therefore cannot
+record traces — tracing (and any need for the fully observable, checked
+loop) is what :class:`RoundEngine` remains for.  A property test asserts
+that both loops produce identical summaries on random run specs; the
+reference loop is the oracle.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from .energy import EnergyCapViolation, EnergyMonitor
+from .engine import (
+    AdversaryView,
+    EngineConfig,
+    check_message,
+    negotiated_view_window,
+    validate_controllers,
+)
+from .feedback import ChannelOutcome, Feedback
+from .message import Message
+from .station import StationController
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..adversary.base import Adversary
+    from ..core.schedule import ObliviousSchedule
+    from ..metrics.collector import MetricsCollector
+
+__all__ = ["KernelEngine"]
+
+
+class KernelEngine:
+    """Drop-in fast counterpart of :class:`RoundEngine`.
+
+    Parameters
+    ----------
+    controllers, adversary, collector, config:
+        As for :class:`RoundEngine`.  ``config.record_trace`` is rejected:
+        the kernel's whole point is not to materialise per-round events.
+    schedule:
+        The algorithm's published oblivious schedule, if any.  Only used
+        when every controller also declares ``static_wake_schedule``; the
+        schedule must agree with the controllers' ``wakes`` (the published
+        schedule *is* that declaration, and the kernel-vs-reference
+        property test cross-checks it).
+    """
+
+    def __init__(
+        self,
+        controllers: Sequence[StationController],
+        adversary: "Adversary",
+        collector: "MetricsCollector | None" = None,
+        config: EngineConfig | None = None,
+        schedule: "ObliviousSchedule | None" = None,
+    ) -> None:
+        self.controllers = validate_controllers(controllers)
+        self.n = len(self.controllers)
+        self.adversary = adversary
+        self.config = config or EngineConfig()
+        if self.config.record_trace:
+            raise ValueError(
+                "the kernel engine does not record traces; "
+                "use the reference RoundEngine (engine='reference') for traced runs"
+            )
+        if collector is None:
+            from ..metrics.collector import MetricsCollector
+
+            collector = MetricsCollector()
+        self.collector = collector
+        self.energy = EnergyMonitor(
+            cap=self.config.energy_cap, enforce=self.config.enforce_energy_cap
+        )
+        self.trace = None  # API parity with RoundEngine
+        self.round_no = 0
+
+        # -- negotiation: adversary observation --------------------------------
+        self._window = negotiated_view_window(adversary, self.config.full_history)
+        self.view = AdversaryView(n=self.n, window=self._window)
+        self._observe_view = self._window != 0
+
+        # -- negotiation: wake schedule ----------------------------------------
+        self._period_awake: tuple[tuple[int, ...], ...] | None = None
+        if schedule is not None and all(
+            getattr(ctrl, "static_wake_schedule", False) for ctrl in self.controllers
+        ):
+            self._period_awake = schedule.periodic_awake_sets()
+
+        # -- negotiation: incremental queue metrics ----------------------------
+        self._incremental_metrics = all(
+            getattr(ctrl, "queue_metrics_incremental", False)
+            for ctrl in self.controllers
+        )
+        self._heard_only_polls = self._incremental_metrics and all(
+            getattr(ctrl, "queue_changes_on_heard_only", False)
+            for ctrl in self.controllers
+        )
+        self._queue_sizes = [ctrl.queued_packets() for ctrl in self.controllers]
+        self._total_queue = sum(self._queue_sizes)
+        if self._incremental_metrics:
+            self.collector.begin_stations(self.n)
+
+        # Pre-bound per-station methods: the hot loop touches only awake
+        # stations, and a plain list indexing beats repeated attribute
+        # lookups on the controller objects.
+        self._act = [ctrl.act for ctrl in self.controllers]
+        self._feedback = [ctrl.on_feedback for ctrl in self.controllers]
+        self._poll = [ctrl.queued_packets for ctrl in self.controllers]
+        self._inject_into = [ctrl.on_inject for ctrl in self.controllers]
+
+    # -- negotiated capabilities (introspection for tests/reports) -----------
+    @property
+    def uses_schedule_fast_path(self) -> bool:
+        """True when awake sets come from the precomputed schedule period."""
+        return self._period_awake is not None
+
+    @property
+    def uses_incremental_metrics(self) -> bool:
+        """True when only awake/injected stations are re-polled per round."""
+        return self._incremental_metrics
+
+    @property
+    def maintains_view(self) -> bool:
+        """True unless the adversary declared itself oblivious."""
+        return self._observe_view
+
+    # -- main loop ------------------------------------------------------------
+    def run(self, rounds: int) -> None:
+        """Simulate ``rounds`` further rounds.
+
+        The loop body keeps every per-round quantity in locals and flushes
+        aggregate counters (energy totals, outcome counts, rounds
+        observed) once at the end — also on exceptions, so partial state
+        stays consistent with what the reference loop would have recorded
+        up to the failing round.
+        """
+        controllers = self.controllers
+        adversary = self.adversary
+        collector = self.collector
+        config = self.config
+        energy = self.energy
+        view = self.view
+        period = self._period_awake
+        period_len = len(period) if period is not None else 0
+        incremental = self._incremental_metrics
+        heard_only_polls = self._heard_only_polls
+        observe_view = self._observe_view
+        checked_messages = (
+            config.check_plain_packet or config.max_control_bits is not None
+        )
+        queue_sizes = self._queue_sizes
+        total_queue = self._total_queue
+        n = self.n
+        act = self._act
+        give_feedback = self._feedback
+        poll = self._poll
+        inject_into = self._inject_into
+        record_injection = collector.record_injection
+        inject = adversary.inject
+        # Collector/monitor internals, appended to directly in the loop;
+        # their aggregate counters are reconciled in the finally block.
+        energy_per_round = energy.per_round
+        total_queue_series = collector.total_queue_series
+        energy_series = collector.energy_series
+        per_station_max = collector.per_station_max_queue
+        cap = energy.cap
+        enforce_cap = energy.enforce
+        silence = ChannelOutcome.SILENCE
+        heard_outcome = ChannelOutcome.HEARD
+        collision = ChannelOutcome.COLLISION
+        n_silence = n_heard = n_collision = 0
+        rounds_done = 0
+
+        try:
+            for t in range(self.round_no, self.round_no + rounds):
+                # 1. Adversarial injections (stations receive packets even
+                #    when off).
+                if observe_view:
+                    view.round_no = t
+                injections = inject(t, view)
+                for station, packet in injections:
+                    if not 0 <= station < n:
+                        raise ValueError(
+                            f"adversary injected into unknown station {station}"
+                        )
+                    if not 0 <= packet.destination < n:
+                        raise ValueError(
+                            "adversary created packet with unknown destination "
+                            f"{packet.destination}"
+                        )
+                    inject_into[station](t, packet)
+                    record_injection(packet, t)
+
+                # 2. On/off decisions and energy accounting.
+                if period is not None:
+                    awake = period[t % period_len]
+                else:
+                    awake = tuple(
+                        i for i, ctrl in enumerate(controllers) if ctrl.wakes(t)
+                    )
+                awake_count = len(awake)
+                energy_per_round.append(awake_count)
+                if cap is not None and awake_count > cap:
+                    energy.violations += 1
+                    if enforce_cap:
+                        raise EnergyCapViolation(t, awake_count, cap)
+
+                # 3. Awake stations act, 4. channel arbitration (fused).
+                transmissions = 0
+                heard: Message | None = None
+                for i in awake:
+                    message = act[i](t)
+                    if message is None:
+                        continue
+                    if message.sender != i:
+                        raise ValueError(
+                            f"station {i} transmitted a message claiming sender "
+                            f"{message.sender}"
+                        )
+                    if checked_messages:
+                        check_message(config, i, message)
+                    transmissions += 1
+                    heard = message if transmissions == 1 else None
+                if transmissions == 0:
+                    outcome = silence
+                    n_silence += 1
+                elif transmissions == 1:
+                    outcome = heard_outcome
+                    n_heard += 1
+                else:
+                    outcome = collision
+                    n_collision += 1
+
+                # 5. Delivery bookkeeping.
+                delivered = False
+                if (
+                    heard is not None
+                    and heard.packet is not None
+                    and heard.packet.destination in awake
+                ):
+                    delivered = True
+                    collector.record_delivery(
+                        heard.packet, heard.packet.destination, t
+                    )
+
+                # 6. Feedback to awake stations.
+                feedback = Feedback(
+                    round_no=t, outcome=outcome, message=heard, delivered=delivered
+                )
+                for i in awake:
+                    give_feedback[i](t, feedback)
+
+                # 7. Metrics: queue sizes after the round.
+                if incremental:
+                    for station, _ in injections:
+                        if station not in awake:
+                            size = poll[station]()
+                            if size != queue_sizes[station]:
+                                total_queue += size - queue_sizes[station]
+                                queue_sizes[station] = size
+                                if size > per_station_max[station]:
+                                    per_station_max[station] = size
+                    if outcome is heard_outcome or not heard_only_polls:
+                        for i in awake:
+                            size = poll[i]()
+                            if size != queue_sizes[i]:
+                                total_queue += size - queue_sizes[i]
+                                queue_sizes[i] = size
+                                if size > per_station_max[i]:
+                                    per_station_max[i] = size
+                    elif injections:
+                        # Heard-only capability: silent/collision rounds can
+                        # still grow awake queues via injections.
+                        for station, _ in injections:
+                            if station in awake:
+                                size = poll[station]()
+                                if size != queue_sizes[station]:
+                                    total_queue += size - queue_sizes[station]
+                                    queue_sizes[station] = size
+                                    if size > per_station_max[station]:
+                                        per_station_max[station] = size
+                    total_queue_series.append(total_queue)
+                    energy_series.append(awake_count)
+                else:
+                    queue_sizes = [p() for p in poll]
+                    total_queue = sum(queue_sizes)
+                    collector.begin_stations(n)
+                    per_station_max = collector.per_station_max_queue
+                    for i, size in enumerate(queue_sizes):
+                        if size > per_station_max[i]:
+                            per_station_max[i] = size
+                    total_queue_series.append(total_queue)
+                    energy_series.append(awake_count)
+                rounds_done += 1
+
+                # 8. Adversary view update (skipped for oblivious adversaries).
+                if observe_view:
+                    view.observe_round(
+                        awake, outcome, list(queue_sizes), collector.delivered_count
+                    )
+        finally:
+            # Reconcile the aggregate counters with the rounds actually
+            # completed (exceptions included).
+            self.round_no += rounds_done
+            self._queue_sizes = queue_sizes
+            self._total_queue = total_queue
+            collector.rounds_observed += rounds_done
+            counts = collector.outcome_counts
+            for outcome, count in (
+                (silence, n_silence),
+                (heard_outcome, n_heard),
+                (collision, n_collision),
+            ):
+                if count:
+                    counts[outcome] = counts.get(outcome, 0) + count
+            energy.total_station_rounds = sum(energy_per_round)
+            energy.max_awake = max(energy_per_round, default=0)

@@ -48,6 +48,33 @@ class StationController(abc.ABC):
         Total number of stations (known to algorithms).
     """
 
+    #: Capability flag read by the kernel engine: when True, this
+    #: controller's :meth:`wakes` is a pure function of ``round_no`` that
+    #: agrees with the algorithm's published oblivious schedule and has no
+    #: side effects, so the engine may skip calling it and materialise
+    #: awake sets from the schedule in batches.  Controllers whose
+    #: ``wakes`` advances internal state machines (Count-Hop, Orchestra,
+    #: Adjust-Window, k-Subsets) must leave this False.
+    static_wake_schedule: bool = False
+
+    #: Capability flag read by the kernel engine: when True (the default),
+    #: :meth:`queued_packets` can only change inside :meth:`on_inject`,
+    #: :meth:`act` or :meth:`on_feedback`, so the engine re-polls only
+    #: stations that were awake or received an injection this round
+    #: instead of all ``n``.  Opt out (set False) if the queue size can
+    #: change anywhere else — e.g. inside :meth:`wakes` — and the engine
+    #: falls back to polling every station every round.
+    queue_metrics_incremental: bool = True
+
+    #: Stronger capability (opt-in, declared by
+    #: :class:`~repro.core.controller.QueueingController`): the queue size
+    #: changes only via :meth:`on_inject` or during rounds whose channel
+    #: outcome is HEARD (a confirmed own transmission removes a packet, a
+    #: heard foreign packet may be adopted).  The kernel then skips queue
+    #: polls entirely on silent and collision rounds.  Leave False if a
+    #: controller drops or requeues packets on silence/collision.
+    queue_changes_on_heard_only: bool = False
+
     def __init__(self, station_id: int, n: int) -> None:
         if not 0 <= station_id < n:
             raise ValueError(f"station_id {station_id} out of range for n={n}")

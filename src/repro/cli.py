@@ -23,7 +23,7 @@ from typing import Sequence
 from .adversary.stochastic import SeededAdversary
 from .core import available_algorithms
 from .metrics.summary import RunSummary
-from .sim import ResultCache, run_simulation, spec_fragment, sweep
+from .sim import ProgressTicker, ResultCache, run_simulation, spec_fragment, sweep
 from .sim.reporting import sweep_table
 from .sim.specs import (
     adversary_entry,
@@ -106,6 +106,8 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--rounds", type=int, default=10_000)
     run_p.add_argument("--seed", type=int, default=None,
                        help="RNG seed for stochastic adversaries")
+    run_p.add_argument("--reference-engine", action="store_true",
+                       help="force the checked reference loop instead of the kernel")
 
     table_p = sub.add_parser("table1", help="regenerate Table 1 (paper vs measured)")
     table_p.add_argument("--full", action="store_true", help="full-size experiments")
@@ -115,6 +117,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="reuse finished runs from the default on-disk cache")
     table_p.add_argument("--cache-dir", default=None,
                          help="reuse finished runs from this cache directory")
+    table_p.add_argument("--progress", action="store_true",
+                         help="stderr ticker as each adversary family's runs finish")
 
     sweep_p = sub.add_parser("sweep", help="sweep the injection rate for one algorithm")
     sweep_p.add_argument("--algorithm", required=True, choices=available_algorithms())
@@ -133,6 +137,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="reuse finished runs from the default on-disk cache")
     sweep_p.add_argument("--cache-dir", default=None,
                          help="reuse finished runs from this cache directory")
+    sweep_p.add_argument("--progress", action="store_true",
+                         help="stderr ticker as sweep points finish")
+    sweep_p.add_argument("--reference-engine", action="store_true",
+                         help="force the checked reference loop instead of the kernel")
     return parser
 
 
@@ -146,13 +154,19 @@ def _cmd_list() -> int:
     return 0
 
 
+def _engine_from_args(args: argparse.Namespace) -> str:
+    return "reference" if getattr(args, "reference_engine", False) else "auto"
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     seed = _effective_seed(args.adversary, args.seed)
     algorithm = materialize_algorithm(_algorithm_fragment(args.algorithm, args.n, args.k))
     adversary = materialize_adversary(
         _adversary_fragment(args.adversary, args.rho, args.beta, seed), algorithm
     )
-    result = run_simulation(algorithm, adversary, args.rounds)
+    result = run_simulation(
+        algorithm, adversary, args.rounds, engine=_engine_from_args(args)
+    )
     print(RunSummary.header())
     print(result.summary.format_row())
     return 0 if result.stable else 2
@@ -162,7 +176,10 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     from .sim.experiments import regenerate_table1
 
     table, results = regenerate_table1(
-        quick=not args.full, workers=args.workers, cache=_cache_from_args(args)
+        quick=not args.full,
+        workers=args.workers,
+        cache=_cache_from_args(args),
+        progress=ProgressTicker("table1 runs") if args.progress else None,
     )
     print(table)
     return 0 if all(r.shape_ok for r in results) else 1
@@ -180,6 +197,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         args.rounds,
         workers=args.workers,
         cache=_cache_from_args(args),
+        engine=_engine_from_args(args),
+        progress=ProgressTicker("sweep points") if args.progress else None,
     )
     print(sweep_table(series))
     return 0

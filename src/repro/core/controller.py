@@ -10,7 +10,7 @@ contain protocol logic.
 
 from __future__ import annotations
 
-from ..channel.feedback import Feedback
+from ..channel.feedback import ChannelOutcome, Feedback
 from ..channel.message import Message
 from ..channel.packet import Packet
 from ..channel.station import StationController
@@ -34,10 +34,39 @@ class QueueingController(StationController):
     * dispatches heard messages to :meth:`on_heard`.
     """
 
+    #: Queueing controllers only remove a packet when its transmission is
+    #: confirmed heard, and only adopt packets they hear — so the queue
+    #: size never changes on silent or collision rounds.  Subclasses that
+    #: break this (dropping packets on collision, requeueing on silence)
+    #: must reset the flag.
+    queue_changes_on_heard_only = True
+
     def __init__(self, station_id: int, n: int) -> None:
         super().__init__(station_id, n)
         self.queue = PacketQueue()
         self._in_flight: Packet | None = None
+        # Pre-resolve which protocol hooks the subclass actually overrides
+        # so the per-round dispatch skips no-op calls (feedback delivery is
+        # the hottest controller path: once per awake station per round).
+        cls = type(self)
+        self._heard_hook = (
+            self.on_heard if cls.on_heard is not QueueingController.on_heard else None
+        )
+        self._collision_hook = (
+            self.on_collision
+            if cls.on_collision is not QueueingController.on_collision
+            else None
+        )
+        self._silence_hook = (
+            self.on_silence
+            if cls.on_silence is not QueueingController.on_silence
+            else None
+        )
+        self._after_hook = (
+            self.after_feedback
+            if cls.after_feedback is not QueueingController.after_feedback
+            else None
+        )
 
     # -- helpers for subclasses -------------------------------------------------
     def transmit(
@@ -65,28 +94,31 @@ class QueueingController(StationController):
         self.queue.push(packet)
 
     def queued_packets(self) -> int:
-        return len(self.queue)
+        return self.queue.size()
 
     def on_feedback(self, round_no: int, feedback: Feedback) -> None:
-        if feedback.heard and feedback.message is not None:
-            message = feedback.message
+        # Hot path (once per awake station per round): compare the outcome
+        # enum directly instead of going through the Feedback properties,
+        # and only call the hooks the subclass overrides.
+        outcome = feedback.outcome
+        message = feedback.message
+        if outcome is ChannelOutcome.HEARD and message is not None:
             if message.sender == self.station_id:
                 # Own transmission confirmed: drop the in-flight packet.
+                # (A packet addressed to us is consumed by the engine's
+                # delivery bookkeeping; we never adopt it.)
                 if self._in_flight is not None:
                     self.queue.remove(self._in_flight)
-            else:
-                packet = message.packet
-                if packet is not None and packet.destination == self.station_id:
-                    # Delivered to us; the engine records the delivery, we
-                    # simply do not adopt the packet.
-                    pass
-            self.on_heard(round_no, message, feedback)
-        elif feedback.collision:
-            self.on_collision(round_no)
-        else:
-            self.on_silence(round_no)
+            if self._heard_hook is not None:
+                self._heard_hook(round_no, message, feedback)
+        elif outcome is ChannelOutcome.COLLISION:
+            if self._collision_hook is not None:
+                self._collision_hook(round_no)
+        elif self._silence_hook is not None:
+            self._silence_hook(round_no)
         self._in_flight = None
-        self.after_feedback(round_no, feedback)
+        if self._after_hook is not None:
+            self._after_hook(round_no, feedback)
 
     # -- protocol hooks (subclasses override what they need) -----------------------
     def on_heard(self, round_no: int, message: Message, feedback: Feedback) -> None:

@@ -128,6 +128,15 @@ class PacketQueue:
         return self.peek_any_matching(lambda p: p.destination == destination)
 
     # -- inspection ------------------------------------------------------------
+    def size(self) -> int:
+        """Total queued packets — one call cheaper than ``len(queue)``.
+
+        The engines poll queue sizes once per awake station per round;
+        this direct accessor skips the ``len()``/``__len__`` indirection
+        on that hot path while keeping the representation private.
+        """
+        return len(self._old) + len(self._new)
+
     def __len__(self) -> int:
         return len(self._old) + len(self._new)
 

@@ -37,6 +37,17 @@ class ObliviousSchedule(abc.ABC):
         """The set of stations switched on in ``round_no``."""
         return frozenset(i for i in range(self.n) if self.is_awake(i, round_no))
 
+    def periodic_awake_sets(self) -> tuple[tuple[int, ...], ...] | None:
+        """One ascending awake tuple per round of the period, if periodic.
+
+        The kernel engine uses this to materialise awake sets in one batch
+        (``awake(t) == period[t % len(period)]``) instead of querying
+        ``wakes``/``is_awake`` per station per round.  Schedules without a
+        finite period return ``None`` and the engine falls back to
+        round-by-round wake-up calls.
+        """
+        return None
+
     def max_awake(self, horizon: int) -> int:
         """Maximum simultaneously-awake stations over ``[0, horizon)``."""
         return max((len(self.awake_set(t)) for t in range(horizon)), default=0)
@@ -107,6 +118,9 @@ class PeriodicSchedule(ObliviousSchedule):
     def awake_set(self, round_no: int) -> frozenset[int]:
         return self.period[round_no % len(self.period)]
 
+    def periodic_awake_sets(self) -> tuple[tuple[int, ...], ...]:
+        return tuple(tuple(sorted(s)) for s in self.period)
+
     def max_awake(self, horizon: int | None = None) -> int:
         """Maximum awake stations; over the whole period when ``horizon`` is None."""
         sets = self.period if horizon is None else [
@@ -120,3 +134,6 @@ class AlwaysOnSchedule(ObliviousSchedule):
 
     def is_awake(self, station: int, round_no: int) -> bool:
         return True
+
+    def periodic_awake_sets(self) -> tuple[tuple[int, ...], ...]:
+        return (tuple(range(self.n)),)

@@ -88,15 +88,41 @@ class MetricsCollector:
         awake_count: int,
         outcome: ChannelOutcome,
     ) -> None:
-        """Register the end-of-round system state."""
-        self.rounds_observed += 1
-        total = int(sum(queue_sizes))
-        self.total_queue_series.append(total)
-        if not self.per_station_max_queue:
-            self.per_station_max_queue = [0] * len(queue_sizes)
+        """Register the end-of-round system state (polled path).
+
+        The engine hands over every station's queue size each round.  The
+        kernel's incremental path instead calls :meth:`begin_stations`
+        once, :meth:`record_station_queue` only for stations whose queue
+        changed, and :meth:`record_round_total` once per round; both paths
+        accumulate identical statistics.
+        """
+        self.begin_stations(len(queue_sizes))
         for i, q in enumerate(queue_sizes):
             if q > self.per_station_max_queue[i]:
                 self.per_station_max_queue[i] = q
+        self.record_round_total(round_no, int(sum(queue_sizes)), awake_count, outcome)
+
+    # -- incremental engine-facing API (kernel loop) -------------------------
+    def begin_stations(self, n: int) -> None:
+        """Size the per-station maxima before incremental updates start."""
+        if not self.per_station_max_queue:
+            self.per_station_max_queue = [0] * n
+
+    def record_station_queue(self, station: int, size: int) -> None:
+        """Update one station's queue-size maximum (changed stations only)."""
+        if size > self.per_station_max_queue[station]:
+            self.per_station_max_queue[station] = size
+
+    def record_round_total(
+        self,
+        round_no: int,
+        total_queue: int,
+        awake_count: int,
+        outcome: ChannelOutcome,
+    ) -> None:
+        """Register the end-of-round totals (incremental path)."""
+        self.rounds_observed += 1
+        self.total_queue_series.append(total_queue)
         self.energy_series.append(awake_count)
         self.outcome_counts[outcome] = self.outcome_counts.get(outcome, 0) + 1
 

@@ -34,6 +34,9 @@ __all__ = ["MoveBigToFront"]
 class _MBTFController(QueueingController):
     """Per-station controller of the uncapped MBTF baseline."""
 
+    # Always on: wakes() is trivially pure and matches AlwaysOnSchedule.
+    static_wake_schedule = True
+
     def __init__(self, station_id: int, n: int, big_threshold: int | None = None) -> None:
         super().__init__(station_id, n)
         self.replica = MoveBigToFrontReplica(list(range(n)))

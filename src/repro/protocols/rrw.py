@@ -36,6 +36,9 @@ __all__ = ["RoundRobinWithholding", "OldFirstRoundRobinWithholding"]
 class _RRWController(QueueingController):
     """Per-station controller for the uncapped RRW / OF-RRW baselines."""
 
+    # Always on: wakes() is trivially pure and matches AlwaysOnSchedule.
+    static_wake_schedule = True
+
     def __init__(self, station_id: int, n: int, old_first: bool) -> None:
         super().__init__(station_id, n)
         self.old_first = old_first

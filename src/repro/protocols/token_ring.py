@@ -41,11 +41,10 @@ class TokenRingReplica:
         self.token_pos = 0
         self.advancements = 0
         self.phase_no = 0
-
-    @property
-    def holder(self) -> int:
-        """The station currently holding the token."""
-        return self.members[self.token_pos]
+        #: The station currently holding the token.  A plain attribute
+        #: (updated on every advancement) because controllers read it once
+        #: per awake round — the hottest query in the whole simulation.
+        self.holder = self.members[0]
 
     def observe(self, outcome: ChannelOutcome) -> bool:
         """Update the replica with this round's channel outcome.
@@ -54,7 +53,17 @@ class TokenRingReplica:
         i.e. a *phase* of the group's protocol ended.
         """
         if outcome is ChannelOutcome.SILENCE:
-            return self._advance()
+            # Advance the token (inlined: every replica of every awake
+            # station runs this once per silent round).
+            members = self.members
+            pos = self.token_pos = (self.token_pos + 1) % len(members)
+            self.holder = members[pos]
+            self.advancements += 1
+            if self.advancements >= len(members):
+                self.advancements = 0
+                self.phase_no += 1
+                return True
+            return False
         # A heard message keeps the token with its holder; collisions do
         # not occur in the withholding protocols (only the holder may
         # transmit), but if one did the conservative choice is to keep
@@ -62,13 +71,8 @@ class TokenRingReplica:
         return False
 
     def _advance(self) -> bool:
-        self.token_pos = (self.token_pos + 1) % len(self.members)
-        self.advancements += 1
-        if self.advancements >= len(self.members):
-            self.advancements = 0
-            self.phase_no += 1
-            return True
-        return False
+        """Advance the token one position (test/debug helper)."""
+        return self.observe(ChannelOutcome.SILENCE)
 
 
 class MoveBigToFrontReplica:
@@ -91,16 +95,15 @@ class MoveBigToFrontReplica:
             raise ValueError("group members must be distinct")
         self.order = list(members)
         self.token_pos = 0
-
-    @property
-    def holder(self) -> int:
-        """The station currently expected to transmit."""
-        return self.order[self.token_pos]
+        #: The station currently expected to transmit (plain attribute,
+        #: updated whenever the token moves — see TokenRingReplica.holder).
+        self.holder = self.order[0]
 
     def observe(self, outcome: ChannelOutcome, message: Message | None) -> None:
         """Update the replica with this round's outcome (and heard message)."""
         if outcome is ChannelOutcome.SILENCE:
             self.token_pos = (self.token_pos + 1) % len(self.order)
+            self.holder = self.order[self.token_pos]
             return
         if outcome is ChannelOutcome.HEARD and message is not None:
             if message.control.get(self.BIG_FLAG):
@@ -113,3 +116,4 @@ class MoveBigToFrontReplica:
         self.order.remove(station)
         self.order.insert(0, station)
         self.token_pos = 0
+        self.holder = station

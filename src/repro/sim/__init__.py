@@ -7,12 +7,19 @@ pool by :class:`ParallelExecutor`, and cached on disk by
 """
 
 from .cache import ResultCache, default_cache_dir
-from .parallel import ParallelExecutor, default_worker_count, run_specs
-from .runner import RunResult, run_simulation, worst_case_over
+from .parallel import (
+    ParallelExecutor,
+    default_chunk_size,
+    default_worker_count,
+    run_specs,
+)
+from .progress import ProgressTicker
+from .runner import RunResult, resolve_engine, run_simulation, worst_case_over
 from .specs import (
     RunSpec,
     available_adversaries,
     execute_spec,
+    execute_spec_batch,
     make_adversary,
     register_adversary,
     spec_fragment,
@@ -21,6 +28,7 @@ from .sweep import SweepPoint, SweepSeries, sweep
 
 __all__ = [
     "ParallelExecutor",
+    "ProgressTicker",
     "ResultCache",
     "RunResult",
     "RunSpec",
@@ -28,10 +36,13 @@ __all__ = [
     "SweepSeries",
     "available_adversaries",
     "default_cache_dir",
+    "default_chunk_size",
     "default_worker_count",
     "execute_spec",
+    "execute_spec_batch",
     "make_adversary",
     "register_adversary",
+    "resolve_engine",
     "run_simulation",
     "run_specs",
     "spec_fragment",

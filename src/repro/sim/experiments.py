@@ -595,7 +595,7 @@ def figure_queue_trajectories(
 # ---------------------------------------------------------------------------
 
 def regenerate_table1(
-    quick: bool = True, *, workers: int = 1, cache=None
+    quick: bool = True, *, workers: int = 1, cache=None, progress=None
 ) -> tuple[str, list[ExperimentResult]]:
     """Run every Table 1 experiment and render a paper-vs-measured table.
 
@@ -604,11 +604,14 @@ def regenerate_table1(
     benchmark harness runs the full-size versions row by row.  With
     ``workers > 1`` each row's adversary family fans out over a shared
     process pool; the summaries are bit-identical to a serial run.
+    ``progress`` is a ``progress(done, total)`` callback (e.g.
+    :class:`~repro.sim.progress.ProgressTicker`) invoked per adversary
+    family as its runs finish.
     """
     from ..analysis.table1 import render_comparison
     from .parallel import ParallelExecutor
 
-    with ParallelExecutor(workers, cache=cache) as executor:
+    with ParallelExecutor(workers, cache=cache, progress=progress) as executor:
         fan = {"executor": executor}
         if quick:
             results = [

@@ -21,30 +21,52 @@ Design constraints:
   full local state) trivial.
 * **Caching** — an optional :class:`~repro.sim.cache.ResultCache` is
   consulted before any work is scheduled and updated as results arrive.
+* **Chunking** — small specs are batched per worker dispatch
+  (:func:`repro.sim.specs.execute_spec_batch`) so that pickling/IPC
+  overhead is amortised over several runs; result ordering and cache
+  semantics are unchanged.
+* **Progress** — any ``progress(done, total)`` callable (e.g.
+  :class:`~repro.sim.progress.ProgressTicker`) is invoked as results
+  arrive, cache hits included.
 """
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import os
-from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
-from typing import Iterable, Mapping, Sequence
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Callable, Iterable, Mapping, Sequence
 
 from .cache import ResultCache
 from .runner import RunResult
-from .specs import RunSpec, execute_spec
+from .specs import RunSpec, execute_spec, execute_spec_batch
 
 __all__ = [
     "ParallelExecutor",
+    "default_chunk_size",
     "default_worker_count",
     "dispatch_specs",
     "run_specs",
 ]
 
+#: Progress callback signature: ``progress(done, total)``.
+ProgressCallback = Callable[[int, int], None]
+
 
 def default_worker_count() -> int:
     """A sensible default worker count: the machine's CPU count."""
     return max(1, os.cpu_count() or 1)
+
+
+def default_chunk_size(pending: int, workers: int) -> int:
+    """Specs per worker dispatch: ~4 chunks per worker, at most 32 per chunk.
+
+    Small enough that stragglers do not serialise the tail of a batch,
+    large enough that spawn/pickling overhead is amortised when a batch
+    holds many short runs.
+    """
+    return max(1, min(32, math.ceil(pending / (workers * 4))))
 
 
 def _coerce_specs(specs: Iterable[RunSpec | Mapping]) -> list[RunSpec]:
@@ -72,6 +94,13 @@ class ParallelExecutor:
         fresh results are written back.
     mp_context:
         Multiprocessing start method; ``"spawn"`` is the safe default.
+    chunk_size:
+        Specs shipped per worker dispatch; ``None`` (default) picks
+        :func:`default_chunk_size` per batch.  ``1`` restores one-spec
+        dispatches.
+    progress:
+        Optional ``progress(done, total)`` callback invoked for every
+        batch this executor runs (a per-``run`` callback can override it).
 
     The executor may be used as a context manager; the worker pool is
     created lazily on the first parallel batch and reused across ``run``
@@ -84,13 +113,19 @@ class ParallelExecutor:
         *,
         cache: ResultCache | None = None,
         mp_context: str = "spawn",
+        chunk_size: int | None = None,
+        progress: ProgressCallback | None = None,
     ) -> None:
         if workers is None:
             workers = default_worker_count()
         if workers < 1:
             raise ValueError("workers must be at least 1")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be at least 1")
         self.workers = workers
         self.cache = cache
+        self.chunk_size = chunk_size
+        self.progress = progress
         self._mp_context = mp_context
         self._pool: ProcessPoolExecutor | None = None
 
@@ -116,10 +151,17 @@ class ParallelExecutor:
         self.close()
 
     # -- execution ------------------------------------------------------------
-    def run(self, specs: Sequence[RunSpec | Mapping]) -> list[RunResult]:
+    def run(
+        self,
+        specs: Sequence[RunSpec | Mapping],
+        *,
+        progress: ProgressCallback | None = None,
+    ) -> list[RunResult]:
         """Execute every spec and return results in input order."""
         batch = _coerce_specs(specs)
         results: list[RunResult | None] = [None] * len(batch)
+        progress = progress if progress is not None else self.progress
+        total = len(batch)
 
         pending: list[int] = []
         for i, spec in enumerate(batch):
@@ -129,27 +171,38 @@ class ParallelExecutor:
             else:
                 pending.append(i)
 
+        done = total - len(pending)
+        if progress is not None and (done or not pending):
+            progress(done, total)
         if not pending:
             return results  # type: ignore[return-value]
 
         if self.workers == 1 or len(pending) == 1:
             for i in pending:
                 results[i] = self._finish(batch[i], execute_spec(batch[i]))
+                done += 1
+                if progress is not None:
+                    progress(done, total)
         else:
+            size = self.chunk_size or default_chunk_size(len(pending), self.workers)
+            chunks = [pending[j : j + size] for j in range(0, len(pending), size)]
             pool = self._ensure_pool()
-            futures = {pool.submit(execute_spec, batch[i]): i for i in pending}
-            done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
-            failure: BaseException | None = None
-            for future in done:
-                exc = future.exception()
-                if exc is not None and failure is None:
-                    failure = exc
-            if failure is not None:
-                for future in not_done:
+            futures = {
+                pool.submit(execute_spec_batch, [batch[i] for i in chunk]): chunk
+                for chunk in chunks
+            }
+            try:
+                for future in as_completed(futures):
+                    chunk_results = future.result()
+                    for i, result in zip(futures[future], chunk_results):
+                        results[i] = self._finish(batch[i], result)
+                    done += len(futures[future])
+                    if progress is not None:
+                        progress(done, total)
+            except BaseException:
+                for future in futures:
                     future.cancel()
-                raise failure
-            for future, i in futures.items():
-                results[i] = self._finish(batch[i], future.result())
+                raise
 
         return results  # type: ignore[return-value]
 
@@ -168,10 +221,12 @@ def run_specs(
     *,
     workers: int | None = 1,
     cache: ResultCache | None = None,
+    chunk_size: int | None = None,
+    progress: ProgressCallback | None = None,
 ) -> list[RunResult]:
     """One-shot convenience wrapper: execute ``specs`` and tear the pool down."""
-    with ParallelExecutor(workers, cache=cache) as executor:
-        return executor.run(specs)
+    with ParallelExecutor(workers, cache=cache, chunk_size=chunk_size) as executor:
+        return executor.run(specs, progress=progress)
 
 
 def dispatch_specs(
@@ -180,17 +235,19 @@ def dispatch_specs(
     workers: int | None = 1,
     executor: ParallelExecutor | None = None,
     cache: ResultCache | None = None,
+    progress: ProgressCallback | None = None,
 ) -> list[RunResult]:
     """Run a spec batch on a caller-provided executor, or a one-shot pool.
 
     The shared dispatch step behind every fragment-based entry point
     (``sweep``, ``worst_case_over``): an explicit ``executor`` wins (its
-    own workers/cache apply); otherwise a pool is spun up and torn down
-    around this one batch.
+    own workers/cache/chunking apply); otherwise a pool is spun up and
+    torn down around this one batch.  ``progress`` is forwarded either
+    way.
     """
     if executor is not None:
-        return executor.run(specs)
-    return run_specs(specs, workers=workers, cache=cache)
+        return executor.run(specs, progress=progress)
+    return run_specs(specs, workers=workers, cache=cache, progress=progress)
 
 
 def require_serial_factories(context: str, workers: int, executor) -> None:

@@ -1,0 +1,61 @@
+"""Progress reporting for long spec batches.
+
+The parallel layer accepts any ``progress(done, total)`` callable and
+invokes it as results arrive (cache hits count immediately).
+:class:`ProgressTicker` is the stock implementation behind the CLI's
+``--progress`` flag: a carriage-return ticker on interactive terminals,
+sparse one-per-line updates when stderr is redirected (CI logs).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO
+
+__all__ = ["ProgressTicker"]
+
+
+class ProgressTicker:
+    """Render ``done/total`` progress of spec batches to a stream.
+
+    Parameters
+    ----------
+    label:
+        Short prefix identifying what is being counted (e.g. ``"runs"``).
+    stream:
+        Output stream; defaults to ``sys.stderr``.
+    min_fraction:
+        On non-interactive streams, only emit a line every time progress
+        advances by at least this fraction of the batch (and always for
+        the final result), keeping CI logs readable.
+    """
+
+    def __init__(
+        self,
+        label: str = "runs",
+        stream: IO[str] | None = None,
+        min_fraction: float = 0.1,
+    ) -> None:
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_fraction = min_fraction
+        self._last_emitted = -1
+
+    def __call__(self, done: int, total: int) -> None:
+        interactive = bool(getattr(self.stream, "isatty", lambda: False)())
+        if interactive:
+            self.stream.write(f"\r{self.label}: {done}/{total}")
+            if done >= total:
+                self.stream.write("\n")
+            self.stream.flush()
+            return
+        # One ticker may serve several consecutive batches (e.g. one per
+        # table1 adversary family): a count that went backwards means a
+        # new batch started, so re-arm the sparse-emission threshold.
+        if done < self._last_emitted:
+            self._last_emitted = -1
+        step = max(1, int(total * self.min_fraction))
+        if done >= total or self._last_emitted < 0 or done - self._last_emitted >= step:
+            self.stream.write(f"{self.label}: {done}/{total}\n")
+            self.stream.flush()
+            self._last_emitted = done if done < total else -1

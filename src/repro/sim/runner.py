@@ -9,12 +9,27 @@ from ..adversary.base import Adversary
 from ..channel.energy import EnergyReport
 from ..channel.engine import EngineConfig, RoundEngine
 from ..channel.events import ExecutionTrace
+from ..channel.kernel import KernelEngine
 from ..channel.packet import PacketFactory
 from ..core.algorithm import RoutingAlgorithm
 from ..metrics.collector import MetricsCollector
 from ..metrics.summary import RunSummary
 
-__all__ = ["RunResult", "run_simulation", "worst_case_over"]
+__all__ = ["ENGINE_KINDS", "RunResult", "resolve_engine", "run_simulation", "worst_case_over"]
+
+#: Valid values of the ``engine`` selector: ``"auto"`` picks the kernel
+#: unless the run needs a trace, ``"kernel"`` forces the fast loop,
+#: ``"reference"`` forces the checked oracle loop.
+ENGINE_KINDS = ("auto", "kernel", "reference")
+
+
+def resolve_engine(engine: str, record_trace: bool) -> str:
+    """Resolve the ``engine`` selector to ``"kernel"`` or ``"reference"``."""
+    if engine not in ENGINE_KINDS:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINE_KINDS}")
+    if engine == "auto":
+        return "reference" if record_trace else "kernel"
+    return engine
 
 
 @dataclass(slots=True)
@@ -52,6 +67,8 @@ def run_simulation(
     energy_cap: int | None = None,
     record_trace: bool = False,
     label: str | None = None,
+    engine: str = "auto",
+    full_history: bool = False,
 ) -> RunResult:
     """Simulate ``rounds`` rounds of ``algorithm`` against ``adversary``.
 
@@ -76,6 +93,15 @@ def run_simulation(
     label:
         Label stored in the resulting summary; defaults to a description
         of the configuration.
+    engine:
+        ``"auto"`` (default) runs the capability-negotiated kernel loop
+        unless a trace is requested; ``"reference"`` is the escape hatch
+        forcing the original checked loop; ``"kernel"`` forces the fast
+        loop (and rejects ``record_trace``).  Both produce bit-identical
+        summaries (property-tested).
+    full_history:
+        Keep the unbounded adversary view regardless of the adversary's
+        declared observation profile.
     """
     if rounds < 1:
         raise ValueError("rounds must be positive")
@@ -92,9 +118,20 @@ def run_simulation(
         energy_cap=cap,
         enforce_energy_cap=enforce_energy_cap,
         record_trace=record_trace,
+        full_history=full_history,
     )
-    engine = RoundEngine(controllers, adversary, collector=collector, config=config)
-    engine.run(rounds)
+    kind = resolve_engine(engine, record_trace)
+    if kind == "kernel":
+        eng = KernelEngine(
+            controllers,
+            adversary,
+            collector=collector,
+            config=config,
+            schedule=algorithm.oblivious_schedule(),
+        )
+    else:
+        eng = RoundEngine(controllers, adversary, collector=collector, config=config)
+    eng.run(rounds)
     run_label = label or f"{algorithm.describe()} vs {adversary.describe()}"
     return RunResult(
         algorithm=algorithm.describe(),
@@ -103,8 +140,8 @@ def run_simulation(
         rounds=rounds,
         summary=collector.summary(run_label),
         collector=collector,
-        energy=engine.energy.report(),
-        trace=engine.trace,
+        energy=eng.energy.report(),
+        trace=eng.trace,
     )
 
 
@@ -117,6 +154,7 @@ def worst_case_over(
     workers: int = 1,
     executor=None,
     cache=None,
+    engine: str = "auto",
 ) -> tuple[RunResult, list[RunResult]]:
     """Run one fresh algorithm instance against each adversary in a family.
 
@@ -141,7 +179,7 @@ def worst_case_over(
     if all_fragments:
         specs = [
             RunSpec.from_fragments(
-                algo, adv, rounds, enforce_energy_cap=enforce_energy_cap
+                algo, adv, rounds, enforce_energy_cap=enforce_energy_cap, engine=engine
             )
             for algo, adv in jobs
         ]
@@ -160,6 +198,7 @@ def worst_case_over(
                     materialize_adversary(adv, algorithm),
                     rounds,
                     enforce_energy_cap=enforce_energy_cap,
+                    engine=engine,
                 )
             )
     worst = max(results, key=lambda r: (r.latency, r.max_queue, r.adversary))

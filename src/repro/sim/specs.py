@@ -44,13 +44,14 @@ from ..adversary import (
 )
 from ..core import available_algorithms, make_algorithm
 from ..core.algorithm import RoutingAlgorithm
-from .runner import RunResult, run_simulation
+from .runner import ENGINE_KINDS, RunResult, run_simulation
 
 __all__ = [
     "AdversaryEntry",
     "RunSpec",
     "available_adversaries",
     "execute_spec",
+    "execute_spec_batch",
     "make_adversary",
     "materialize_adversary",
     "materialize_algorithm",
@@ -223,10 +224,20 @@ class RunSpec:
     energy_cap: int | None = None
     record_trace: bool = False
     label: str | None = None
+    #: Engine selector ("auto" / "kernel" / "reference").  An execution
+    #: strategy, not part of the run's identity: both engines produce
+    #: bit-identical results (property-tested), so ``engine`` is excluded
+    #: from :meth:`to_dict`/:meth:`spec_hash` and a cached result is valid
+    #: whichever engine computed it.
+    engine: str = "auto"
 
     def __post_init__(self) -> None:
         if self.rounds < 1:
             raise ValueError("rounds must be positive")
+        if self.engine not in ENGINE_KINDS:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; expected one of {ENGINE_KINDS}"
+            )
         # Fail fast on unknown keys, at the construction site rather than
         # later inside a worker process.
         adversary_entry(self.adversary)
@@ -268,6 +279,7 @@ class RunSpec:
             energy_cap=data.get("energy_cap"),
             record_trace=bool(data.get("record_trace", False)),
             label=data.get("label"),
+            engine=str(data.get("engine", "auto")),
         )
 
     @classmethod
@@ -386,4 +398,17 @@ def execute_spec(spec: RunSpec | Mapping[str, Any]) -> RunResult:
         energy_cap=spec.energy_cap,
         record_trace=spec.record_trace,
         label=spec.label,
+        engine=spec.engine,
     )
+
+
+def execute_spec_batch(
+    specs: "list[RunSpec | Mapping[str, Any]]",
+) -> list[RunResult]:
+    """Execute a chunk of specs in order (the per-dispatch worker unit).
+
+    Shipping several small specs per process dispatch amortises the
+    pickling/IPC overhead that dominates when individual runs are short;
+    results come back in input order.
+    """
+    return [execute_spec(spec) for spec in specs]

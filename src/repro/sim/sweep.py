@@ -96,6 +96,8 @@ def sweep(
     workers: int = 1,
     executor=None,
     cache=None,
+    engine: str = "auto",
+    progress=None,
 ) -> SweepSeries:
     """Run one simulation per swept value and collect the results.
 
@@ -132,12 +134,15 @@ def sweep(
                 energy_cap=energy_cap,
                 record_trace=record_trace,
                 label=f"{name}[{parameter}={value}]",
+                engine=engine,
             )
             for value, algo, adv, run_rounds in jobs
         ]
         from .parallel import dispatch_specs
 
-        results = dispatch_specs(specs, workers=workers, executor=executor, cache=cache)
+        results = dispatch_specs(
+            specs, workers=workers, executor=executor, cache=cache, progress=progress
+        )
         for (value, _, _, _), result in zip(jobs, results):
             series.points.append(SweepPoint(value=value, result=result))
         return series
@@ -155,6 +160,7 @@ def sweep(
             energy_cap=energy_cap,
             record_trace=record_trace,
             label=f"{name}[{parameter}={value}]",
+            engine=engine,
         )
         series.points.append(SweepPoint(value=value, result=result))
     return series

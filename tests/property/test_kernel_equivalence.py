@@ -1,0 +1,127 @@
+"""Property tests: the kernel loop is bit-identical to the reference loop.
+
+The capability-negotiated kernel (`repro.channel.kernel.KernelEngine`)
+skips whatever bookkeeping a run's components declare they do not need —
+view maintenance for oblivious adversaries, per-station wake-up calls for
+schedule-driven controllers, full queue polling for incremental-metrics
+controllers.  None of that may change a single statistic: the checked
+reference loop is the oracle, and for any random :class:`RunSpec` the two
+engines must produce identical summaries, energy reports and packet
+bookkeeping.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.sim import RunSpec, execute_spec
+
+
+def _algorithm_fragments(draw):
+    n = draw(st.integers(min_value=3, max_value=8))
+    key = draw(
+        st.sampled_from(
+            ["count-hop", "orchestra", "k-cycle", "k-clique", "k-subsets", "rrw", "mbtf"]
+        )
+    )
+    if key in ("k-cycle", "k-clique", "k-subsets"):
+        k = draw(st.integers(min_value=2, max_value=max(2, n - 1)))
+        return key, {"n": n, "k": k}
+    return key, {"n": n}
+
+
+@st.composite
+def run_spec_pair_strategy(draw) -> tuple[RunSpec, RunSpec]:
+    """One random configuration, spec'd once per engine."""
+    algorithm, algorithm_params = _algorithm_fragments(draw)
+    adversary = draw(
+        st.sampled_from(
+            [
+                "single-target",
+                "spray",
+                "round-robin",
+                "alternating-pair",
+                "bursty",
+                "saturating",
+                "random",
+                "hotspot",
+                "adaptive-starvation",
+            ]
+        )
+    )
+    params = {
+        "rho": draw(
+            st.floats(min_value=0.05, max_value=0.9, allow_nan=False).map(
+                lambda x: round(x, 3)
+            )
+        ),
+        "beta": float(draw(st.integers(min_value=1, max_value=3))),
+    }
+    if adversary in ("random", "hotspot"):
+        params["seed"] = draw(st.integers(min_value=0, max_value=2**31))
+    rounds = draw(st.integers(min_value=20, max_value=300))
+    common = dict(
+        algorithm=algorithm,
+        algorithm_params=algorithm_params,
+        adversary=adversary,
+        adversary_params=params,
+        rounds=rounds,
+        enforce_energy_cap=False,
+    )
+    return (
+        RunSpec(engine="kernel", **common),
+        RunSpec(engine="reference", **common),
+    )
+
+
+@given(pair=run_spec_pair_strategy())
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_kernel_matches_reference_summaries(pair):
+    kernel_spec, reference_spec = pair
+    kernel = execute_spec(kernel_spec)
+    reference = execute_spec(reference_spec)
+
+    assert kernel.summary.as_dict() == reference.summary.as_dict()
+    assert kernel.energy.rounds == reference.energy.rounds
+    assert kernel.energy.total_station_rounds == reference.energy.total_station_rounds
+    assert kernel.energy.max_awake == reference.energy.max_awake
+    # Fine-grained collector state, not just the condensed summary.
+    kc, rc = kernel.collector, reference.collector
+    assert kc.total_queue_series == rc.total_queue_series
+    assert kc.per_station_max_queue == rc.per_station_max_queue
+    assert kc.energy_series == rc.energy_series
+    assert kc.outcome_counts == rc.outcome_counts
+    assert kc.delays == rc.delays
+    assert sorted(kc.records) == sorted(rc.records)
+
+
+def test_kernel_rejects_trace_recording():
+    spec = RunSpec(
+        algorithm="k-cycle",
+        algorithm_params={"n": 5, "k": 2},
+        adversary="spray",
+        adversary_params={"rho": 0.2, "beta": 1.0},
+        rounds=10,
+        record_trace=True,
+        engine="kernel",
+    )
+    with pytest.raises(ValueError, match="does not record traces"):
+        execute_spec(spec)
+
+
+def test_auto_engine_with_trace_uses_reference():
+    spec = RunSpec(
+        algorithm="k-cycle",
+        algorithm_params={"n": 5, "k": 2},
+        adversary="spray",
+        adversary_params={"rho": 0.2, "beta": 1.0},
+        rounds=25,
+        record_trace=True,
+    )
+    result = execute_spec(spec)
+    assert result.trace is not None
+    assert len(result.trace) == 25

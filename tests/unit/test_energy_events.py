@@ -91,3 +91,52 @@ class TestExecutionTrace:
         trace.append(_round_event(0))
         trace.append(_round_event(1))
         assert [e.round_no for e in trace] == [0, 1]
+
+
+class TestTraceSerialisation:
+    def test_round_trip_preserves_every_event(self):
+        import json
+
+        p = Packet(destination=1, injected_at=0, origin=0, packet_id=7)
+        msg = Message(sender=0, packet=p, control={"big": True, "count": 3},
+                      intended_receiver=1)
+        light = Message(sender=2, control={"x": 1})
+        trace = ExecutionTrace()
+        trace.append(_round_event(0, injections=[InjectionEvent(0, 0, p)]))
+        trace.append(_round_event(1, awake=(0, 1), outcome=ChannelOutcome.HEARD,
+                                  message=msg, delivered=p))
+        trace.append(_round_event(2, awake=(2,), outcome=ChannelOutcome.HEARD,
+                                  message=light))
+        trace.append(_round_event(3, awake=(0, 1, 2),
+                                  outcome=ChannelOutcome.COLLISION))
+
+        # Through actual JSON text, not just plain dicts.
+        payload = json.dumps(trace.to_jsonable())
+        restored = ExecutionTrace.from_jsonable(json.loads(payload))
+
+        assert len(restored) == len(trace)
+        assert restored.rounds == trace.rounds
+        assert restored.silent_rounds() == trace.silent_rounds()
+        assert restored.collision_rounds() == trace.collision_rounds()
+        assert restored.light_rounds() == trace.light_rounds()
+        assert restored.delivered_packets() == trace.delivered_packets()
+        assert [e.packet for e in restored.injections()] == [p]
+
+    def test_round_trip_of_engine_produced_trace(self):
+        import json
+
+        from repro.adversary import SingleTargetAdversary
+        from repro.algorithms import KCycle
+        from repro.sim import run_simulation
+
+        result = run_simulation(
+            KCycle(5, 2), SingleTargetAdversary(0.5, 2.0), 120, record_trace=True
+        )
+        assert result.trace is not None
+        payload = json.dumps(result.trace.to_jsonable())
+        restored = ExecutionTrace.from_jsonable(json.loads(payload))
+        assert restored.rounds == result.trace.rounds
+
+    def test_empty_trace_round_trip(self):
+        restored = ExecutionTrace.from_jsonable(ExecutionTrace().to_jsonable())
+        assert len(restored) == 0

@@ -1,0 +1,164 @@
+"""Unit tests for the capability-negotiated kernel engine."""
+
+import pytest
+
+from repro.adversary import (
+    AdaptiveStarvationAdversary,
+    NoInjectionAdversary,
+    ObservationProfile,
+    SingleTargetAdversary,
+)
+from repro.algorithms import KCycle, KSubsets, Orchestra
+from repro.channel.energy import EnergyCapViolation
+from repro.channel.engine import DEFAULT_VIEW_WINDOW, EngineConfig, RoundEngine
+from repro.channel.kernel import KernelEngine
+from repro.channel.packet import PacketFactory
+from repro.metrics.collector import MetricsCollector
+from repro.sim import run_simulation
+
+
+def build_kernel(algorithm, adversary, **config_kwargs):
+    controllers = algorithm.build_controllers()
+    adversary.bind(algorithm.n, PacketFactory())
+    config = EngineConfig(energy_cap=algorithm.energy_cap, **config_kwargs)
+    return KernelEngine(
+        controllers,
+        adversary,
+        MetricsCollector(),
+        config,
+        schedule=algorithm.oblivious_schedule(),
+    )
+
+
+class TestNegotiation:
+    def test_schedule_fast_path_for_pure_wake_controllers(self):
+        engine = build_kernel(KCycle(9, 3), SingleTargetAdversary(0.2, 1.0))
+        assert engine.uses_schedule_fast_path
+        assert engine.uses_incremental_metrics
+
+    def test_no_schedule_fast_path_when_wakes_has_side_effects(self):
+        # k-Subsets publishes a schedule but its controllers advance a
+        # phase state machine inside wakes(), so they do not declare
+        # static_wake_schedule and the kernel must keep calling wakes().
+        engine = build_kernel(KSubsets(6, 3), SingleTargetAdversary(0.2, 1.0))
+        assert not engine.uses_schedule_fast_path
+
+    def test_no_schedule_fast_path_without_published_schedule(self):
+        engine = build_kernel(Orchestra(6), SingleTargetAdversary(0.2, 1.0))
+        assert not engine.uses_schedule_fast_path
+
+    def test_oblivious_adversary_skips_view_maintenance(self):
+        engine = build_kernel(KCycle(9, 3), SingleTargetAdversary(0.2, 1.0))
+        assert not engine.maintains_view
+        engine.run(50)
+        assert len(engine.view.awake_history) == 0
+
+    def test_windowed_adversary_gets_bounded_view_with_exact_counts(self):
+        adversary = AdaptiveStarvationAdversary(0.5, 1.0)
+        assert adversary.observation_profile() == ObservationProfile.windowed(1)
+        engine = build_kernel(KCycle(9, 3), adversary, enforce_energy_cap=False)
+        assert engine.maintains_view
+        engine.run(50)
+        assert len(engine.view.awake_history) == 1  # bounded window
+        # ... but the on-round counts cover all 50 rounds.
+        total_on = sum(engine.view.station_on_rounds(i) for i in range(9))
+        assert total_on == sum(engine.energy.per_round)
+
+    def test_full_history_opt_in_overrides_profile(self):
+        engine = build_kernel(
+            KCycle(9, 3), SingleTargetAdversary(0.2, 1.0), full_history=True
+        )
+        assert engine.maintains_view
+        engine.run(40)
+        assert len(engine.view.awake_history) == 40
+
+    def test_record_trace_rejected(self):
+        with pytest.raises(ValueError, match="does not record traces"):
+            build_kernel(KCycle(9, 3), NoInjectionAdversary(), record_trace=True)
+
+
+class TestPolledFallback:
+    def test_opt_out_controller_forces_full_polls(self):
+        algorithm = KCycle(9, 3)
+        controllers = algorithm.build_controllers()
+        controllers[0].queue_metrics_incremental = False
+        adversary = SingleTargetAdversary(0.2, 1.0).bind(9, PacketFactory())
+        engine = KernelEngine(
+            controllers,
+            adversary,
+            MetricsCollector(),
+            EngineConfig(energy_cap=3),
+            schedule=algorithm.oblivious_schedule(),
+        )
+        assert not engine.uses_incremental_metrics
+        engine.run(100)
+        assert engine.collector.rounds_observed == 100
+
+    def test_polled_and_incremental_collect_identically(self):
+        def collect(opt_out: bool):
+            algorithm = KCycle(9, 3)
+            controllers = algorithm.build_controllers()
+            if opt_out:
+                controllers[0].queue_metrics_incremental = False
+            adversary = SingleTargetAdversary(0.6, 2.0).bind(9, PacketFactory())
+            engine = KernelEngine(
+                controllers,
+                adversary,
+                MetricsCollector(),
+                EngineConfig(energy_cap=3),
+                schedule=algorithm.oblivious_schedule(),
+            )
+            engine.run(400)
+            return engine.collector
+
+        polled, incremental = collect(True), collect(False)
+        assert polled.total_queue_series == incremental.total_queue_series
+        assert polled.per_station_max_queue == incremental.per_station_max_queue
+        assert polled.outcome_counts == incremental.outcome_counts
+
+
+class TestSemantics:
+    def test_energy_cap_enforced(self):
+        algorithm = KCycle(9, 3)
+        controllers = algorithm.build_controllers()
+        adversary = NoInjectionAdversary().bind(9, PacketFactory())
+        engine = KernelEngine(
+            controllers,
+            adversary,
+            MetricsCollector(),
+            EngineConfig(energy_cap=2, enforce_energy_cap=True),
+            schedule=algorithm.oblivious_schedule(),
+        )
+        with pytest.raises(EnergyCapViolation):
+            engine.run(10)
+        # The violating round was observed before the raise, like the
+        # reference engine's EnergyMonitor.observe.
+        assert engine.energy.violations == 1
+        assert engine.energy.total_station_rounds == sum(engine.energy.per_round)
+
+    def test_resumed_runs_accumulate(self):
+        engine = build_kernel(KCycle(9, 3), SingleTargetAdversary(0.4, 2.0))
+        engine.run(100)
+        engine.run(100)
+        assert engine.round_no == 200
+        assert engine.collector.rounds_observed == 200
+
+        other = build_kernel(KCycle(9, 3), SingleTargetAdversary(0.4, 2.0))
+        other.run(200)
+        assert (
+            engine.collector.total_queue_series == other.collector.total_queue_series
+        )
+
+    def test_reference_window_default_is_bounded(self):
+        # Satellite fix: even the reference engine no longer grows its view
+        # without bound for adversaries with a declared (finite) window.
+        algorithm = KCycle(9, 3)
+        adversary = SingleTargetAdversary(0.2, 1.0).bind(9, PacketFactory())
+        engine = RoundEngine(algorithm.build_controllers(), adversary)
+        assert engine.view.window == DEFAULT_VIEW_WINDOW
+
+    def test_run_simulation_engine_selector_validated(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            run_simulation(
+                KCycle(9, 3), SingleTargetAdversary(0.2, 1.0), 10, engine="warp"
+            )

@@ -233,3 +233,87 @@ class TestWorstCaseTieBreak:
         worst_p, runs_p = worst_case_over(algorithm, factories, 400, workers=2)
         assert [r.summary for r in runs_s] == [r.summary for r in runs_p]
         assert worst_s.summary == worst_p.summary
+
+
+class TestChunkingAndProgress:
+    def test_default_chunk_size_bounds(self):
+        from repro.sim import default_chunk_size
+
+        assert default_chunk_size(1, 4) == 1
+        assert default_chunk_size(16, 4) == 1
+        assert default_chunk_size(64, 4) == 4
+        assert default_chunk_size(10_000, 4) == 32  # capped
+
+    def test_execute_spec_batch_preserves_order(self):
+        specs = [_spec(rounds=r) for r in (21, 22, 23)]
+        from repro.sim import execute_spec_batch
+
+        results = execute_spec_batch(specs)
+        assert [r.rounds for r in results] == [21, 22, 23]
+        assert results[0].summary.as_dict() == execute_spec(specs[0]).summary.as_dict()
+
+    def test_serial_progress_counts_every_spec(self):
+        calls = []
+        specs = [_spec(rounds=r) for r in (21, 22, 23)]
+        with ParallelExecutor(1) as executor:
+            executor.run(specs, progress=lambda done, total: calls.append((done, total)))
+        assert calls == [(1, 3), (2, 3), (3, 3)]
+
+    def test_progress_reports_cache_hits_immediately(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _spec(rounds=31)
+        with ParallelExecutor(1, cache=cache) as executor:
+            executor.run([spec])
+            calls = []
+            executor.run([spec], progress=lambda d, t: calls.append((d, t)))
+        assert calls == [(1, 1)]
+
+    def test_executor_level_progress_used_when_run_has_none(self):
+        calls = []
+        with ParallelExecutor(1, progress=lambda d, t: calls.append(d)) as executor:
+            executor.run([_spec(rounds=21)])
+        assert calls == [1]
+
+    def test_chunk_size_validated(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            ParallelExecutor(2, chunk_size=0)
+
+    def test_progress_ticker_non_tty_output(self):
+        import io
+
+        from repro.sim import ProgressTicker
+
+        stream = io.StringIO()
+        ticker = ProgressTicker("runs", stream=stream)
+        for done in range(1, 21):
+            ticker(done, 20)
+        lines = stream.getvalue().splitlines()
+        assert lines[0] == "runs: 1/20"
+        assert lines[-1] == "runs: 20/20"
+        # Sparse: roughly one line per 10% plus the first, not 20 lines.
+        assert len(lines) <= 12
+
+
+@pytest.mark.parallel
+class TestChunkedParallelDispatch:
+    def test_chunked_results_match_serial_order_and_values(self):
+        specs = [_spec(rounds=20 + i) for i in range(6)]
+        serial = [execute_spec(s) for s in specs]
+        with ParallelExecutor(2, chunk_size=2) as executor:
+            calls = []
+            parallel = executor.run(
+                specs, progress=lambda d, t: calls.append((d, t))
+            )
+        assert [r.summary.as_dict() for r in parallel] == [
+            r.summary.as_dict() for r in serial
+        ]
+        # Three chunks of two specs: progress advances in chunk steps.
+        assert [t for _, t in calls] == [6, 6, 6]
+        assert sorted(d for d, _ in calls) == [2, 4, 6]
+
+    def test_chunked_dispatch_fills_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        specs = [_spec(rounds=20 + i) for i in range(4)]
+        with ParallelExecutor(2, cache=cache, chunk_size=2) as executor:
+            executor.run(specs)
+        assert all(spec in cache for spec in specs)

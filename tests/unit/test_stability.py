@@ -1,0 +1,100 @@
+"""Window edge cases of the empirical stability assessment.
+
+Complements tests/unit/test_metrics.py (which covers the headline
+stable/unstable classification): these tests pin the behaviour of the
+windowing itself — the ``min_rounds`` gate, the middle-quarter head
+window, the tail fit, and the :class:`StabilityVerdict` fields derived
+from them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.metrics.stability import StabilityVerdict, assess_stability
+
+
+class TestMinRoundsGate:
+    def test_series_just_below_gate_is_always_stable(self):
+        # Steeply growing, but 31 < min_rounds: not enough evidence.
+        series = np.arange(31) * 100
+        verdict = assess_stability(series, min_rounds=32)
+        assert verdict.stable
+        assert verdict.growth_rate == 0.0
+        # Below the gate head and tail collapse to the overall mean.
+        assert verdict.head_mean == verdict.tail_mean == pytest.approx(series.mean())
+
+    def test_series_at_gate_is_assessed(self):
+        series = np.arange(32) * 100
+        verdict = assess_stability(series, min_rounds=32)
+        assert not verdict.stable
+        assert verdict.growth_rate > 0
+
+    def test_custom_gate(self):
+        series = np.arange(16) * 100
+        assert assess_stability(series, min_rounds=20).stable
+        assert not assess_stability(series, min_rounds=8).stable
+
+    def test_peak_reported_even_below_gate(self):
+        verdict = assess_stability(np.array([0, 5, 3]), min_rounds=32)
+        assert verdict.peak == 5
+
+    def test_empty_series(self):
+        verdict = assess_stability(np.array([]))
+        assert verdict == StabilityVerdict(True, 0.0, 0.0, 0.0, 0)
+
+
+class TestWindows:
+    def test_head_is_middle_quarter_tail_is_second_half(self):
+        # 100 rounds: head = rounds [25, 50), tail = rounds [50, 100).
+        series = np.zeros(100)
+        series[25:50] = 10.0  # head window
+        series[50:] = 30.0  # tail window
+        verdict = assess_stability(series)
+        assert verdict.head_mean == pytest.approx(10.0)
+        assert verdict.tail_mean == pytest.approx(30.0)
+
+    def test_warmup_spike_outside_head_window_is_ignored(self):
+        # A huge transient in the first quarter must not inflate head_mean.
+        series = np.full(200, 50.0)
+        series[:40] = 5000.0
+        verdict = assess_stability(series)
+        assert verdict.head_mean == pytest.approx(50.0)
+        assert verdict.stable
+
+    def test_flat_tail_after_growth_is_stable(self):
+        # Queues grow during the first half, then plateau: the tail fit
+        # sees no growth, so the run counts as stable.
+        series = np.concatenate([np.linspace(0, 400, 100), np.full(100, 400.0)])
+        verdict = assess_stability(series)
+        assert verdict.stable
+        assert verdict.growth_rate == pytest.approx(0.0, abs=1e-6)
+
+    def test_growth_only_flagged_with_drift(self):
+        # A tail that oscillates upward slightly but sits at the same level
+        # as the head is not drifting, hence stable.
+        rng = np.random.default_rng(0)
+        series = 100 + rng.integers(-2, 3, size=400)
+        verdict = assess_stability(series)
+        assert verdict.stable
+
+
+class TestVerdictProperties:
+    def test_drifting_flag_ratio(self):
+        verdict = StabilityVerdict(
+            stable=False, growth_rate=1.0, tail_mean=20.0, head_mean=10.0, peak=25
+        )
+        assert verdict.drifting  # 20/10 > 1.5
+        verdict = StabilityVerdict(
+            stable=True, growth_rate=0.0, tail_mean=12.0, head_mean=10.0, peak=14
+        )
+        assert not verdict.drifting
+
+    def test_drifting_with_zero_head(self):
+        verdict = StabilityVerdict(
+            stable=False, growth_rate=0.5, tail_mean=5.0, head_mean=0.0, peak=9
+        )
+        assert verdict.drifting
+        verdict = StabilityVerdict(
+            stable=True, growth_rate=0.0, tail_mean=0.0, head_mean=0.0, peak=0
+        )
+        assert not verdict.drifting
