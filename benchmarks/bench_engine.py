@@ -2,20 +2,28 @@
 """Engine micro-benchmark: kernel vs reference rounds-per-second.
 
 Times the capability-negotiated kernel loop against the checked reference
-loop on a fixed set of configurations and writes the rounds/sec
-trajectory to ``BENCH_engine.json`` so CI can archive it per commit.
+loop on a fixed set of configurations and appends the rounds/sec numbers
+to the ``BENCH_engine.json`` trajectory (one entry per invocation, keyed
+by ``unix_time``) so CI can archive the history per commit.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_engine.py [--smoke] [--output PATH]
+    PYTHONPATH=src python benchmarks/bench_engine.py \
+        [--smoke] [--output PATH] [--fail-below X]
 
 ``--smoke`` runs short horizons (a few seconds total) for CI; the default
-horizons give steadier numbers for local comparisons.  The headline
-configuration — an oblivious adversary driving a schedule-published
-k-Cycle at n=64 in the paper's energy-frugal regime (k << n) — is where
-the kernel's negotiated fast paths all engage; the other rows track the
-dynamic-wakes and adaptive-adversary paths so regressions in any
-negotiation branch show up in the trajectory.
+horizons give steadier numbers for local comparisons.  ``--fail-below X``
+exits non-zero when any tracked config's kernel speedup drops below
+``X`` — the CI perf-regression gate (the trajectory file is still
+written first, so the artifact survives a failing run).
+
+The headline configuration — an oblivious adversary driving a
+schedule-published k-Cycle at n=64 in the paper's energy-frugal regime
+(k << n) — is where the kernel's negotiated fast paths all engage; the
+Count-Hop / Orchestra / Adjust-Window rows track the ticked-wakes tier
+(shared state machine, one tick + one batch awake-set query per round)
+per algorithm, and the adaptive row tracks the windowed-view path, so a
+regression in any negotiation branch shows up in the trajectory.
 """
 
 from __future__ import annotations
@@ -34,7 +42,8 @@ if __package__ in (None, ""):  # run as a script
 
 from repro.sim import RunSpec, execute_spec  # noqa: E402
 
-#: (name, spec template).  ``rounds`` is filled in per mode.
+#: (name, spec template).  ``rounds`` is filled in per mode.  Names are
+#: the trajectory keys — keep them stable across commits.
 CONFIGS: list[tuple[str, dict]] = [
     (
         "k-cycle n=64 k=4, oblivious spray (all fast paths)",
@@ -68,6 +77,24 @@ CONFIGS: list[tuple[str, dict]] = [
         dict(
             algorithm="count-hop",
             algorithm_params={"n": 16},
+            adversary="spray",
+            adversary_params={"rho": 0.3, "beta": 2.0},
+        ),
+    ),
+    (
+        "orchestra n=16, oblivious spray (ticked wakes path)",
+        dict(
+            algorithm="orchestra",
+            algorithm_params={"n": 16},
+            adversary="spray",
+            adversary_params={"rho": 0.3, "beta": 2.0},
+        ),
+    ),
+    (
+        "adjust-window n=4, oblivious spray (ticked wakes path)",
+        dict(
+            algorithm="adjust-window",
+            algorithm_params={"n": 4},
             adversary="spray",
             adversary_params={"rho": 0.3, "beta": 2.0},
         ),
@@ -118,13 +145,59 @@ def run_benchmark(smoke: bool) -> dict:
             f"kernel {kernel:>10,.0f} rps   x{kernel / reference:.2f}"
         )
     return {
-        "schema": 1,
         "smoke": smoke,
         "unix_time": int(time.time()),
         "python": platform.python_version(),
         "machine": platform.machine(),
         "configs": rows,
     }
+
+
+def load_trajectory(path: Path) -> dict:
+    """Read an existing trajectory file, upgrading the schema-1 layout.
+
+    Schema 1 held a single run at the top level; schema 2 is
+    ``{"schema": 2, "runs": [run, ...]}`` ordered by ``unix_time``.  A
+    file that cannot be parsed into either shape is moved aside (to
+    ``<name>.corrupt``) rather than silently overwritten, so an
+    interrupted write never erases the accumulated history.
+    """
+    if not path.exists():
+        return {"schema": 2, "runs": []}
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, ValueError):
+        data = None
+    if isinstance(data, dict) and isinstance(data.get("runs"), list):
+        return {"schema": 2, "runs": list(data["runs"])}
+    if isinstance(data, dict) and "configs" in data:  # schema 1: one bare run
+        data.pop("schema", None)
+        return {"schema": 2, "runs": [data]}
+    backup = path.with_suffix(path.suffix + ".corrupt")
+    path.replace(backup)
+    print(
+        f"warning: could not parse {path} as a benchmark trajectory; "
+        f"moved it to {backup} and starting a fresh history",
+        file=sys.stderr,
+    )
+    return {"schema": 2, "runs": []}
+
+
+def append_run(path: Path, run: dict) -> dict:
+    """Append ``run`` to the trajectory at ``path`` and write it back."""
+    trajectory = load_trajectory(path)
+    trajectory["runs"].append(run)
+    path.write_text(json.dumps(trajectory, indent=2) + "\n")
+    return trajectory
+
+
+def speedup_failures(run: dict, minimum: float) -> list[str]:
+    """Configs of ``run`` whose kernel speedup falls below ``minimum``."""
+    return [
+        f"{row['name']}: x{row['speedup']:.2f} < x{minimum:.2f}"
+        for row in run["configs"]
+        if row["speedup"] < minimum
+    ]
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -135,12 +208,26 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--output",
         default="BENCH_engine.json",
-        help="where to write the JSON trajectory (default: ./BENCH_engine.json)",
+        help="trajectory file to append to (default: ./BENCH_engine.json)",
+    )
+    parser.add_argument(
+        "--fail-below",
+        type=float,
+        default=None,
+        metavar="X",
+        help="exit non-zero when any config's kernel speedup is below X "
+        "(the trajectory is still written first)",
     )
     args = parser.parse_args(argv)
-    payload = run_benchmark(smoke=args.smoke)
-    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"wrote {args.output}")
+    run = run_benchmark(smoke=args.smoke)
+    trajectory = append_run(Path(args.output), run)
+    print(f"appended run to {args.output} ({len(trajectory['runs'])} runs recorded)")
+    if args.fail_below is not None:
+        failures = speedup_failures(run, args.fail_below)
+        if failures:
+            for failure in failures:
+                print(f"FAIL perf regression: {failure}", file=sys.stderr)
+            return 1
     return 0
 
 

@@ -26,6 +26,15 @@ start.  Every window is split into three stages:
 Messages never carry control bits (plain-packet discipline); at most one
 transmitter and one listener are awake per round, so the energy cap is 2.
 
+The window state machine (start round, current ``L``, derived
+:class:`WindowLayout`) is identical at every station — the doubling
+decision is computed from gossiped numbers every station learns
+identically — so it lives in one shared :class:`_AdjustWindowClock` (a
+:class:`~repro.core.schedule.WakeOracle`): ``tick(t)`` advances windows,
+``wakes(t)`` is a pure query afterwards, and the clock answers whole
+awake sets batch-wise from the stations' Gossip flags, Main-stage slot
+plans and Auxiliary pair sweep.
+
 Paper bound (Theorem 4): universal — for every injection rate ``rho < 1``
 the latency is O((n^3 log^2 n + beta) / (1 - rho)) for sufficiently large
 ``n``.  At small ``n`` the additive ``n^3 log L`` stage lengths dominate
@@ -41,8 +50,9 @@ from ..channel.feedback import Feedback
 from ..channel.message import Message
 from ..channel.packet import Packet
 from ..core.algorithm import AlgorithmProperties, RoutingAlgorithm
-from ..core.controller import QueueingController
+from ..core.controller import TickedQueueingController
 from ..core.registry import register_algorithm
+from ..core.schedule import WakeOracle
 
 __all__ = ["AdjustWindow", "WindowLayout", "initial_window_size", "lg"]
 
@@ -137,14 +147,87 @@ class _GossipRecord:
         return values[0], values[1], values[2]
 
 
-class _AdjustWindowController(QueueingController):
-    """Per-station controller of Adjust-Window."""
+class _AdjustWindowClock(WakeOracle):
+    """Shared window state machine of one Adjust-Window execution."""
 
-    def __init__(self, station_id: int, n: int, initial_l: int) -> None:
-        super().__init__(station_id, n)
+    def __init__(self, n: int, initial_l: int) -> None:
+        super().__init__(n)
         self.window_start = 0
         self.L = initial_l
         self.layout = WindowLayout.for_window(n, initial_l)
+        self._last_ticked = -1
+        # Main-stage slot plan: [(start, end, station), ...] collected from
+        # the controllers' locally-computed (identical) global schedule.
+        self._main_intervals: list[tuple[int, int, int]] | None = None
+
+    def tick(self, round_no: int) -> None:
+        if round_no <= self._last_ticked:
+            return
+        self._last_ticked = round_no
+        while round_no - self.window_start >= self.L:
+            # Every station derived the same doubling decision from the
+            # gossiped numbers; force the (idempotent) plan computation in
+            # case this run never queried a Main-stage round.
+            for ctrl in self.controllers:
+                ctrl._build_main_plan()
+            double = self.controllers[0]._double_next
+            self.window_start += self.L
+            if double:
+                self.L *= 2
+            self.layout = WindowLayout.for_window(self.n, self.L)
+            self._main_intervals = None
+            for ctrl in self.controllers:
+                ctrl._begin_window_local()
+
+    # -- batch awake-set query -------------------------------------------------
+    def _collect_main_intervals(self) -> list[tuple[int, int, int]]:
+        intervals: list[tuple[int, int, int]] = []
+        for station, ctrl in enumerate(self.controllers):
+            ctrl._build_main_plan()
+            start, end = ctrl._my_send_slots
+            if end > start:
+                intervals.append((start, end, station))
+            for start, end in ctrl._my_recv_slots:
+                intervals.append((start, end, station))
+        self._main_intervals = intervals
+        return intervals
+
+    def awake_stations(self, round_no: int) -> tuple[int, ...]:
+        layout = self.layout
+        rel = round_no - self.window_start
+        stage = layout.stage_of(rel)
+        controllers = self.controllers
+        if stage == "gossip":
+            phase = rel // layout.phase_len
+            i, j = phase // self.n, phase % self.n
+            if i == j:
+                return ()
+            if controllers[i]._i_am_large:
+                return (i, j) if i < j else (j, i)
+            return (j,)
+        if stage == "main":
+            intervals = self._main_intervals
+            if intervals is None:
+                intervals = self._collect_main_intervals()
+            slot = rel - layout.main_start
+            awake = {s for start, end, s in intervals if start <= slot < end}
+            return tuple(sorted(awake))
+        # aux
+        offset = rel - layout.aux_start
+        q = offset % (self.n * self.n)
+        i, j = q // self.n, q % self.n
+        if i == j:
+            return ()
+        if controllers[i].queue.peek_any_for(j) is not None:
+            return (i, j) if i < j else (j, i)
+        return (j,)
+
+
+class _AdjustWindowController(TickedQueueingController):
+    """Per-station controller of Adjust-Window."""
+
+    def __init__(self, station_id: int, n: int, clock: _AdjustWindowClock) -> None:
+        super().__init__(station_id, n, clock)
         # Snapshot of this station's own queue at the window start.
         self._snapshot_size = 0
         self._snapshot_for: list[int] = [0] * n
@@ -157,18 +240,20 @@ class _AdjustWindowController(QueueingController):
         self._my_send_slots: tuple[int, int] = (0, 0)  # [start, end) relative to main
         self._my_send_sequence: list[int] = []  # destination per send slot
         self._my_recv_slots: list[tuple[int, int]] = []  # [(start, end)) relative to main
-        self._begin_window(0, first=True)
+        self._begin_window_local()
+
+    @property
+    def clock(self) -> _AdjustWindowClock:
+        """The shared window clock (one source of truth: ``wake_oracle``)."""
+        return self.wake_oracle
 
     # -- window bookkeeping --------------------------------------------------------
-    def _begin_window(self, start_round: int, first: bool = False) -> None:
-        self.window_start = start_round
-        if not first and self._double_next:
-            self.L *= 2
-        self.layout = WindowLayout.for_window(self.n, self.L)
+    def _begin_window_local(self) -> None:
+        """Clock callback at a window boundary (runs for every station)."""
         self.queue.age_all()
         self._snapshot_size = self.queue.old_count
         self._snapshot_for = [self.queue.count_old_for(d) for d in range(self.n)]
-        self._i_am_large = self._snapshot_size >= self.layout.small_threshold
+        self._i_am_large = self._snapshot_size >= self.clock.layout.small_threshold
         self._records = {}
         self._main_plan_ready = False
         self._double_next = False
@@ -176,37 +261,34 @@ class _AdjustWindowController(QueueingController):
         self._my_send_sequence = []
         self._my_recv_slots = []
 
-    def _advance(self, round_no: int) -> None:
-        while round_no - self.window_start >= self.L:
-            self._begin_window(self.window_start + self.L)
-
     def _rel(self, round_no: int) -> int:
-        return round_no - self.window_start
+        return round_no - self.clock.window_start
 
     # -- snapshot helpers -----------------------------------------------------------
     def _capped_size(self) -> int:
-        return min(self._snapshot_size, self.L)
+        return min(self._snapshot_size, self.clock.L)
 
     def _capped_for(self, dest: int) -> int:
-        return min(self._snapshot_for[dest], self.L)
+        return min(self._snapshot_for[dest], self.clock.L)
 
     def _capped_below(self, dest: int) -> int:
-        return min(sum(self._snapshot_for[:dest]), self.L)
+        return min(sum(self._snapshot_for[:dest]), self.clock.L)
 
     # -- gossip ------------------------------------------------------------------------
     def _gossip_phase(self, rel: int) -> tuple[int, int, int]:
         """(i, j, slot) of the gossip phase containing window-relative round ``rel``."""
-        phase = rel // self.layout.phase_len
-        slot = rel % self.layout.phase_len
+        phase = rel // self.clock.layout.phase_len
+        slot = rel % self.clock.layout.phase_len
         return phase // self.n, phase % self.n, slot
 
     def _gossip_bit(self, j: int, slot: int) -> int:
         """The coded-transfer bit this (large) station sends in ``slot`` of phase (me, j)."""
         bit_index = slot - 2
         numbers = (self._capped_size(), self._capped_for(j), self._capped_below(j))
-        block, offset = divmod(bit_index, self.layout.lgL)
+        lgL = self.clock.layout.lgL
+        block, offset = divmod(bit_index, lgL)
         value = numbers[block]
-        shift = self.layout.lgL - 1 - offset
+        shift = lgL - 1 - offset
         return (value >> shift) & 1
 
     def _coded_transfer_packet(self, j: int) -> Packet | None:
@@ -225,7 +307,7 @@ class _AdjustWindowController(QueueingController):
         if station == self.station_id:
             return (
                 self._i_am_large,
-                self._snapshot_size > self.L,
+                self._snapshot_size > self.clock.L,
                 self._capped_size(),
                 0,
                 0,
@@ -233,7 +315,7 @@ class _AdjustWindowController(QueueingController):
         record = self._records.get(station)
         if record is None or not record.large:
             return (False, False, 0, 0, 0)
-        size, to_me, below_me = record.numbers(self.layout.lgL)
+        size, to_me, below_me = record.numbers(self.clock.layout.lgL)
         return (True, record.over_l, size, to_me, below_me)
 
     def _build_main_plan(self) -> None:
@@ -244,9 +326,10 @@ class _AdjustWindowController(QueueingController):
         large = [s for s in range(self.n) if info[s][0]]
         over_l = [s for s in range(self.n) if info[s][0] and info[s][1]]
         reported_total = sum(info[s][2] for s in large)
-        self._double_next = bool(over_l) or reported_total > self.layout.main_len
+        layout = self.clock.layout
+        self._double_next = bool(over_l) or reported_total > layout.main_len
 
-        lm = self.layout.main_len
+        lm = layout.main_len
         if over_l:
             dedicated = min(over_l)
             if dedicated == self.station_id:
@@ -256,7 +339,7 @@ class _AdjustWindowController(QueueingController):
                 _, _, _, to_me, below_me = info[dedicated]
                 start = min(below_me, lm)
                 end = min(below_me + to_me, lm)
-                if to_me >= self.L:
+                if to_me >= self.clock.L:
                     end = lm
                 if end > start:
                     self._my_recv_slots = [(start, end)]
@@ -297,15 +380,16 @@ class _AdjustWindowController(QueueingController):
 
     # -- auxiliary stage -------------------------------------------------------------------
     def _aux_pair(self, rel: int) -> tuple[int, int]:
-        offset = rel - self.layout.aux_start
+        offset = rel - self.clock.layout.aux_start
         q = offset % (self.n * self.n)
         return q // self.n, q % self.n
 
     # -- StationController interface ----------------------------------------------------------
     def wakes(self, round_no: int) -> bool:
-        self._advance(round_no)
+        clock = self.clock
+        clock.tick(round_no)
         rel = self._rel(round_no)
-        stage = self.layout.stage_of(rel)
+        stage = clock.layout.stage_of(rel)
         if stage == "gossip":
             i, j, _ = self._gossip_phase(rel)
             if i == j:
@@ -315,7 +399,7 @@ class _AdjustWindowController(QueueingController):
             return self.station_id == i and self._i_am_large
         if stage == "main":
             self._build_main_plan()
-            slot = rel - self.layout.main_start
+            slot = rel - clock.layout.main_start
             send_start, send_end = self._my_send_slots
             if send_start <= slot < send_end:
                 return True
@@ -330,7 +414,7 @@ class _AdjustWindowController(QueueingController):
 
     def act(self, round_no: int) -> Message | None:
         rel = self._rel(round_no)
-        stage = self.layout.stage_of(rel)
+        stage = self.clock.layout.stage_of(rel)
         if stage == "gossip":
             return self._act_gossip(rel)
         if stage == "main":
@@ -345,7 +429,7 @@ class _AdjustWindowController(QueueingController):
         if slot == 0:
             send = True  # 'I am large'
         elif slot == 1:
-            send = self._snapshot_size > self.L
+            send = self._snapshot_size > self.clock.L
         else:
             send = self._gossip_bit(j, slot) == 1
         if not send:
@@ -357,7 +441,7 @@ class _AdjustWindowController(QueueingController):
 
     def _act_main(self, rel: int) -> Message | None:
         self._build_main_plan()
-        slot = rel - self.layout.main_start
+        slot = rel - self.clock.layout.main_start
         send_start, send_end = self._my_send_slots
         if not send_start <= slot < send_end:
             return None
@@ -387,7 +471,7 @@ class _AdjustWindowController(QueueingController):
 
     def on_heard(self, round_no: int, message: Message, feedback: Feedback) -> None:
         rel = self._rel(round_no)
-        stage = self.layout.stage_of(rel)
+        stage = self.clock.layout.stage_of(rel)
         packet = message.packet
         if stage == "gossip":
             i, j, slot = self._gossip_phase(rel)
@@ -413,7 +497,7 @@ class _AdjustWindowController(QueueingController):
 
     def on_silence(self, round_no: int) -> None:
         rel = self._rel(round_no)
-        if self.layout.stage_of(rel) != "gossip":
+        if self.clock.layout.stage_of(rel) != "gossip":
             return
         i, j, slot = self._gossip_phase(rel)
         if self.station_id == j and i != j and slot >= 2:
@@ -463,10 +547,12 @@ class AdjustWindow(RoutingAlgorithm):
             self.initial_window = initial_window
 
     def build_controllers(self) -> list[_AdjustWindowController]:
-        return [
-            _AdjustWindowController(i, self.n, self.initial_window)
-            for i in range(self.n)
+        clock = _AdjustWindowClock(self.n, self.initial_window)
+        controllers = [
+            _AdjustWindowController(i, self.n, clock) for i in range(self.n)
         ]
+        clock.attach(controllers)
+        return controllers
 
     def properties(self) -> AlgorithmProperties:
         return AlgorithmProperties(

@@ -26,6 +26,13 @@ are *old* — injected in a previous phase; at the end of each phase all
 queued packets become old.  The first phase consists of ``n`` rounds with
 every station switched off.
 
+The stage/substage state machine is identical at every station, so it
+lives in a single shared :class:`_CountHopClock` (a
+:class:`~repro.core.schedule.WakeOracle`): an explicit ``tick(t)``
+advances the stage, per-station ``wakes(t)`` is a pure query afterwards,
+and the clock can answer the whole awake set at once — which is how the
+kernel engine runs Count-Hop without ``n`` per-station wake-up calls.
+
 Paper bound (Theorem 3): stable for every injection rate ``rho < 1`` with
 latency at most ``2 (n^2 + beta) / (1 - rho)``.
 """
@@ -35,72 +42,63 @@ from __future__ import annotations
 from ..channel.feedback import Feedback
 from ..channel.message import Message
 from ..core.algorithm import AlgorithmProperties, RoutingAlgorithm
-from ..core.controller import QueueingController
+from ..core.controller import TickedQueueingController
 from ..core.registry import register_algorithm
+from ..core.schedule import WakeOracle
 
 __all__ = ["CountHop"]
 
 COORDINATOR = 0
 
 
-class _CountHopController(QueueingController):
-    """Per-station controller of Count-Hop.
+class _CountHopClock(WakeOracle):
+    """Shared stage/substage state machine of one Count-Hop execution.
 
-    All stations advance an identical stage/substage state machine; the
-    only stage-dependent quantity not derivable from ``(n, t)`` alone is
-    the Deliver-substage length, which every station learns from the
-    coordinator's Assign-substage message before it is needed.
+    All globally-identical stage state (stage start, current receiver,
+    Deliver-substage length) lives here; the controllers keep only their
+    private queue-derived quantities (``my_count``, ``my_offset``).  The
+    Deliver-substage length ``total`` is written exclusively by the
+    coordinator — every other station used to learn the same value from
+    its Assign message, which still carries it on the channel.
     """
 
-    def __init__(self, station_id: int, n: int) -> None:
-        super().__init__(station_id, n)
-        self.is_coordinator = station_id == COORDINATOR
-        # Stage state (identical at every station, up to private fields).
-        self.stage_start = n  # the first stage begins after the silent warm-up phase
+    def __init__(self, n: int) -> None:
+        super().__init__(n)
+        self.stage_start = n  # the first stage begins after the silent warm-up
         self.receiver = 0
-        self.total: int | None = None  # Deliver-substage length, learned in Assign
-        self.my_offset: int | None = None
-        self.my_count = 0
-        self._phase_aged_at = -1
-        # Coordinator-only bookkeeping.
-        self._reported_counts: dict[int, int] = {}
-        self._age_now()
+        self.total: int | None = None  # Deliver-substage length
+        self._started = False
+        self._last_ticked = -1
+        # slot -> transmitting station for the current Deliver substage,
+        # built lazily from the controllers' assigned offsets.
+        self._deliver_plan: list[int | None] | None = None
 
     # -- state machine ---------------------------------------------------------
-    def _age_now(self) -> None:
-        self.queue.age_all()
-
     def _begin_stage(self, stage_start: int, receiver: int) -> None:
         self.stage_start = stage_start
         self.receiver = receiver
         self.total = None
-        self.my_offset = None
-        self._reported_counts = {}
-        if receiver == 0:
-            # A new phase begins: everything queued becomes old.
-            self._age_now()
-        self.my_count = (
-            0
-            if self.station_id == receiver
-            else self.queue.count_old_for(receiver)
-        )
+        self._deliver_plan = None
+        for ctrl in self.controllers:
+            ctrl._begin_stage_local(receiver)
 
-    def _advance(self, round_no: int) -> None:
-        """Advance the stage state machine so that ``round_no`` lies inside it."""
-        if round_no < self.n:
-            return  # silent warm-up phase
-        if round_no == self.n and self._phase_aged_at < self.n:
-            self._phase_aged_at = self.n
+    def tick(self, round_no: int) -> None:
+        if round_no <= self._last_ticked or round_no < self.n:
+            return
+        self._last_ticked = round_no
+        if not self._started:
+            self._started = True
             self._begin_stage(self.n, 0)
         while True:
             rel = round_no - self.stage_start
             if self.total is None or rel < 2 * self.n + self.total:
                 return
-            next_start = self.stage_start + 2 * self.n + self.total
-            next_receiver = (self.receiver + 1) % self.n
-            self._begin_stage(next_start, next_receiver)
+            self._begin_stage(
+                self.stage_start + 2 * self.n + self.total,
+                (self.receiver + 1) % self.n,
+            )
 
-    def _substage(self, round_no: int) -> tuple[str, int]:
+    def substage(self, round_no: int) -> tuple[str, int]:
         """Return (substage name, slot index within the substage)."""
         rel = round_no - self.stage_start
         if rel < self.n:
@@ -109,17 +107,99 @@ class _CountHopController(QueueingController):
             return "assign", rel - self.n
         return "deliver", rel - 2 * self.n
 
+    # -- batch awake-set query -------------------------------------------------
+    def _build_deliver_plan(self) -> "list[int | None]":
+        total = self.total or 0
+        plan: list[int | None] = [None] * total
+        receiver = self.receiver
+        controllers = self.controllers
+        if receiver != COORDINATOR:
+            for slot in range(min(controllers[COORDINATOR].my_count, total)):
+                plan[slot] = COORDINATOR
+        for station, ctrl in enumerate(controllers):
+            if station in (COORDINATOR, receiver):
+                continue
+            offset, count = ctrl.my_offset, ctrl.my_count
+            if offset is None or count <= 0:
+                continue
+            for slot in range(offset, min(offset + count, total)):
+                plan[slot] = station
+        self._deliver_plan = plan
+        return plan
+
+    def awake_stations(self, round_no: int) -> tuple[int, ...]:
+        if round_no < self.n:
+            return ()
+        substage, slot = self.substage(round_no)
+        receiver = self.receiver
+        if substage == "report":
+            if (
+                slot not in (COORDINATOR, receiver)
+                and self.controllers[slot].my_count > 0
+            ):
+                return (COORDINATOR, slot)
+            return (COORDINATOR,)
+        if substage == "assign":
+            if slot == COORDINATOR:
+                return (COORDINATOR,)
+            return (COORDINATOR, slot)
+        # deliver
+        plan = self._deliver_plan
+        if plan is None:
+            plan = self._build_deliver_plan()
+        sender = plan[slot] if 0 <= slot < len(plan) else None
+        if sender is None:
+            return (receiver,)
+        return (sender, receiver) if sender < receiver else (receiver, sender)
+
+
+class _CountHopController(TickedQueueingController):
+    """Per-station controller of Count-Hop.
+
+    The stage state machine is shared (:class:`_CountHopClock`); each
+    station privately tracks only what it derives from its own queue and
+    the Assign message addressed to it.
+    """
+
+    def __init__(self, station_id: int, n: int, clock: _CountHopClock) -> None:
+        super().__init__(station_id, n, clock)
+        self.is_coordinator = station_id == COORDINATOR
+        self.my_offset: int | None = None
+        self.my_count = 0
+        # Coordinator-only bookkeeping.
+        self._reported_counts: dict[int, int] = {}
+
+    @property
+    def clock(self) -> _CountHopClock:
+        """The shared stage clock (one source of truth: ``wake_oracle``)."""
+        return self.wake_oracle
+
+    # -- clock callbacks ---------------------------------------------------------
+    def _begin_stage_local(self, receiver: int) -> None:
+        self.my_offset = None
+        self._reported_counts = {}
+        if receiver == 0:
+            # A new phase begins: everything queued becomes old.
+            self.queue.age_all()
+        self.my_count = (
+            0
+            if self.station_id == receiver
+            else self.queue.count_old_for(receiver)
+        )
+
     # -- coordinator helpers ------------------------------------------------------
     def _coordinator_total(self) -> int:
-        own = 0 if self.receiver == COORDINATOR else self.queue.count_old_for(self.receiver)
+        receiver = self.clock.receiver
+        own = 0 if receiver == COORDINATOR else self.queue.count_old_for(receiver)
         return own + sum(self._reported_counts.values())
 
     def _coordinator_offset_for(self, station: int) -> int:
         """Deliver-substage slot offset of ``station`` (coordinator's view)."""
-        own = 0 if self.receiver == COORDINATOR else self.queue.count_old_for(self.receiver)
+        receiver = self.clock.receiver
+        own = 0 if receiver == COORDINATOR else self.queue.count_old_for(receiver)
         offset = own
         for r in range(self.n):
-            if r in (self.receiver, COORDINATOR):
+            if r in (receiver, COORDINATOR):
                 continue
             if r == station:
                 return offset
@@ -128,16 +208,18 @@ class _CountHopController(QueueingController):
 
     # -- StationController interface -----------------------------------------------
     def wakes(self, round_no: int) -> bool:
-        self._advance(round_no)
+        clock = self.clock
+        clock.tick(round_no)
         if round_no < self.n:
             return False
-        substage, slot = self._substage(round_no)
+        substage, slot = clock.substage(round_no)
+        receiver = clock.receiver
         if substage == "report":
             if self.is_coordinator:
                 return True
             return (
                 slot == self.station_id
-                and self.station_id != self.receiver
+                and self.station_id != receiver
                 and self.my_count > 0
             )
         if substage == "assign":
@@ -145,41 +227,43 @@ class _CountHopController(QueueingController):
                 return True
             return slot == self.station_id
         # deliver
-        if self.station_id == self.receiver:
+        if self.station_id == receiver:
             return True
-        if self.total is None or self.my_offset is None:
+        if clock.total is None or self.my_offset is None:
             return False
         if self.is_coordinator:
-            return slot < (0 if self.receiver == COORDINATOR else self.my_count)
+            return slot < (0 if receiver == COORDINATOR else self.my_count)
         return self.my_offset <= slot < self.my_offset + self.my_count
 
     def act(self, round_no: int) -> Message | None:
-        substage, slot = self._substage(round_no)
+        clock = self.clock
+        substage, slot = clock.substage(round_no)
+        receiver = clock.receiver
         if substage == "report":
             if (
                 not self.is_coordinator
                 and slot == self.station_id
-                and self.station_id != self.receiver
+                and self.station_id != receiver
                 and self.my_count > 0
             ):
                 return self.transmit(None, control={"count": self.my_count})
             return None
         if substage == "assign":
             if self.is_coordinator and slot != COORDINATOR:
-                if self.total is None:
-                    self.total = self._coordinator_total()
+                if clock.total is None:
+                    clock.total = self._coordinator_total()
                     self.my_offset = 0
                 return self.transmit(
                     None,
                     control={
                         "offset": self._coordinator_offset_for(slot),
-                        "total": self.total,
+                        "total": clock.total,
                     },
                     intended_receiver=slot,
                 )
             return None
         # deliver
-        if self.station_id == self.receiver:
+        if self.station_id == receiver:
             return None
         if self.my_offset is None:
             return None
@@ -190,25 +274,26 @@ class _CountHopController(QueueingController):
         )
         if not in_my_slot:
             return None
-        packet = self.queue.peek_old_for(self.receiver)
+        packet = self.queue.peek_old_for(receiver)
         if packet is None:
             return None
-        return self.transmit(packet, intended_receiver=self.receiver)
+        return self.transmit(packet, intended_receiver=receiver)
 
     def on_heard(self, round_no: int, message: Message, feedback: Feedback) -> None:
-        substage, slot = self._substage(round_no)
+        substage, slot = self.clock.substage(round_no)
         if substage == "report" and self.is_coordinator:
             count = message.control.get("count")
             if count is not None:
                 self._reported_counts[message.sender] = int(count)
         elif substage == "assign" and message.sender == COORDINATOR:
             if message.intended_receiver == self.station_id:
-                self.total = int(message.control["total"])
+                # The message's "total" equals the clock's (the coordinator
+                # wrote both); only the private offset needs remembering.
                 self.my_offset = int(message.control["offset"])
 
     def on_silence(self, round_no: int) -> None:
         # The coordinator treats a silent Report slot as a zero count.
-        substage, slot = self._substage(round_no)
+        substage, slot = self.clock.substage(round_no)
         if substage == "report" and self.is_coordinator:
             self._reported_counts.setdefault(slot, 0)
 
@@ -217,9 +302,9 @@ class _CountHopController(QueueingController):
         # substage so that the state machine can advance even if every
         # Assign message targets a station other than itself.
         if self.is_coordinator:
-            substage, slot = self._substage(round_no)
-            if substage == "report" and slot == self.n - 1 and self.total is None:
-                self.total = self._coordinator_total()
+            substage, slot = self.clock.substage(round_no)
+            if substage == "report" and slot == self.n - 1 and self.clock.total is None:
+                self.clock.total = self._coordinator_total()
                 self.my_offset = 0
 
 
@@ -230,7 +315,10 @@ class CountHop(RoutingAlgorithm):
     name = "Count-Hop"
 
     def build_controllers(self) -> list[_CountHopController]:
-        return [_CountHopController(i, self.n) for i in range(self.n)]
+        clock = _CountHopClock(self.n)
+        controllers = [_CountHopController(i, self.n, clock) for i in range(self.n)]
+        clock.attach(controllers)
+        return controllers
 
     def properties(self) -> AlgorithmProperties:
         return AlgorithmProperties(

@@ -23,6 +23,13 @@ receiver): energy cap 3.  At the start of each of its seasons the
 conductor computes the schedule for its next season from its old, not yet
 scheduled packets, in injection order.
 
+The season/baton state machine is identical at every station (the
+conductor transmits in every round, so every musician reliably hears its
+learn-round message), so it lives in one shared :class:`_OrchestraClock`
+(a :class:`~repro.core.schedule.WakeOracle`): ``tick(t)`` advances the
+baton, ``wakes(t)`` is pure afterwards, and the clock answers the whole
+awake set — conductor, learner, scheduled receiver — in one call.
+
 Paper bound (Theorem 1): against any adversary of injection rate 1 with
 burstiness ``beta`` at most ``2 n^3 + beta`` packets are ever queued.
 Individual packets may wait arbitrarily long (latency is unbounded), but
@@ -36,61 +43,38 @@ from ..channel.feedback import Feedback
 from ..channel.message import Message
 from ..channel.packet import Packet
 from ..core.algorithm import AlgorithmProperties, RoutingAlgorithm
-from ..core.controller import QueueingController
+from ..core.controller import TickedQueueingController
 from ..core.registry import register_algorithm
+from ..core.schedule import WakeOracle
 
 __all__ = ["Orchestra"]
 
 
-class _OrchestraController(QueueingController):
-    """Per-station controller of Orchestra."""
+class _OrchestraClock(WakeOracle):
+    """Shared season/baton state machine of one Orchestra execution."""
 
-    def __init__(self, station_id: int, n: int) -> None:
-        super().__init__(station_id, n)
+    def __init__(self, n: int) -> None:
+        super().__init__(n)
         self.season_length = n - 1
         self.baton_list = list(range(n))
         self.conductor = self.baton_list[0]
         self.big_announced = False
+        self.musicians_sorted = [s for s in range(n) if s != self.conductor]
         self._season_processed = 0
-        # Receive schedules taught by each conductor: ``active`` applies to
-        # that conductor's current season, ``next`` is being taught now and
-        # applies to its next season.
-        self._active_receive: dict[int, frozenset[int]] = {}
-        self._next_receive: dict[int, frozenset[int]] = {}
-        # Conductor-only state.
-        self._current_schedule: dict[int, Packet] = {}
-        self._pending_schedule: dict[int, Packet] = {}
-        self._scheduled_ids: set[int] = set()
-        self._is_big = False
-        self._musicians_sorted: list[int] = [s for s in range(n) if s != self.conductor]
-        if self.conductor == self.station_id:
-            self._start_conducting()
+        # round-in-season -> destination of the packet the conductor will
+        # transmit (its promoted schedule); refreshed every season.
+        self._recv_dest: dict[int, int] = {}
 
-    # -- season bookkeeping -------------------------------------------------------
-    def _season_of(self, round_no: int) -> int:
-        return round_no // self.season_length
+    def attach(self, controllers) -> None:
+        super().attach(controllers)
+        self._refresh_receive_map()
 
-    def _round_in_season(self, round_no: int) -> int:
-        return round_no % self.season_length
+    def _refresh_receive_map(self) -> None:
+        schedule = self.controllers[self.conductor]._current_schedule
+        self._recv_dest = {r: p.destination for r, p in schedule.items()}
 
-    def _start_conducting(self) -> None:
-        """Called when this station becomes the conductor of a new season."""
-        self._current_schedule = self._pending_schedule
-        self._pending_schedule = {}
-        old_packets = self.queue.old_packets()
-        self._is_big = len(old_packets) >= self.n**2 - 1
-        slot = 0
-        for packet in old_packets:
-            if slot >= self.season_length:
-                break
-            if packet.packet_id in self._scheduled_ids:
-                continue
-            self._pending_schedule[slot] = packet
-            self._scheduled_ids.add(packet.packet_id)
-            slot += 1
-
-    def _advance_season(self, round_no: int) -> None:
-        season = self._season_of(round_no)
+    def tick(self, round_no: int) -> None:
+        season = round_no // self.season_length
         while self._season_processed < season:
             self._season_processed += 1
             # End-of-season baton handling (identical at every station).
@@ -103,35 +87,92 @@ class _OrchestraController(QueueingController):
                 next_conductor = self.baton_list[(idx + 1) % self.n]
             self.conductor = next_conductor
             self.big_announced = False
-            self._musicians_sorted = [s for s in range(self.n) if s != self.conductor]
-            # Packets injected into the old conductor during its season
-            # become old now; musicians' packets are already old.
-            self.queue.age_all()
-            # Promote the receive schedule taught during the new
-            # conductor's previous season: it applies to the season that
-            # starts now.
-            self._active_receive[next_conductor] = self._next_receive.pop(
-                next_conductor, frozenset()
-            )
-            if next_conductor == self.station_id:
-                self._start_conducting()
+            self.musicians_sorted = [s for s in range(self.n) if s != next_conductor]
+            for ctrl in self.controllers:
+                ctrl._on_season_start(next_conductor)
+            self._refresh_receive_map()
+
+    def awake_stations(self, round_no: int) -> tuple[int, ...]:
+        r = round_no % self.season_length
+        conductor = self.conductor
+        learner = self.musicians_sorted[r]
+        dest = self._recv_dest.get(r)
+        if dest is None or dest == conductor or dest == learner:
+            return (conductor, learner) if conductor < learner else (learner, conductor)
+        awake = sorted((conductor, learner, dest))
+        return (awake[0], awake[1], awake[2])
+
+
+class _OrchestraController(TickedQueueingController):
+    """Per-station controller of Orchestra."""
+
+    def __init__(self, station_id: int, n: int, clock: _OrchestraClock) -> None:
+        super().__init__(station_id, n, clock)
+        # Receive schedules taught by each conductor: ``active`` applies to
+        # that conductor's current season, ``next`` is being taught now and
+        # applies to its next season.
+        self._active_receive: dict[int, frozenset[int]] = {}
+        self._next_receive: dict[int, frozenset[int]] = {}
+        # Conductor-only state.
+        self._current_schedule: dict[int, Packet] = {}
+        self._pending_schedule: dict[int, Packet] = {}
+        self._scheduled_ids: set[int] = set()
+        self._is_big = False
+        if clock.conductor == self.station_id:
+            self._start_conducting()
+
+    @property
+    def clock(self) -> _OrchestraClock:
+        """The shared season clock (one source of truth: ``wake_oracle``)."""
+        return self.wake_oracle
+
+    # -- season bookkeeping -------------------------------------------------------
+    def _start_conducting(self) -> None:
+        """Called when this station becomes the conductor of a new season."""
+        self._current_schedule = self._pending_schedule
+        self._pending_schedule = {}
+        old_packets = self.queue.old_packets()
+        self._is_big = len(old_packets) >= self.n**2 - 1
+        slot = 0
+        for packet in old_packets:
+            if slot >= self.clock.season_length:
+                break
+            if packet.packet_id in self._scheduled_ids:
+                continue
+            self._pending_schedule[slot] = packet
+            self._scheduled_ids.add(packet.packet_id)
+            slot += 1
+
+    def _on_season_start(self, next_conductor: int) -> None:
+        """Clock callback at a season boundary (runs for every station)."""
+        # Packets injected into the old conductor during its season become
+        # old now; musicians' packets are already old.
+        self.queue.age_all()
+        # Promote the receive schedule taught during the new conductor's
+        # previous season: it applies to the season that starts now.
+        self._active_receive[next_conductor] = self._next_receive.pop(
+            next_conductor, frozenset()
+        )
+        if next_conductor == self.station_id:
+            self._start_conducting()
 
     # -- StationController interface --------------------------------------------------
     def wakes(self, round_no: int) -> bool:
-        self._advance_season(round_no)
-        r = self._round_in_season(round_no)
-        if self.station_id == self.conductor:
+        clock = self.clock
+        clock.tick(round_no)
+        if self.station_id == clock.conductor:
             return True
-        learner = self._musicians_sorted[r]
-        if learner == self.station_id:
+        r = round_no % clock.season_length
+        if clock.musicians_sorted[r] == self.station_id:
             return True
-        return r in self._active_receive.get(self.conductor, frozenset())
+        return r in self._active_receive.get(clock.conductor, frozenset())
 
     def act(self, round_no: int) -> Message | None:
-        if self.station_id != self.conductor:
+        clock = self.clock
+        if self.station_id != clock.conductor:
             return None
-        r = self._round_in_season(round_no)
-        learner = self._musicians_sorted[r]
+        r = round_no % clock.season_length
+        learner = clock.musicians_sorted[r]
         teach_rounds = tuple(
             sorted(
                 slot
@@ -148,17 +189,17 @@ class _OrchestraController(QueueingController):
         )
 
     def on_heard(self, round_no: int, message: Message, feedback: Feedback) -> None:
-        if message.sender != self.conductor or message.sender == self.station_id:
+        clock = self.clock
+        if message.sender != clock.conductor or message.sender == self.station_id:
             return
-        r = self._round_in_season(round_no)
         if message.control.get("big"):
-            self.big_announced = True
+            clock.big_announced = True
         if message.control.get("learner") == self.station_id:
             taught = frozenset(int(x) for x in message.control.get("teach", ()))
-            self._next_receive[self.conductor] = taught
+            self._next_receive[clock.conductor] = taught
 
     def on_inject(self, round_no: int, packet: Packet) -> None:
-        if self.station_id == self.conductor:
+        if self.station_id == self.clock.conductor:
             # New for the duration of this season; aged at the season end.
             self.queue.push(packet)
         else:
@@ -166,10 +207,10 @@ class _OrchestraController(QueueingController):
             self.queue.push_old(packet)
 
     def after_feedback(self, round_no: int, feedback: Feedback) -> None:
-        if self.station_id == self.conductor:
+        if self.station_id == self.clock.conductor:
             # The conductor hears its own big announcements.
             if self._is_big:
-                self.big_announced = True
+                self.clock.big_announced = True
 
 
 @register_algorithm("orchestra")
@@ -179,7 +220,10 @@ class Orchestra(RoutingAlgorithm):
     name = "Orchestra"
 
     def build_controllers(self) -> list[_OrchestraController]:
-        return [_OrchestraController(i, self.n) for i in range(self.n)]
+        clock = _OrchestraClock(self.n)
+        controllers = [_OrchestraController(i, self.n, clock) for i in range(self.n)]
+        clock.attach(controllers)
+        return controllers
 
     def properties(self) -> AlgorithmProperties:
         return AlgorithmProperties(

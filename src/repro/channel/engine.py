@@ -260,7 +260,11 @@ class RoundEngine:
         # 1. Adversarial injections (stations receive packets even when off).
         injections = self._inject(t)
 
-        # 2. On/off decisions and energy accounting.
+        # 2. On/off decisions and energy accounting.  Tick-split
+        # controllers (``ticked_wakes``) advance their shared wake oracle
+        # inside the first ``wakes`` call of the round and answer purely
+        # thereafter, so this per-station loop doubles as the legacy
+        # driver of the tick protocol.
         awake = tuple(
             i for i, ctrl in enumerate(self.controllers) if ctrl.wakes(t)
         )

@@ -14,11 +14,12 @@ Stations that are switched off receive no feedback at all.
 from __future__ import annotations
 
 import enum
+import sys
 from dataclasses import dataclass
 
 from .message import Message
 
-__all__ = ["ChannelOutcome", "Feedback"]
+__all__ = ["ChannelOutcome", "Feedback", "FeedbackPool"]
 
 
 class ChannelOutcome(enum.Enum):
@@ -56,6 +57,12 @@ class Feedback:
     message: Message | None = None
     delivered: bool = False
 
+    #: ``round_no`` of interned instances shared across rounds (see
+    #: :class:`FeedbackPool`): controllers always receive the authoritative
+    #: round number as the explicit ``on_feedback`` argument, so the field
+    #: is informational only.
+    INTERNED_ROUND = -1
+
     @property
     def heard(self) -> bool:
         """True when a message was successfully heard this round."""
@@ -70,3 +77,60 @@ class Feedback:
     def collision(self) -> bool:
         """True when two or more stations transmitted simultaneously."""
         return self.outcome is ChannelOutcome.COLLISION
+
+
+class FeedbackPool:
+    """Allocation-free per-round feedback for the kernel's hot loop.
+
+    ``Feedback`` is a frozen dataclass, so one instance is safely shared
+    by every awake station of a round — and, for the payload-free SILENCE
+    and COLLISION outcomes, across *all* rounds: the pool hands out two
+    interned singletons (with ``round_no`` fixed at
+    :attr:`Feedback.INTERNED_ROUND`; the real round number always travels
+    as the explicit ``on_feedback`` argument).  HEARD feedback carries the
+    round's message, so the pool instead recycles a single instance
+    in-place between rounds — but only while the pool holds the sole
+    reference: a controller that retained last round's feedback keeps its
+    object intact and the pool allocates a fresh one.
+    """
+
+    __slots__ = ("_silence", "_collision", "_heard")
+
+    def __init__(self) -> None:
+        self._silence = Feedback(
+            round_no=Feedback.INTERNED_ROUND, outcome=ChannelOutcome.SILENCE
+        )
+        self._collision = Feedback(
+            round_no=Feedback.INTERNED_ROUND, outcome=ChannelOutcome.COLLISION
+        )
+        self._heard: Feedback | None = None
+
+    def silence(self) -> Feedback:
+        """The interned SILENCE feedback (shared across rounds)."""
+        return self._silence
+
+    def collision(self) -> Feedback:
+        """The interned COLLISION feedback (shared across rounds)."""
+        return self._collision
+
+    def heard(self, round_no: int, message: Message, delivered: bool) -> Feedback:
+        """A HEARD feedback for this round, recycled when safely possible.
+
+        The refcount check (pool slot + local + ``getrefcount`` argument
+        = 3) guarantees in-place reuse never mutates an object anyone
+        else still references.
+        """
+        recycled = self._heard
+        if recycled is not None and sys.getrefcount(recycled) == 3:
+            object.__setattr__(recycled, "round_no", round_no)
+            object.__setattr__(recycled, "message", message)
+            object.__setattr__(recycled, "delivered", delivered)
+            return recycled
+        fresh = Feedback(
+            round_no=round_no,
+            outcome=ChannelOutcome.HEARD,
+            message=message,
+            delivered=delivered,
+        )
+        self._heard = fresh
+        return fresh

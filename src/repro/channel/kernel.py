@@ -11,15 +11,26 @@ actually need:
   :class:`~repro.channel.engine.AdversaryView` is maintained at all
   (oblivious adversaries skip it entirely), kept as a bounded window, or
   kept unbounded.
-* **Wake schedules** — when every controller declares
+* **Wake schedules** — three tiers.  When every controller declares
   ``static_wake_schedule`` and the algorithm's published
   :class:`~repro.core.schedule.ObliviousSchedule` has a finite period, the
-  per-round awake set is a precomputed tuple lookup instead of ``n``
-  ``wakes(t)`` calls.
+  per-round awake set is a precomputed tuple lookup and the per-round
+  awake *counts* become a precomputed numpy series flushed to the energy
+  monitor and collector in one batch.  Otherwise, when every controller
+  declares ``ticked_wakes`` and shares a
+  :class:`~repro.core.schedule.WakeOracle`, the kernel issues one
+  ``tick(t)`` plus one batch ``awake_stations(t)`` per round.  Only runs
+  declaring neither fall back to ``n`` stateful ``wakes(t)`` calls.
 * **Incremental metrics** — when every controller declares
   ``queue_metrics_incremental``, only stations that were awake or received
   an injection are re-polled for their queue size; everyone else is known
   unchanged.
+
+Per-round :class:`~repro.channel.feedback.Feedback` allocation is
+eliminated through a :class:`~repro.channel.feedback.FeedbackPool`:
+SILENCE and COLLISION rounds reuse interned singletons, HEARD rounds
+recycle one instance in-place (guarded by a refcount check, so a
+controller that retains feedback is never surprised).
 
 The kernel allocates no per-round event objects and therefore cannot
 record traces — tracing (and any need for the fully observable, checked
@@ -32,6 +43,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Sequence
 
+import numpy as np
+
 from .energy import EnergyCapViolation, EnergyMonitor
 from .engine import (
     AdversaryView,
@@ -40,13 +53,13 @@ from .engine import (
     negotiated_view_window,
     validate_controllers,
 )
-from .feedback import ChannelOutcome, Feedback
+from .feedback import ChannelOutcome, FeedbackPool
 from .message import Message
 from .station import StationController
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..adversary.base import Adversary
-    from ..core.schedule import ObliviousSchedule
+    from ..core.schedule import ObliviousSchedule, WakeOracle
     from ..metrics.collector import MetricsCollector
 
 __all__ = ["KernelEngine"]
@@ -95,6 +108,7 @@ class KernelEngine:
         )
         self.trace = None  # API parity with RoundEngine
         self.round_no = 0
+        self._feedback_pool = FeedbackPool()
 
         # -- negotiation: adversary observation --------------------------------
         self._window = negotiated_view_window(adversary, self.config.full_history)
@@ -103,10 +117,36 @@ class KernelEngine:
 
         # -- negotiation: wake schedule ----------------------------------------
         self._period_awake: tuple[tuple[int, ...], ...] | None = None
+        self._period_counts: np.ndarray | None = None
         if schedule is not None and all(
             getattr(ctrl, "static_wake_schedule", False) for ctrl in self.controllers
         ):
             self._period_awake = schedule.periodic_awake_sets()
+        if self._period_awake is not None:
+            # Precompute the per-period awake-count series.  When the cap
+            # can never be exceeded (or there is none) the per-round
+            # energy bookkeeping is fully vectorised: no count, no check,
+            # no append in the loop — the series is flushed in one batch.
+            counts = np.fromiter(
+                (len(s) for s in self._period_awake),
+                dtype=np.int64,
+                count=len(self._period_awake),
+            )
+            cap = self.energy.cap
+            if cap is None or int(counts.max()) <= cap:
+                self._period_counts = counts
+
+        # -- negotiation: ticked wake protocol ---------------------------------
+        self._wake_oracle: "WakeOracle | None" = None
+        if self._period_awake is None and all(
+            getattr(ctrl, "ticked_wakes", False) for ctrl in self.controllers
+        ):
+            oracle = getattr(self.controllers[0], "wake_oracle", None)
+            if oracle is not None and all(
+                getattr(ctrl, "wake_oracle", None) is oracle
+                for ctrl in self.controllers
+            ):
+                self._wake_oracle = oracle
 
         # -- negotiation: incremental queue metrics ----------------------------
         self._incremental_metrics = all(
@@ -137,6 +177,16 @@ class KernelEngine:
         return self._period_awake is not None
 
     @property
+    def uses_ticked_wakes(self) -> bool:
+        """True when awake sets come from one shared tick + batch query."""
+        return self._wake_oracle is not None
+
+    @property
+    def uses_vectorised_energy(self) -> bool:
+        """True when per-round awake counts come from the precomputed series."""
+        return self._period_counts is not None
+
+    @property
     def uses_incremental_metrics(self) -> bool:
         """True when only awake/injected stations are re-polled per round."""
         return self._incremental_metrics
@@ -164,6 +214,9 @@ class KernelEngine:
         view = self.view
         period = self._period_awake
         period_len = len(period) if period is not None else 0
+        oracle = self._wake_oracle
+        oracle_tick = oracle.tick if oracle is not None else None
+        oracle_awake = oracle.awake_stations if oracle is not None else None
         incremental = self._incremental_metrics
         heard_only_polls = self._heard_only_polls
         observe_view = self._observe_view
@@ -179,6 +232,10 @@ class KernelEngine:
         inject_into = self._inject_into
         record_injection = collector.record_injection
         inject = adversary.inject
+        pool = self._feedback_pool
+        pool_heard = pool.heard
+        silence_feedback = pool.silence()
+        collision_feedback = pool.collision()
         # Collector/monitor internals, appended to directly in the loop;
         # their aggregate counters are reconciled in the finally block.
         energy_per_round = energy.per_round
@@ -192,6 +249,19 @@ class KernelEngine:
         collision = ChannelOutcome.COLLISION
         n_silence = n_heard = n_collision = 0
         rounds_done = 0
+        # Vectorised energy bookkeeping (schedule fast path, cap-safe):
+        # the whole run's awake counts are materialised once from the
+        # per-period numpy series and flushed in the finally block.
+        # ``energized`` mirrors the reference loop's accounting point
+        # (step 2): the round that raises after it still has its count
+        # recorded in the energy monitor, but not in the collector.
+        counts_list: list[int] | None = None
+        energized = 0
+        if period is not None and self._period_counts is not None and rounds > 0:
+            start = self.round_no
+            counts_list = self._period_counts[
+                np.arange(start, start + rounds, dtype=np.int64) % period_len
+            ].tolist()
 
         try:
             for t in range(self.round_no, self.round_no + rounds):
@@ -216,16 +286,29 @@ class KernelEngine:
                 # 2. On/off decisions and energy accounting.
                 if period is not None:
                     awake = period[t % period_len]
+                    if counts_list is not None:
+                        energized += 1
+                    else:
+                        awake_count = len(awake)
+                        energy_per_round.append(awake_count)
+                        if cap is not None and awake_count > cap:
+                            energy.violations += 1
+                            if enforce_cap:
+                                raise EnergyCapViolation(t, awake_count, cap)
                 else:
-                    awake = tuple(
-                        i for i, ctrl in enumerate(controllers) if ctrl.wakes(t)
-                    )
-                awake_count = len(awake)
-                energy_per_round.append(awake_count)
-                if cap is not None and awake_count > cap:
-                    energy.violations += 1
-                    if enforce_cap:
-                        raise EnergyCapViolation(t, awake_count, cap)
+                    if oracle_tick is not None:
+                        oracle_tick(t)
+                        awake = oracle_awake(t)
+                    else:
+                        awake = tuple(
+                            i for i, ctrl in enumerate(controllers) if ctrl.wakes(t)
+                        )
+                    awake_count = len(awake)
+                    energy_per_round.append(awake_count)
+                    if cap is not None and awake_count > cap:
+                        energy.violations += 1
+                        if enforce_cap:
+                            raise EnergyCapViolation(t, awake_count, cap)
 
                 # 3. Awake stations act, 4. channel arbitration (fused).
                 transmissions = 0
@@ -265,12 +348,20 @@ class KernelEngine:
                         heard.packet, heard.packet.destination, t
                     )
 
-                # 6. Feedback to awake stations.
-                feedback = Feedback(
-                    round_no=t, outcome=outcome, message=heard, delivered=delivered
-                )
+                # 6. Feedback to awake stations (pooled: silence/collision
+                #    rounds share interned singletons, heard rounds recycle
+                #    one instance).
+                if outcome is heard_outcome:
+                    feedback = pool_heard(t, heard, delivered)
+                elif outcome is silence:
+                    feedback = silence_feedback
+                else:
+                    feedback = collision_feedback
                 for i in awake:
                     give_feedback[i](t, feedback)
+                # Drop the loop's reference so the pool sees itself as the
+                # sole owner next round and can recycle the instance.
+                feedback = None
 
                 # 7. Metrics: queue sizes after the round.
                 if incremental:
@@ -302,7 +393,8 @@ class KernelEngine:
                                     if size > per_station_max[station]:
                                         per_station_max[station] = size
                     total_queue_series.append(total_queue)
-                    energy_series.append(awake_count)
+                    if counts_list is None:
+                        energy_series.append(awake_count)
                 else:
                     queue_sizes = [p() for p in poll]
                     total_queue = sum(queue_sizes)
@@ -312,7 +404,8 @@ class KernelEngine:
                         if size > per_station_max[i]:
                             per_station_max[i] = size
                     total_queue_series.append(total_queue)
-                    energy_series.append(awake_count)
+                    if counts_list is None:
+                        energy_series.append(awake_count)
                 rounds_done += 1
 
                 # 8. Adversary view update (skipped for oblivious adversaries).
@@ -326,6 +419,13 @@ class KernelEngine:
             self.round_no += rounds_done
             self._queue_sizes = queue_sizes
             self._total_queue = total_queue
+            if counts_list is not None:
+                # Flush the precomputed awake-count series: the energy
+                # monitor up to the last round that reached step 2, the
+                # collector only up to the last completed round — exactly
+                # what the per-round appends would have recorded.
+                energy_per_round.extend(counts_list[:energized])
+                collector.record_energy_series(counts_list[:rounds_done])
             collector.rounds_observed += rounds_done
             counts = collector.outcome_counts
             for outcome, count in (

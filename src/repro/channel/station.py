@@ -75,6 +75,22 @@ class StationController(abc.ABC):
     #: controller drops or requeues packets on silence/collision.
     queue_changes_on_heard_only: bool = False
 
+    #: Capability flag read by the kernel engine: when True, the wake
+    #: protocol is *tick-split* — all per-round state transitions happen
+    #: in the (idempotent) :meth:`tick` of the run's shared
+    #: :class:`~repro.core.schedule.WakeOracle` (every controller of the
+    #: run references the same oracle via :attr:`wake_oracle`), and
+    #: :meth:`wakes` is a pure query after that tick.  The kernel then
+    #: issues one ``tick(t)`` plus one batch ``awake_stations(t)`` per
+    #: round instead of ``n`` stateful ``wakes(t)`` calls.  ``wakes``
+    #: must still self-tick (call ``self.wake_oracle.tick(round_no)``
+    #: first) so the reference engine's per-station loop stays valid.
+    ticked_wakes: bool = False
+
+    #: The run's shared :class:`~repro.core.schedule.WakeOracle`, for
+    #: controllers declaring :attr:`ticked_wakes`; ``None`` otherwise.
+    wake_oracle = None
+
     def __init__(self, station_id: int, n: int) -> None:
         if not 0 <= station_id < n:
             raise ValueError(f"station_id {station_id} out of range for n={n}")
@@ -82,9 +98,22 @@ class StationController(abc.ABC):
         self.n = n
 
     # -- protocol hooks ----------------------------------------------------
+    def tick(self, round_no: int) -> None:
+        """Advance protocol state so that ``round_no`` lies inside it.
+
+        Idempotent per round; called (directly or via :meth:`wakes`)
+        after the round's injections and before any station acts.  The
+        default is a no-op — controllers declaring :attr:`ticked_wakes`
+        delegate to their shared wake oracle.
+        """
+
     @abc.abstractmethod
     def wakes(self, round_no: int) -> bool:
-        """Return True when this station is switched on in ``round_no``."""
+        """Return True when this station is switched on in ``round_no``.
+
+        Must behave exactly like ``tick(round_no)`` followed by a pure
+        (side-effect-free) query of the post-tick state.
+        """
 
     @abc.abstractmethod
     def act(self, round_no: int) -> Message | None:

@@ -1,10 +1,10 @@
 """Core routing-algorithm framework: controllers, queues, schedules, registry."""
 
 from .algorithm import AlgorithmProperties, RoutingAlgorithm
-from .controller import QueueingController
+from .controller import QueueingController, TickedQueueingController
 from .queues import PacketQueue
 from .registry import available_algorithms, make_algorithm, register_algorithm
-from .schedule import AlwaysOnSchedule, ObliviousSchedule, PeriodicSchedule
+from .schedule import AlwaysOnSchedule, ObliviousSchedule, PeriodicSchedule, WakeOracle
 
 __all__ = [
     "AlgorithmProperties",
@@ -14,6 +14,8 @@ __all__ = [
     "PeriodicSchedule",
     "QueueingController",
     "RoutingAlgorithm",
+    "TickedQueueingController",
+    "WakeOracle",
     "available_algorithms",
     "make_algorithm",
     "register_algorithm",

@@ -15,8 +15,9 @@ from ..channel.message import Message
 from ..channel.packet import Packet
 from ..channel.station import StationController
 from .queues import PacketQueue
+from .schedule import WakeOracle
 
-__all__ = ["QueueingController"]
+__all__ = ["QueueingController", "TickedQueueingController"]
 
 
 class QueueingController(StationController):
@@ -142,3 +143,24 @@ class QueueingController(StationController):
             self.queue.push_old(packet)
         else:
             self.queue.push(packet)
+
+
+class TickedQueueingController(QueueingController):
+    """Queueing controller with a tick-split wake protocol.
+
+    The per-round state transitions of the algorithm's stage structure
+    live in a shared :class:`~repro.core.schedule.WakeOracle` (one per
+    run, referenced by every controller); :meth:`tick` delegates to it
+    and :meth:`wakes` self-ticks before its pure query, so the stateful
+    legacy calling convention (``wakes`` alone, once per station per
+    round) keeps working unchanged.
+    """
+
+    ticked_wakes = True
+
+    def __init__(self, station_id: int, n: int, wake_oracle: WakeOracle) -> None:
+        super().__init__(station_id, n)
+        self.wake_oracle = wake_oracle
+
+    def tick(self, round_no: int) -> None:
+        self.wake_oracle.tick(round_no)

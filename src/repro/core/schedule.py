@@ -1,4 +1,4 @@
-"""Oblivious on/off schedules.
+"""Oblivious on/off schedules and the ticked wake protocol.
 
 A routing algorithm is *energy oblivious* when it decides in advance, for
 every station and every round, whether the station is switched on
@@ -11,14 +11,77 @@ library expose their schedule as an :class:`ObliviousSchedule`, which
   :mod:`repro.adversary.adaptive` compute the most starved station / pair,
 * provides the schedule statistics (per-station on-fractions, pair
   co-scheduling fractions) used in the analysis of Theorems 6 and 9.
+
+Adaptive algorithms have no fixed-in-advance schedule, but the paper's
+state-machine algorithms (Count-Hop, Orchestra, Adjust-Window) advance a
+stage structure that is *identical at every station*.  A
+:class:`WakeOracle` captures that shared structure as one per-run state
+machine: an explicit, idempotent :meth:`WakeOracle.tick` performs the
+per-round state transition, after which every controller's ``wakes`` is a
+pure query and :meth:`WakeOracle.awake_stations` can answer the whole
+awake set in one call — the *ticked* tier of the kernel engine's
+capability negotiation, between "static schedule" and "per-station
+fallback".
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
-__all__ = ["ObliviousSchedule", "PeriodicSchedule", "AlwaysOnSchedule"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..channel.station import StationController
+
+__all__ = ["ObliviousSchedule", "PeriodicSchedule", "AlwaysOnSchedule", "WakeOracle"]
+
+
+class WakeOracle:
+    """Shared per-run wake-protocol state machine (the *ticked* tier).
+
+    One oracle instance is created per execution and referenced by every
+    controller of the run (``controller.wake_oracle``).  The contract,
+    relied on by :class:`~repro.channel.kernel.KernelEngine`:
+
+    * :meth:`tick` advances the protocol state so that round ``round_no``
+      lies inside it.  It is **idempotent** for a given round and is
+      invoked after the round's injections and before any station acts —
+      either explicitly (kernel, once per round) or implicitly (every
+      controller's ``wakes`` ticks first, so the reference engine's
+      per-station loop drives the same transitions).
+    * After ``tick(t)``, every controller's ``wakes(t)`` is a pure query
+      and :meth:`awake_stations` returns exactly the stations whose
+      ``wakes(t)`` is True, as an ascending tuple of indices.
+
+    The oracle is a *simulation-level* device: per-round transitions it
+    performs on behalf of the stations (queue aging at phase boundaries,
+    snapshotting, schedule promotion) are exactly the transitions each
+    station's own state machine performed when ``wakes`` was stateful, so
+    no station gains information it could not legitimately derive.
+    """
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ValueError("wake oracle needs at least one station")
+        self.n = n
+        self.controllers: "list[StationController]" = []
+
+    def attach(self, controllers: "Sequence[StationController]") -> None:
+        """Bind the run's controllers (called once by ``build_controllers``)."""
+        self.controllers = list(controllers)
+
+    def tick(self, round_no: int) -> None:
+        """Advance shared protocol state to ``round_no`` (idempotent)."""
+
+    def awake_stations(self, round_no: int) -> tuple[int, ...]:
+        """Ascending indices of stations awake in ``round_no``.
+
+        Requires ``tick(round_no)`` to have run.  The default loops over
+        the attached controllers' (pure) ``wakes``; subclasses override
+        with batch awake-set math.
+        """
+        return tuple(
+            i for i, ctrl in enumerate(self.controllers) if ctrl.wakes(round_no)
+        )
 
 
 class ObliviousSchedule(abc.ABC):

@@ -126,6 +126,17 @@ class MetricsCollector:
         self.energy_series.append(awake_count)
         self.outcome_counts[outcome] = self.outcome_counts.get(outcome, 0) + 1
 
+    def record_energy_series(self, awake_counts: "list[int]") -> None:
+        """Batch-append per-round awake counts (vectorised schedule path).
+
+        The kernel engine precomputes the whole run's awake counts as a
+        numpy series from the published schedule's period and flushes them
+        here in one call instead of one ``energy_series.append`` per
+        round; the resulting list is element-for-element identical to the
+        per-round path.
+        """
+        self.energy_series.extend(awake_counts)
+
     # -- derived statistics ----------------------------------------------------
     @property
     def pending_count(self) -> int:

@@ -22,8 +22,6 @@ from ..adversary import (
     Adversary,
     AlternatingPairAdversary,
     BurstThenIdleAdversary,
-    LeastOnPairAdversary,
-    LeastOnStationAdversary,
     RoundRobinAdversary,
     SingleSourceSprayAdversary,
     SingleTargetAdversary,
@@ -31,8 +29,8 @@ from ..adversary import (
 )
 from ..algorithms import AdjustWindow, KClique, KCycle, KSubsets
 from ..analysis import bounds
-from .runner import RunResult, run_simulation, worst_case_over
-from .specs import spec_fragment
+from .runner import RunResult, worst_case_over
+from .specs import RunSpec, spec_fragment
 from .sweep import SweepSeries, sweep
 
 __all__ = [
@@ -309,13 +307,27 @@ def experiment_k_cycle_latency(
 def experiment_oblivious_impossibility(
     n: int = 9, k: int = 3, beta: float = 1.0, rounds: int = 15000,
     rate_margin: float = 1.5,
+    *, workers: int = 1, executor=None, cache=None,
 ) -> ExperimentResult:
-    """T1.6 / Theorem 6 — k-oblivious algorithms diverge above rate ``k/n``."""
+    """T1.6 / Theorem 6 — k-oblivious algorithms diverge above rate ``k/n``.
+
+    The schedule-aware lower-bound adversary is spec'd through its
+    ``least-on-station`` registry key (the published schedule is derived
+    from the algorithm at execution time), so the single run dispatches
+    through the shared :class:`~repro.sim.parallel.ParallelExecutor` —
+    cache-aware and batched with the other rows' runs.
+    """
+    from .parallel import dispatch_specs
+
     rho = min(1.0, rate_margin * bounds.oblivious_rate_upper_bound(n, k))
-    algorithm = KCycle(n, k)
-    schedule = algorithm.oblivious_schedule()
-    adversary = LeastOnStationAdversary(rho, beta, schedule, horizon=rounds)
-    result = run_simulation(KCycle(n, k), adversary, rounds)
+    spec = RunSpec.from_fragments(
+        spec_fragment("k-cycle", n=n, k=k),
+        spec_fragment("least-on-station", rho=rho, beta=beta, horizon=rounds),
+        rounds,
+    )
+    [result] = dispatch_specs(
+        [spec], workers=workers, executor=executor, cache=cache
+    )
     return ExperimentResult(
         experiment_id="T1.6",
         label="Impossibility: oblivious above k/n",
@@ -400,19 +412,34 @@ def experiment_k_subsets_stability(
 def experiment_oblivious_direct_impossibility(
     n: int = 6, k: int = 3, beta: float = 1.0, rounds: int = 20000,
     rate_margin: float = 2.0,
+    *, workers: int = 1, executor=None, cache=None,
 ) -> ExperimentResult:
-    """T1.9 / Theorem 9 — oblivious direct algorithms diverge above ``k(k-1)/(n(n-1))``."""
+    """T1.9 / Theorem 9 — oblivious direct algorithms diverge above ``k(k-1)/(n(n-1))``.
+
+    Both stressed algorithms (k-Subsets and k-Clique) are spec'd with the
+    ``least-on-pair`` registry key and dispatched as one batch through the
+    shared :class:`~repro.sim.parallel.ParallelExecutor`.
+    """
+    from .parallel import dispatch_specs
+
     rho = min(1.0, rate_margin * bounds.oblivious_direct_rate_upper_bound(n, k))
-    algorithm = KSubsets(n, k)
-    schedule = algorithm.oblivious_schedule()
-    adversary = LeastOnPairAdversary(rho, beta, schedule, horizon=schedule.period_length)
-    result = run_simulation(KSubsets(n, k), adversary, rounds)
-    # Also stress k-Clique, the other oblivious direct algorithm.
-    clique = KClique(n, k)
-    clique_adversary = LeastOnPairAdversary(
-        rho, beta, clique.oblivious_schedule(), horizon=clique.num_pairs
+    subsets_horizon = KSubsets(n, k).oblivious_schedule().period_length
+    clique_horizon = KClique(n, k).num_pairs
+    specs = [
+        RunSpec.from_fragments(
+            spec_fragment("k-subsets", n=n, k=k),
+            spec_fragment("least-on-pair", rho=rho, beta=beta, horizon=subsets_horizon),
+            rounds,
+        ),
+        RunSpec.from_fragments(
+            spec_fragment("k-clique", n=n, k=k),
+            spec_fragment("least-on-pair", rho=rho, beta=beta, horizon=clique_horizon),
+            rounds,
+        ),
+    ]
+    result, clique_result = dispatch_specs(
+        specs, workers=workers, executor=executor, cache=cache
     )
-    clique_result = run_simulation(KClique(n, k), clique_adversary, rounds)
     unstable = (not result.stable) or (not clique_result.stable)
     return ExperimentResult(
         experiment_id="T1.9",
@@ -620,10 +647,10 @@ def regenerate_table1(
                 experiment_count_hop_latency(n=5, rho=0.5, rounds=4000, **fan),
                 experiment_adjust_window_latency(n=3, rho=0.4, **fan),
                 experiment_k_cycle_latency(n=7, k=3, rounds=8000, **fan),
-                experiment_oblivious_impossibility(n=6, k=2, rounds=8000),
+                experiment_oblivious_impossibility(n=6, k=2, rounds=8000, **fan),
                 experiment_k_clique_latency(n=6, k=2, rounds=10000, **fan),
                 experiment_k_subsets_stability(n=5, k=2, rounds=10000, **fan),
-                experiment_oblivious_direct_impossibility(n=5, k=2, rounds=10000),
+                experiment_oblivious_direct_impossibility(n=5, k=2, rounds=10000, **fan),
             ]
         else:
             results = [
@@ -632,10 +659,10 @@ def regenerate_table1(
                 experiment_count_hop_latency(**fan),
                 experiment_adjust_window_latency(**fan),
                 experiment_k_cycle_latency(**fan),
-                experiment_oblivious_impossibility(),
+                experiment_oblivious_impossibility(**fan),
                 experiment_k_clique_latency(**fan),
                 experiment_k_subsets_stability(**fan),
-                experiment_oblivious_direct_impossibility(),
+                experiment_oblivious_direct_impossibility(**fan),
             ]
     table = render_comparison([r.comparison_row() for r in results])
     return table, results

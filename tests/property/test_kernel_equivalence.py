@@ -21,12 +21,26 @@ def _algorithm_fragments(draw):
     n = draw(st.integers(min_value=3, max_value=8))
     key = draw(
         st.sampled_from(
-            ["count-hop", "orchestra", "k-cycle", "k-clique", "k-subsets", "rrw", "mbtf"]
+            [
+                "count-hop",
+                "orchestra",
+                "adjust-window",
+                "k-cycle",
+                "k-clique",
+                "k-subsets",
+                "rrw",
+                "mbtf",
+            ]
         )
     )
     if key in ("k-cycle", "k-clique", "k-subsets"):
         k = draw(st.integers(min_value=2, max_value=max(2, n - 1)))
         return key, {"n": n, "k": k}
+    if key == "adjust-window":
+        # Keep the derived initial window (and with it the per-example
+        # cost) small; the dedicated window-crossing tests below cover
+        # window boundaries and doubling.
+        return key, {"n": draw(st.integers(min_value=3, max_value=4))}
     return key, {"n": n}
 
 
@@ -97,6 +111,40 @@ def test_kernel_matches_reference_summaries(pair):
     assert kc.outcome_counts == rc.outcome_counts
     assert kc.delays == rc.delays
     assert sorted(kc.records) == sorted(rc.records)
+
+
+@pytest.mark.parametrize(
+    "algorithm, algorithm_params, rounds",
+    [
+        # Crosses the first Adjust-Window boundary (initial_window=4096)
+        # and reaches the second window, exercising the shared clock's
+        # window transition, doubling decision and plan rebuilds on the
+        # kernel's ticked tier.
+        ("adjust-window", {"n": 3, "initial_window": 4096}, 9000),
+        # Several full Count-Hop phases and Orchestra baton rotations.
+        ("count-hop", {"n": 5}, 2000),
+        ("orchestra", {"n": 5}, 2000),
+    ],
+)
+def test_ticked_algorithms_match_reference_across_stage_boundaries(
+    algorithm, algorithm_params, rounds
+):
+    common = dict(
+        algorithm=algorithm,
+        algorithm_params=algorithm_params,
+        adversary="round-robin",
+        adversary_params={"rho": 0.4, "beta": 2.0},
+        rounds=rounds,
+        enforce_energy_cap=False,
+    )
+    kernel = execute_spec(RunSpec(engine="kernel", **common))
+    reference = execute_spec(RunSpec(engine="reference", **common))
+    assert kernel.summary.as_dict() == reference.summary.as_dict()
+    assert (
+        kernel.collector.total_queue_series == reference.collector.total_queue_series
+    )
+    assert kernel.collector.energy_series == reference.collector.energy_series
+    assert kernel.collector.delays == reference.collector.delays
 
 
 def test_kernel_rejects_trace_recording():

@@ -1,0 +1,183 @@
+"""Property tests for the tick-split wake protocol.
+
+The three state-machine algorithms (Count-Hop, Orchestra, Adjust-Window)
+now advance their stage structure in a shared
+:class:`~repro.core.schedule.WakeOracle`: ``tick(t)`` is the explicit
+per-round state transition and ``wakes(t)`` a pure query afterwards.
+These tests pin the protocol contract:
+
+* ``tick(t)`` + pure ``wakes(t)`` reproduces the legacy stateful
+  ``wakes()`` calling convention round-for-round — re-querying every
+  station after the round's first (ticking) pass returns the identical
+  awake set, i.e. ``wakes`` has become side-effect-free given the tick;
+* the oracle's batch ``awake_stations(t)`` equals the per-station loop
+  in every round of a real driven execution (injections, collisions,
+  feedback and all);
+* the kernel engine negotiates the ticked tier for exactly these
+  algorithms.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.adversary import (
+    RoundRobinAdversary,
+    SaturatingAdversary,
+    SingleSourceSprayAdversary,
+)
+from repro.channel.engine import EngineConfig, RoundEngine
+from repro.channel.kernel import KernelEngine
+from repro.channel.packet import PacketFactory
+from repro.core.registry import make_algorithm
+
+ALGORITHMS = [
+    ("count-hop", {"n": 5}),
+    ("count-hop", {"n": 7}),
+    ("orchestra", {"n": 5}),
+    ("orchestra", {"n": 8}),
+    ("adjust-window", {"n": 3}),
+    ("adjust-window", {"n": 4}),
+]
+
+ADVERSARIES = {
+    "spray": SingleSourceSprayAdversary,
+    "round-robin": RoundRobinAdversary,
+    "saturating": SaturatingAdversary,
+}
+
+
+def _build(algorithm_key, algorithm_params, adversary_key, rho):
+    algorithm = make_algorithm(algorithm_key, **algorithm_params)
+    controllers = algorithm.build_controllers()
+    adversary = ADVERSARIES[adversary_key](rho, 2.0).bind(
+        algorithm.n, PacketFactory()
+    )
+    return algorithm, controllers, adversary
+
+
+def _assert_batch_matches_legacy(controllers, adversary, rounds):
+    """Drive a full reference execution; in every round the oracle's batch
+    awake set and a second pure per-station ``wakes`` pass must equal the
+    awake set the engine's legacy (first) per-station pass produced."""
+    oracle = controllers[0].wake_oracle
+    assert oracle is not None
+    assert all(ctrl.wake_oracle is oracle for ctrl in controllers)
+
+    # Probe at wakes-time: the engine calls wakes station by station in
+    # step 2 of each round; patching the last station's wakes lets us
+    # query the oracle (and re-query every station) after all transitions
+    # of the round have run but before any station acts.
+    probes = []
+    last = controllers[-1]
+    legacy_wakes = last.wakes
+
+    def probed_wakes(round_no):
+        result = legacy_wakes(round_no)
+        # The kernel's calling convention: an explicit (redundant, hence
+        # idempotent) tick followed by pure queries.
+        controllers[0].tick(round_no)
+        oracle.tick(round_no)
+        batch = oracle.awake_stations(round_no)
+        requery = tuple(
+            i
+            for i, ctrl in enumerate(controllers)
+            if (legacy_wakes if ctrl is last else ctrl.wakes)(round_no)
+        )
+        probes.append((round_no, batch, requery))
+        return result
+
+    last.wakes = probed_wakes
+    engine = RoundEngine(
+        controllers, adversary, config=EngineConfig(enforce_energy_cap=False)
+    )
+    for _ in range(rounds):
+        event = engine.step()
+        round_no, batch, requery = probes[-1]
+        assert round_no == event.round_no
+        assert batch == event.awake, (
+            f"batch awake set diverged in round {round_no}"
+        )
+        assert requery == event.awake, (
+            f"wakes() is not pure after tick in round {round_no}"
+        )
+    assert len(probes) == rounds
+
+
+@given(
+    config=st.sampled_from(ALGORITHMS),
+    adversary_key=st.sampled_from(sorted(ADVERSARIES)),
+    rho=st.sampled_from([0.1, 0.5, 0.9]),
+    rounds=st.integers(min_value=30, max_value=300),
+)
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_batch_awake_set_and_pure_requery_match_legacy_wakes(
+    config, adversary_key, rho, rounds
+):
+    algorithm_key, algorithm_params = config
+    _, controllers, adversary = _build(
+        algorithm_key, algorithm_params, adversary_key, rho
+    )
+    _assert_batch_matches_legacy(controllers, adversary, rounds)
+
+
+@pytest.mark.parametrize(
+    "algorithm_params, rounds",
+    [
+        # Full window (gossip + main + aux) plus the boundary into the
+        # second window, including a possible doubling decision.
+        ({"n": 3, "initial_window": 4096}, 4200),
+        # Gossip completes at round 800; ~200 Main-stage rounds follow.
+        ({"n": 4}, 1000),
+    ],
+)
+def test_adjust_window_batch_matches_legacy_in_every_stage(
+    algorithm_params, rounds
+):
+    """Within 300 rounds the hypothesis probe above only ever sees
+    Adjust-Window's Gossip stage; these longer deterministic drives cover
+    Main, Auxiliary and the window transition round-for-round."""
+    _, controllers, adversary = _build(
+        "adjust-window", algorithm_params, "round-robin", 0.6
+    )
+    _assert_batch_matches_legacy(controllers, adversary, rounds)
+
+
+@pytest.mark.parametrize("algorithm_key, algorithm_params", ALGORITHMS)
+def test_kernel_negotiates_ticked_tier(algorithm_key, algorithm_params):
+    algorithm, controllers, adversary = _build(
+        algorithm_key, algorithm_params, "spray", 0.2
+    )
+    engine = KernelEngine(
+        controllers,
+        adversary,
+        config=EngineConfig(enforce_energy_cap=False),
+        schedule=algorithm.oblivious_schedule(),
+    )
+    assert engine.uses_ticked_wakes
+    assert not engine.uses_schedule_fast_path
+    engine.run(150)
+    assert engine.collector.rounds_observed == 150
+
+
+@pytest.mark.parametrize(
+    "algorithm_key, algorithm_params",
+    [("k-cycle", {"n": 9, "k": 3}), ("k-subsets", {"n": 6, "k": 3})],
+)
+def test_non_ticked_algorithms_do_not_negotiate_the_tier(
+    algorithm_key, algorithm_params
+):
+    algorithm, controllers, adversary = _build(
+        algorithm_key, algorithm_params, "spray", 0.2
+    )
+    engine = KernelEngine(
+        controllers,
+        adversary,
+        config=EngineConfig(enforce_energy_cap=False),
+        schedule=algorithm.oblivious_schedule(),
+    )
+    assert not engine.uses_ticked_wakes

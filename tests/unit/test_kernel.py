@@ -8,10 +8,12 @@ from repro.adversary import (
     ObservationProfile,
     SingleTargetAdversary,
 )
-from repro.algorithms import KCycle, KSubsets, Orchestra
+from repro.algorithms import CountHop, KCycle, KSubsets, Orchestra
 from repro.channel.energy import EnergyCapViolation
 from repro.channel.engine import DEFAULT_VIEW_WINDOW, EngineConfig, RoundEngine
+from repro.channel.feedback import ChannelOutcome, Feedback, FeedbackPool
 from repro.channel.kernel import KernelEngine
+from repro.channel.message import Message
 from repro.channel.packet import PacketFactory
 from repro.metrics.collector import MetricsCollector
 from repro.sim import run_simulation
@@ -75,6 +77,92 @@ class TestNegotiation:
     def test_record_trace_rejected(self):
         with pytest.raises(ValueError, match="does not record traces"):
             build_kernel(KCycle(9, 3), NoInjectionAdversary(), record_trace=True)
+
+    def test_ticked_tier_for_state_machine_algorithms(self):
+        engine = build_kernel(CountHop(6), SingleTargetAdversary(0.2, 1.0))
+        assert engine.uses_ticked_wakes
+        assert not engine.uses_schedule_fast_path
+
+    def test_ticked_tier_requires_one_shared_oracle(self):
+        algorithm = CountHop(6)
+        controllers = algorithm.build_controllers()
+        # A foreign controller set mixed in (different oracle) must demote
+        # the run to the per-station fallback.
+        controllers[0].wake_oracle = CountHop(6).build_controllers()[0].wake_oracle
+        adversary = SingleTargetAdversary(0.2, 1.0).bind(6, PacketFactory())
+        engine = KernelEngine(
+            controllers, adversary, MetricsCollector(), EngineConfig(energy_cap=2)
+        )
+        assert not engine.uses_ticked_wakes
+
+    def test_vectorised_energy_only_when_cap_safe(self):
+        # k-Cycle's period never wakes more than k stations: with the cap
+        # at k the awake-count series is precomputed...
+        engine = build_kernel(KCycle(9, 3), SingleTargetAdversary(0.2, 1.0))
+        assert engine.uses_vectorised_energy
+        # ... but a tighter cap can be violated, so the kernel keeps the
+        # per-round checks (and raises exactly like the reference loop).
+        algorithm = KCycle(9, 3)
+        adversary = NoInjectionAdversary().bind(9, PacketFactory())
+        tight = KernelEngine(
+            algorithm.build_controllers(),
+            adversary,
+            MetricsCollector(),
+            EngineConfig(energy_cap=2, enforce_energy_cap=False),
+            schedule=algorithm.oblivious_schedule(),
+        )
+        assert not tight.uses_vectorised_energy
+
+    def test_vectorised_energy_series_matches_reference(self):
+        algorithm = KCycle(9, 3)
+        kernel = build_kernel(algorithm, SingleTargetAdversary(0.4, 2.0))
+        assert kernel.uses_vectorised_energy
+        kernel.run(137)
+        adversary = SingleTargetAdversary(0.4, 2.0).bind(9, PacketFactory())
+        reference = RoundEngine(
+            KCycle(9, 3).build_controllers(),
+            adversary,
+            MetricsCollector(),
+            EngineConfig(energy_cap=algorithm.energy_cap),
+        )
+        reference.run(137)
+        assert kernel.collector.energy_series == reference.collector.energy_series
+        assert kernel.energy.per_round == reference.energy.per_round
+        assert kernel.energy.total_station_rounds == reference.energy.total_station_rounds
+        assert kernel.energy.max_awake == reference.energy.max_awake
+
+
+class TestFeedbackPool:
+    def _message(self, sender=0):
+        return Message(sender=sender, packet=None, control={})
+
+    def test_silence_and_collision_are_interned_singletons(self):
+        pool = FeedbackPool()
+        assert pool.silence() is pool.silence()
+        assert pool.collision() is pool.collision()
+        assert pool.silence().outcome is ChannelOutcome.SILENCE
+        assert pool.collision().outcome is ChannelOutcome.COLLISION
+        assert pool.silence().round_no == Feedback.INTERNED_ROUND
+
+    def test_heard_recycles_when_pool_holds_sole_reference(self):
+        pool = FeedbackPool()
+        first = pool.heard(3, self._message(), delivered=False)
+        first_id = id(first)
+        del first  # the pool now holds the only reference
+        second = pool.heard(4, self._message(1), delivered=True)
+        assert id(second) == first_id
+        assert second.round_no == 4
+        assert second.message.sender == 1
+        assert second.delivered
+
+    def test_heard_never_mutates_a_retained_instance(self):
+        pool = FeedbackPool()
+        retained = pool.heard(3, self._message(), delivered=False)
+        fresh = pool.heard(4, self._message(1), delivered=True)
+        assert fresh is not retained
+        assert retained.round_no == 3
+        assert retained.message.sender == 0
+        assert not retained.delivered
 
 
 class TestPolledFallback:
