@@ -19,11 +19,13 @@ written first, so the artifact survives a failing run).
 
 The headline configuration — an oblivious adversary driving a
 schedule-published k-Cycle at n=64 in the paper's energy-frugal regime
-(k << n) — is where the kernel's negotiated fast paths all engage; the
-Count-Hop / Orchestra / Adjust-Window rows track the ticked-wakes tier
-(shared state machine, one tick + one batch awake-set query per round)
-per algorithm, and the adaptive row tracks the windowed-view path, so a
-regression in any negotiation branch shows up in the trajectory.
+(k << n) — is where the kernel's negotiated fast paths all engage
+(including batched injection planning); the Count-Hop / Orchestra /
+Adjust-Window / k-Subsets rows track the ticked-wakes tier (shared state
+machine, one tick + one batch awake-set query per round) per algorithm,
+and the adaptive rows track the windowed-view path with its
+schedule-backed batch maintenance, so a regression in any negotiation
+branch shows up in the trajectory.
 """
 
 from __future__ import annotations
@@ -107,6 +109,25 @@ CONFIGS: list[tuple[str, dict]] = [
             adversary="adaptive-starvation",
             adversary_params={"rho": 0.1, "beta": 2.0},
             enforce_energy_cap=False,
+        ),
+    ),
+    (
+        "k-cycle n=64 k=4, adaptive adversary (batched windowed view)",
+        dict(
+            algorithm="k-cycle",
+            algorithm_params={"n": 64, "k": 4},
+            adversary="adaptive-starvation",
+            adversary_params={"rho": 0.1, "beta": 2.0},
+            enforce_energy_cap=False,
+        ),
+    ),
+    (
+        "k-subsets n=8 k=3, oblivious spray (ticked wakes path)",
+        dict(
+            algorithm="k-subsets",
+            algorithm_params={"n": 8, "k": 3},
+            adversary="spray",
+            adversary_params={"rho": 0.1, "beta": 2.0},
         ),
     ),
 ]

@@ -16,6 +16,7 @@ from .base import (
     DEFAULT_OBSERVATION_WINDOW,
     Adversary,
     InjectionDemand,
+    InjectionPlan,
     ObliviousAdversary,
     ObservationProfile,
 )
@@ -48,6 +49,7 @@ __all__ = [
     "GroupLocalAdversary",
     "HotspotAdversary",
     "InjectionDemand",
+    "InjectionPlan",
     "InjectionTrace",
     "LeakyBucketConstraint",
     "LeakyBucketViolation",

@@ -22,10 +22,12 @@ schedule-aware adversaries consume.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Protocol, Sequence, runtime_checkable
 
 from ..channel.engine import AdversaryView
 from .base import Adversary, InjectionDemand, ObliviousAdversary, ObservationProfile
+from .patterns import _cycle_skipping
 
 __all__ = [
     "ScheduleLike",
@@ -43,8 +45,65 @@ class ScheduleLike(Protocol):
         ...
 
 
-def _on_counts(schedule: ScheduleLike, n: int, horizon: int) -> list[int]:
+def _periodic_sets(schedule: ScheduleLike) -> tuple[tuple[int, ...], ...] | None:
+    """The schedule's finite period of awake sets, if it publishes one."""
+    probe = getattr(schedule, "periodic_awake_sets", None)
+    if probe is None:
+        return None
+    return probe()
+
+
+@lru_cache(maxsize=32)
+def _periodic_on_counts(
+    period: tuple[tuple[int, ...], ...], n: int, horizon: int
+) -> tuple[int, ...]:
+    """On-counts over ``[0, horizon)`` for a periodic schedule, cached.
+
+    Keyed by the period itself (plus ``n`` and ``horizon``), so distinct
+    schedule instances built from the same spec — e.g. the per-spec
+    algorithm reconstructions of a T1.6/T1.9 fan-out — share one table
+    per worker process instead of recomputing an O(horizon * n) sweep
+    each time.  The periodic structure also collapses the sweep to one
+    pass over the period.
+    """
+    full, rem = divmod(horizon, len(period))
+    counts = [0] * n
+    for t, awake in enumerate(period):
+        weight = full + (1 if t < rem else 0)
+        if weight:
+            for i in awake:
+                counts[i] += weight
+    return tuple(counts)
+
+
+@lru_cache(maxsize=32)
+def _periodic_pair_on_counts(
+    period: tuple[tuple[int, ...], ...], n: int, horizon: int
+) -> dict[tuple[int, int], int]:
+    """Co-awake counts per ordered pair for a periodic schedule, cached.
+
+    The returned dict is shared across callers — treat it as read-only.
+    """
+    full, rem = divmod(horizon, len(period))
+    counts: dict[tuple[int, int], int] = {
+        (w, z): 0 for w in range(n) for z in range(n) if w != z
+    }
+    for t, awake in enumerate(period):
+        weight = full + (1 if t < rem else 0)
+        if not weight:
+            continue
+        for w in awake:
+            for z in awake:
+                if w != z:
+                    counts[(w, z)] += weight
+    return counts
+
+
+def _on_counts(schedule: ScheduleLike, n: int, horizon: int) -> Sequence[int]:
     """Per-station number of on-rounds over ``[0, horizon)``."""
+    period = _periodic_sets(schedule)
+    if period:
+        return _periodic_on_counts(period, n, horizon)
     counts = [0] * n
     for t in range(horizon):
         for i in range(n):
@@ -56,7 +115,14 @@ def _on_counts(schedule: ScheduleLike, n: int, horizon: int) -> list[int]:
 def _pair_on_counts(
     schedule: ScheduleLike, n: int, horizon: int
 ) -> dict[tuple[int, int], int]:
-    """Per ordered pair (w, z), number of rounds both are on over ``[0, horizon)``."""
+    """Per ordered pair (w, z), number of rounds both are on over ``[0, horizon)``.
+
+    Periodic schedules hit the shared cache; treat the result as
+    read-only.
+    """
+    period = _periodic_sets(schedule)
+    if period:
+        return _periodic_pair_on_counts(period, n, horizon)
     counts: dict[tuple[int, int], int] = {
         (w, z): 0 for w in range(n) for z in range(n) if w != z
     }
@@ -113,6 +179,17 @@ class LeastOnStationAdversary(ObliviousAdversary):
             demands.append((self.victim, dest))
         return demands
 
+    def _plan_chunk(self, start, stop):
+        assert self.n is not None and self.victim is not None
+        counts = self.constraint.consume_run(stop - start)
+        total = sum(counts)
+        if not total:
+            return counts, [], []
+        destinations, self._dest_cursor = _cycle_skipping(
+            self.n, self.victim, self._dest_cursor, total
+        )
+        return counts, [self.victim] * total, destinations.tolist()
+
 
 class LeastOnPairAdversary(ObliviousAdversary):
     """Theorem 9 adversary: flood the ordered pair least often jointly awake.
@@ -145,6 +222,13 @@ class LeastOnPairAdversary(ObliviousAdversary):
         source, destination = self.pair
         return [(source, destination)] * budget
 
+    def _plan_chunk(self, start, stop):
+        assert self.pair is not None
+        counts = self.constraint.consume_run(stop - start)
+        total = sum(counts)
+        source, destination = self.pair
+        return counts, [source] * total, [destination] * total
+
 
 class AdaptiveStarvationAdversary(Adversary):
     """Theorem 2 style adaptive adversary for energy-cap-2 systems at rate 1.
@@ -172,13 +256,17 @@ class AdaptiveStarvationAdversary(Adversary):
 
     def _most_starved(self, view: AdversaryView) -> int:
         assert self.n is not None
-        on_rounds = [view.station_on_rounds(i) for i in range(self.n)]
-        return min(range(self.n), key=lambda i: (on_rounds[i], i))
+        return view.least_on_station()
 
     def demand(
         self, round_no: int, budget: int, view: AdversaryView
     ) -> Sequence[InjectionDemand]:
         assert self.n is not None
+        if budget == 0:
+            # Computing the most starved station is the expensive part of
+            # this adversary; at rate rho most rounds have no budget and
+            # the victim choice would be discarded anyway.
+            return []
         victim = self._most_starved(view)
         demands: list[InjectionDemand] = []
         for _ in range(budget):

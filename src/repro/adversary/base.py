@@ -24,6 +24,7 @@ __all__ = [
     "Adversary",
     "DEFAULT_OBSERVATION_WINDOW",
     "InjectionDemand",
+    "InjectionPlan",
     "ObliviousAdversary",
     "ObservationProfile",
 ]
@@ -83,6 +84,78 @@ class ObservationProfile:
         return cls(window=None)
 
 
+@dataclass(slots=True)
+class InjectionPlan:
+    """Materialised injections for the half-open round window ``[start, stop)``.
+
+    ``offsets`` has ``stop - start + 1`` entries; the injections of round
+    ``start + r`` are the ``(sources[j], destinations[j])`` pairs for
+    ``offsets[r] <= j < offsets[r + 1]``, in the exact order the
+    per-round :meth:`Adversary.inject` path would have produced them.
+    Sources and destinations are plain int lists (vectorised planners
+    build them in numpy and convert once), so the consuming engine can
+    slice them without per-packet numpy scalar boxing.
+    """
+
+    start: int
+    stop: int
+    offsets: list[int]
+    sources: list[int]
+    destinations: list[int]
+
+    def __len__(self) -> int:
+        return len(self.sources)
+
+    @classmethod
+    def from_counts(
+        cls,
+        start: int,
+        stop: int,
+        counts: Sequence[int],
+        sources: Sequence[int],
+        destinations: Sequence[int],
+    ) -> "InjectionPlan":
+        """Assemble a plan from per-round counts plus flat pair arrays."""
+        offsets = [0] * (len(counts) + 1)
+        acc = 0
+        for r, count in enumerate(counts):
+            acc += count
+            offsets[r + 1] = acc
+        return cls(start, stop, offsets, list(sources), list(destinations))
+
+    def pairs_for(self, round_no: int) -> list[InjectionDemand]:
+        """The (source, destination) pairs planned for ``round_no``."""
+        rel = round_no - self.start
+        if not 0 <= rel < self.stop - self.start:
+            raise IndexError(f"round {round_no} outside plan window")
+        lo, hi = self.offsets[rel], self.offsets[rel + 1]
+        return list(zip(self.sources[lo:hi], self.destinations[lo:hi]))
+
+    def validate(self, n: int) -> None:
+        """Structural and range checks (the engine's per-chunk guard)."""
+        if self.stop < self.start:
+            raise ValueError("plan window is reversed")
+        if len(self.offsets) != self.stop - self.start + 1:
+            raise ValueError("plan offsets do not cover the round window")
+        if (
+            self.offsets[0] != 0
+            or self.offsets[-1] != len(self.sources)
+            or len(self.sources) != len(self.destinations)
+        ):
+            raise ValueError("plan offsets disagree with the pair arrays")
+        if any(a > b for a, b in zip(self.offsets, self.offsets[1:])):
+            raise ValueError("plan offsets must be non-decreasing")
+        if self.sources:
+            if min(self.sources) < 0 or max(self.sources) >= n:
+                raise ValueError(f"plan injects into stations outside [0, {n})")
+            if min(self.destinations) < 0 or max(self.destinations) >= n:
+                raise ValueError(f"plan addresses stations outside [0, {n})")
+            if any(s == d for s, d in zip(self.sources, self.destinations)):
+                raise ValueError(
+                    "a packet's destination must differ from its source"
+                )
+
+
 class Adversary(abc.ABC):
     """Base class of all packet-injection adversaries.
 
@@ -91,6 +164,16 @@ class Adversary(abc.ABC):
     rho, beta:
         The leaky-bucket type of the adversary.
     """
+
+    #: Capability flag read by the kernel engine: when True, the adversary
+    #: implements :meth:`plan_injections` and its injections for a whole
+    #: chunk of rounds can be materialised up front — the kernel then
+    #: consumes injections as array slices instead of calling
+    #: :meth:`inject` once per round.  Only meaningful for adversaries
+    #: whose demands never read the execution view (the per-round
+    #: :meth:`inject` stays the universal fallback and the reference-loop
+    #: path).
+    plans_injections: bool = False
 
     def __init__(self, rho: float, beta: float) -> None:
         self.adversary_type = AdversaryType(rho=rho, beta=beta)
@@ -169,6 +252,21 @@ class Adversary(abc.ABC):
     ) -> Sequence[InjectionDemand]:
         """Return up to ``budget`` (source, destination) pairs for this round."""
 
+    # -- batched injection planning ------------------------------------------
+    def plan_injections(self, start: int, stop: int) -> InjectionPlan:
+        """Materialise the injections of rounds ``[start, stop)`` in one call.
+
+        Only adversaries declaring :attr:`plans_injections` implement
+        this; the plan must be packet-for-packet identical to calling
+        :meth:`inject` for each round of the window (same pairs, same
+        per-round order, same leaky-bucket state afterwards), so chunks
+        may alternate freely with per-round injection.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not plan injections "
+            "(plans_injections is False)"
+        )
+
     # -- helpers -------------------------------------------------------------
     def _validate_pair(self, source: int, destination: int) -> None:
         assert self.n is not None
@@ -194,8 +292,70 @@ class ObliviousAdversary(Adversary):
 
     Subclasses decide their injections from ``(round_no, budget)`` and
     internal state alone; declaring that lets the kernel engine skip all
-    :class:`~repro.channel.engine.AdversaryView` maintenance.
+    :class:`~repro.channel.engine.AdversaryView` maintenance — and makes
+    the injections *plannable*: because demands cannot depend on the
+    execution, whole chunks of rounds can be materialised up front.
+    :meth:`plan_injections` therefore works for every oblivious subclass
+    out of the box (the generic :meth:`_plan_chunk` replays ``demand``
+    round by round with batched bookkeeping, preserving RNG draw order
+    for the seeded stochastic families); the hot deterministic families
+    override :meth:`_plan_chunk` with fully vectorised pair generation.
     """
+
+    plans_injections = True
+
+    def __init__(self, rho: float, beta: float) -> None:
+        super().__init__(rho, beta)
+        self._plan_view: AdversaryView | None = None
+
+    def plan_injections(self, start: int, stop: int) -> InjectionPlan:
+        if self.n is None or self.factory is None:
+            raise RuntimeError(
+                "adversary.bind(n) must be called before plan_injections()"
+            )
+        if stop < start:
+            raise ValueError("plan window is reversed")
+        counts, sources, destinations = self._plan_chunk(start, stop)
+        return InjectionPlan.from_counts(start, stop, counts, sources, destinations)
+
+    def _plan_chunk(
+        self, start: int, stop: int
+    ) -> tuple[list[int], list[int], list[int]]:
+        """Default planner: replay ``demand`` round by round.
+
+        Correct for *any* oblivious subclass — the calls, their order and
+        the leaky-bucket bookkeeping are exactly those of per-round
+        :meth:`inject` (minus packet materialisation, which the consuming
+        engine performs in the same order), so even RNG-backed demands
+        produce identical draws.  The view handed to ``demand`` is a
+        never-updated window-0 view, which is precisely what an oblivious
+        adversary sees from the kernel engine.
+        """
+        assert self.n is not None
+        view = self._plan_view
+        if view is None or view.n != self.n:
+            view = self._plan_view = AdversaryView(n=self.n, window=0)
+        constraint = self.constraint
+        counts: list[int] = []
+        sources: list[int] = []
+        destinations: list[int] = []
+        for t in range(start, stop):
+            budget = constraint.budget()
+            demanded = self.demand(t, budget, view)
+            if not demanded:
+                constraint.consume(0)
+                counts.append(0)
+                continue
+            demands = list(demanded)
+            if len(demands) > budget:
+                demands = demands[:budget]
+            for source, destination in demands:
+                self._validate_pair(source, destination)
+                sources.append(source)
+                destinations.append(destination)
+            counts.append(len(demands))
+            constraint.consume(len(demands))
+        return counts, sources, destinations
 
     def observation_profile(self) -> ObservationProfile:
         return ObservationProfile.oblivious()

@@ -137,6 +137,41 @@ class LeakyBucketConstraint:
         slack = min(self._slack + rounds * self._rho, self._cap)
         return max(0, math.floor(slack + 1e-9))
 
+    def consume_run(self, rounds: int, active=None) -> list[int]:
+        """Consume the full per-round budget for the next ``rounds`` rounds.
+
+        The batch materialisation behind vectorised
+        ``Adversary.plan_injections``: equivalent to ``rounds`` iterations
+        of :meth:`budget` followed by :meth:`consume` of that whole budget
+        (or of 0 on rounds where ``active[r]`` is falsy), in one call.
+        The float recurrence is evaluated in the exact same operation
+        order as :meth:`consume`, so a run materialised here is
+        bit-identical to the same run tracked round by round.
+
+        Returns the per-round injection counts (length ``rounds``).
+        """
+        if rounds < 0:
+            raise ValueError("rounds cannot be negative")
+        counts = [0] * rounds
+        slack = self._slack
+        rho = self._rho
+        cap = self._cap
+        total = 0
+        for r in range(rounds):
+            if active is None or active[r]:
+                count = math.floor(slack + 1e-9)
+                if count > 0:
+                    counts[r] = count
+                    total += count
+                    slack = slack - count
+            slack = slack + rho
+            if slack > cap:
+                slack = cap
+        self._slack = slack
+        self._round += rounds
+        self.total_injected += total
+        return counts
+
 
 def verify_injection_record(
     counts: list[int], adversary_type: AdversaryType, *, strict: bool = True

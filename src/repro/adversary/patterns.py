@@ -10,6 +10,13 @@ patterns plus the adaptive adversaries of :mod:`repro.adversary.adaptive`.
 All patterns are :class:`~repro.adversary.base.ObliviousAdversary`
 subclasses: their demands never read the execution view, so the kernel
 engine runs them without maintaining any adversary-visible history.
+Each family also overrides :meth:`~ObliviousAdversary._plan_chunk` with a
+fully vectorised planner: per-round budgets are materialised in one
+:meth:`~repro.adversary.leaky_bucket.LeakyBucketConstraint.consume_run`
+sweep and the (source, destination) streams are generated as numpy index
+arithmetic, so the kernel engine consumes whole chunks of injections as
+array slices (property-tested packet-for-packet identical to the
+per-round ``demand`` path).
 """
 
 from __future__ import annotations
@@ -17,8 +24,29 @@ from __future__ import annotations
 import itertools
 from typing import Sequence
 
+import numpy as np
+
 from ..channel.engine import AdversaryView
 from .base import InjectionDemand, ObliviousAdversary
+
+
+def _cycle_skipping(
+    n: int, skip: int, cursor: int, total: int
+) -> tuple[np.ndarray, int]:
+    """``total`` values of the mod-``n`` counter stream that skips ``skip``.
+
+    Vectorises the common demand idiom ``dest = cursor; cursor += 1;
+    if dest == skip: dest = cursor; cursor += 1``: the emitted stream is
+    the ascending cyclic order over ``[0, n) - {skip}`` and, after any
+    emission, the counter sits one past the emitted value.  Returns the
+    emitted values and the post-run counter (mod ``n``).
+    """
+    order = np.array([d for d in range(n) if d != skip], dtype=np.int64)
+    cursor %= n
+    first = (cursor + 1) % n if cursor == skip else cursor
+    idx0 = int(np.nonzero(order == first)[0][0])
+    emitted = order[(idx0 + np.arange(total, dtype=np.int64)) % (n - 1)]
+    return emitted, (int(emitted[-1]) + 1) % n if total else cursor
 
 __all__ = [
     "SingleTargetAdversary",
@@ -43,6 +71,11 @@ class NoInjectionAdversary(ObliviousAdversary):
     ) -> Sequence[InjectionDemand]:
         return []
 
+    def _plan_chunk(self, start, stop):
+        rounds = stop - start
+        counts = self.constraint.consume_run(rounds, active=bytes(rounds))
+        return counts, [], []
+
 
 class SingleTargetAdversary(ObliviousAdversary):
     """All packets are injected into one station, destined to one other.
@@ -66,6 +99,11 @@ class SingleTargetAdversary(ObliviousAdversary):
         self, round_no: int, budget: int, view: AdversaryView
     ) -> Sequence[InjectionDemand]:
         return [(self.source, self.destination)] * budget
+
+    def _plan_chunk(self, start, stop):
+        counts = self.constraint.consume_run(stop - start)
+        total = sum(counts)
+        return counts, [self.source] * total, [self.destination] * total
 
 
 class SingleSourceSprayAdversary(ObliviousAdversary):
@@ -94,6 +132,17 @@ class SingleSourceSprayAdversary(ObliviousAdversary):
                 self._next_destination = (self._next_destination + 1) % self.n
             demands.append((self.source, dest))
         return demands
+
+    def _plan_chunk(self, start, stop):
+        assert self.n is not None
+        counts = self.constraint.consume_run(stop - start)
+        total = sum(counts)
+        if not total:
+            return counts, [], []
+        dests, self._next_destination = _cycle_skipping(
+            self.n, self.source, self._next_destination, total
+        )
+        return counts, [self.source] * total, dests.tolist()
 
 
 class RoundRobinAdversary(ObliviousAdversary):
@@ -124,6 +173,21 @@ class RoundRobinAdversary(ObliviousAdversary):
             demands.append((source, destination))
             self._cursor += 1
         return demands
+
+    def _plan_chunk(self, start, stop):
+        assert self.n is not None
+        counts = self.constraint.consume_run(stop - start)
+        total = sum(counts)
+        if not total:
+            return counts, [], []
+        n = self.n
+        sources = (self._cursor + np.arange(total, dtype=np.int64)) % n
+        destinations = (sources + self.offset) % n
+        destinations = np.where(
+            destinations == sources, (sources + 1) % n, destinations
+        )
+        self._cursor += total
+        return counts, sources.tolist(), destinations.tolist()
 
 
 class AlternatingPairAdversary(ObliviousAdversary):
@@ -164,6 +228,18 @@ class AlternatingPairAdversary(ObliviousAdversary):
             demands.append((self.source, dest))
         return demands
 
+    def _plan_chunk(self, start, stop):
+        counts = self.constraint.consume_run(stop - start)
+        total = sum(counts)
+        if not total:
+            return counts, [], []
+        parity = (self._parity + np.arange(total, dtype=np.int64)) & 1
+        destinations = np.where(
+            parity == 0, self.destination_a, self.destination_b
+        )
+        self._parity = (self._parity + total) & 1
+        return counts, [self.source] * total, destinations.tolist()
+
 
 class SaturatingAdversary(ObliviousAdversary):
     """Injects at full budget every round, cycling sources, fixed stride destinations.
@@ -190,6 +266,21 @@ class SaturatingAdversary(ObliviousAdversary):
             demands.append((source, destination))
             self._cursor += 1
         return demands
+
+    def _plan_chunk(self, start, stop):
+        assert self.n is not None
+        counts = self.constraint.consume_run(stop - start)
+        total = sum(counts)
+        if not total:
+            return counts, [], []
+        n = self.n
+        sources = (self._cursor + np.arange(total, dtype=np.int64)) % n
+        destinations = (sources + self.stride) % n
+        destinations = np.where(
+            destinations == sources, (sources + 1) % n, destinations
+        )
+        self._cursor += total
+        return counts, sources.tolist(), destinations.tolist()
 
 
 class BurstThenIdleAdversary(ObliviousAdversary):
@@ -225,6 +316,15 @@ class BurstThenIdleAdversary(ObliviousAdversary):
             return []
         return [(self.source, self.destination)] * budget
 
+    def _plan_chunk(self, start, stop):
+        period = self.idle_rounds + 1
+        active = [
+            (start + r) % period == self.idle_rounds for r in range(stop - start)
+        ]
+        counts = self.constraint.consume_run(stop - start, active=active)
+        total = sum(counts)
+        return counts, [self.source] * total, [self.destination] * total
+
 
 class GroupLocalAdversary(ObliviousAdversary):
     """All traffic stays inside one contiguous block of ``group_size`` stations.
@@ -253,6 +353,10 @@ class GroupLocalAdversary(ObliviousAdversary):
         self._pairs = [
             (a, b) for a, b in itertools.permutations(members, 2)
         ]
+        self._pair_sources = np.array([a for a, _ in self._pairs], dtype=np.int64)
+        self._pair_destinations = np.array(
+            [b for _, b in self._pairs], dtype=np.int64
+        )
 
     def demand(
         self, round_no: int, budget: int, view: AdversaryView
@@ -262,3 +366,16 @@ class GroupLocalAdversary(ObliviousAdversary):
             demands.append(self._pairs[self._cursor % len(self._pairs)])
             self._cursor += 1
         return demands
+
+    def _plan_chunk(self, start, stop):
+        counts = self.constraint.consume_run(stop - start)
+        total = sum(counts)
+        if not total:
+            return counts, [], []
+        idx = (self._cursor + np.arange(total, dtype=np.int64)) % len(self._pairs)
+        self._cursor += total
+        return (
+            counts,
+            self._pair_sources[idx].tolist(),
+            self._pair_destinations[idx].tolist(),
+        )

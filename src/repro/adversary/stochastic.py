@@ -6,6 +6,15 @@ and per-round demands from a seeded :class:`numpy.random.Generator` while
 the base class guarantees the realised injection sequence never exceeds
 the declared ``(rho, beta)`` envelope — so every stochastic run is also a
 legal adversary of that type.
+
+Being oblivious, these families also declare ``plans_injections`` and
+are consumed by the kernel engine in batched chunks.  They deliberately
+do *not* vectorise the draws: the generic
+:meth:`~repro.adversary.base.ObliviousAdversary._plan_chunk` replays
+``demand`` round by round, which preserves the exact generator call
+sequence — a planned run draws the same stream as a per-round run, so
+recorded traces, replays and kernel/reference comparisons stay
+bit-identical.
 """
 
 from __future__ import annotations

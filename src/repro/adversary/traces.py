@@ -136,5 +136,33 @@ class ReplayAdversary(ObliviousAdversary):
         entries = self._by_round.get(round_no, [])
         return [(e.source, e.destination) for e in entries][:budget]
 
+    def _plan_chunk(self, start, stop):
+        """Batched replay: one pass over the chunk, no per-round demand call.
+
+        The trace conforms to the declared envelope (checked at bind), so
+        the budget clip almost never engages; it is still applied exactly
+        as the per-round path would, via the same budget()/consume()
+        recurrence.
+        """
+        constraint = self.constraint
+        by_round = self._by_round
+        counts: list[int] = []
+        sources: list[int] = []
+        destinations: list[int] = []
+        for t in range(start, stop):
+            entries = by_round.get(t)
+            if not entries:
+                constraint.consume(0)
+                counts.append(0)
+                continue
+            budget = constraint.budget()
+            take = entries if len(entries) <= budget else entries[:budget]
+            for entry in take:
+                sources.append(entry.source)
+                destinations.append(entry.destination)
+            counts.append(len(take))
+            constraint.consume(len(take))
+        return counts, sources, destinations
+
     def describe(self) -> str:
         return f"Replay({len(self.trace)} injections, {self.adversary_type})"

@@ -17,6 +17,16 @@ the receiver ``w`` is awake in every round of every thread its packet is
 assigned to, a heard packet is immediately delivered — the algorithm
 routes directly.
 
+The phase machine is globally identical across stations (phase boundaries
+depend only on ``(gamma, t)``), so it lives in a shared
+:class:`_KSubsetsClock` (a :class:`~repro.core.schedule.WakeOracle`): an
+explicit idempotent ``tick(t)`` drives every station's phase-boundary
+packet reassignment once per phase, after which ``wakes(t)`` is a pure
+subset-membership query and the clock answers the whole awake set as
+``subsets[t % gamma]`` — the *ticked* tier of the kernel engine's
+capability negotiation, leaving no algorithm on the per-station
+``wakes()`` fallback.
+
 Paper bounds (Table 1 / Theorem 8): stable at injection rate exactly
 ``k(k-1)/(n(n-1))`` with at most ``2 C(n,k) (n^2 + beta)`` queued packets;
 by Theorem 9 no k-energy-oblivious direct algorithm is stable above that
@@ -35,7 +45,7 @@ from ..channel.packet import Packet
 from ..channel.station import StationController
 from ..core.algorithm import AlgorithmProperties, RoutingAlgorithm
 from ..core.registry import register_algorithm
-from ..core.schedule import PeriodicSchedule
+from ..core.schedule import PeriodicSchedule, WakeOracle
 from ..protocols.token_ring import MoveBigToFrontReplica
 
 __all__ = ["KSubsets"]
@@ -45,13 +55,49 @@ __all__ = ["KSubsets"]
 MAX_THREADS = 20000
 
 
+class _KSubsetsClock(WakeOracle):
+    """Shared phase clock of one k-Subsets execution.
+
+    The only per-round state transition of k-Subsets is the
+    phase-boundary packet reassignment, triggered by the globally known
+    quantity ``t // gamma``; :meth:`tick` drives each station's (private)
+    reassignment exactly when its stateful ``wakes`` used to.  Awake sets
+    are the enumerated subsets themselves — ``itertools.combinations``
+    over a sorted range yields ascending tuples, so
+    :meth:`awake_stations` is a single list lookup.
+    """
+
+    def __init__(self, n: int, subsets: list[tuple[int, ...]]) -> None:
+        super().__init__(n)
+        self.subsets = subsets
+        self.gamma = len(subsets)
+        self._last_phase = -1
+
+    def tick(self, round_no: int) -> None:
+        phase = round_no // self.gamma
+        if phase <= self._last_phase:
+            return
+        self._last_phase = phase
+        for ctrl in self.controllers:
+            ctrl._process_phase_boundary(round_no)
+
+    def awake_stations(self, round_no: int) -> tuple[int, ...]:
+        return self.subsets[round_no % self.gamma]
+
+
 class _KSubsetsController(StationController):
-    """Per-station controller of k-Subsets."""
+    """Per-station controller of k-Subsets.
+
+    The phase clock is shared (:class:`_KSubsetsClock`); each station
+    keeps only its private thread queues and MBTF replicas.
+    """
 
     # Thread queues shrink only when an own transmission is confirmed
     # heard; phase-boundary reassignment moves packets between internal
     # queues without changing the total, so heard-only polling is safe.
     queue_changes_on_heard_only = True
+
+    ticked_wakes = True
 
     def __init__(
         self,
@@ -59,11 +105,13 @@ class _KSubsetsController(StationController):
         n: int,
         k: int,
         subsets: list[tuple[int, ...]],
+        clock: _KSubsetsClock,
     ) -> None:
         super().__init__(station_id, n)
         self.k = k
         self.subsets = subsets
         self.gamma = len(subsets)
+        self.wake_oracle = clock
         self.my_threads = [
             i for i, members in enumerate(subsets) if station_id in members
         ]
@@ -116,8 +164,13 @@ class _KSubsetsController(StationController):
         self._unassigned = still_waiting
 
     # -- StationController interface -------------------------------------------
+    def tick(self, round_no: int) -> None:
+        self.wake_oracle.tick(round_no)
+
     def wakes(self, round_no: int) -> bool:
-        self._process_phase_boundary(round_no)
+        # Self-tick so the reference engine's per-station loop drives the
+        # same phase transitions; after the tick this is a pure query.
+        self.wake_oracle.tick(round_no)
         return (round_no % self.gamma) in self._my_thread_set
 
     def act(self, round_no: int) -> Message | None:
@@ -195,10 +248,13 @@ class KSubsets(RoutingAlgorithm):
         return len(self.subsets)
 
     def build_controllers(self) -> list[_KSubsetsController]:
-        return [
-            _KSubsetsController(i, self.n, self.k, self.subsets)
+        clock = _KSubsetsClock(self.n, self.subsets)
+        controllers = [
+            _KSubsetsController(i, self.n, self.k, self.subsets, clock)
             for i in range(self.n)
         ]
+        clock.attach(controllers)
+        return controllers
 
     def properties(self) -> AlgorithmProperties:
         return AlgorithmProperties(

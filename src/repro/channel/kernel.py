@@ -10,7 +10,18 @@ actually need:
   :class:`~repro.adversary.base.ObservationProfile` decides whether the
   :class:`~repro.channel.engine.AdversaryView` is maintained at all
   (oblivious adversaries skip it entirely), kept as a bounded window, or
-  kept unbounded.
+  kept unbounded.  Windowed adversaries on the static-schedule fast path
+  get a :class:`~repro.channel.engine.ScheduleBackedView`: per-round
+  maintenance drops to O(1), on-counts advance once per period from the
+  schedule's precomputed prefix series, and the history ring is refreshed
+  once per chunk.
+* **Batched injection** — adversaries declaring ``plans_injections``
+  (every oblivious family) have whole chunks of injections materialised
+  by one :meth:`~repro.adversary.base.Adversary.plan_injections` call;
+  the loop then consumes them as array slices (a round without
+  injections costs two list lookups) instead of calling
+  ``inject(round_no, view)`` every round.  The per-round ``inject`` stays
+  the universal fallback and the reference-loop path.
 * **Wake schedules** — three tiers.  When every controller declares
   ``static_wake_schedule`` and the algorithm's published
   :class:`~repro.core.schedule.ObliviousSchedule` has a finite period, the
@@ -49,6 +60,7 @@ from .energy import EnergyCapViolation, EnergyMonitor
 from .engine import (
     AdversaryView,
     EngineConfig,
+    ScheduleBackedView,
     check_message,
     negotiated_view_window,
     validate_controllers,
@@ -109,11 +121,27 @@ class KernelEngine:
         self.trace = None  # API parity with RoundEngine
         self.round_no = 0
         self._feedback_pool = FeedbackPool()
+        # Unconsumed remainder of a fetched injection plan, carried across
+        # run() calls: (base, stop, offsets, sources, destinations).  A
+        # plan consumes the adversary's leaky-bucket budget for its whole
+        # window up front, so when an exception aborts a run mid-chunk the
+        # already-materialised rounds must be replayed from this cache on
+        # resume — re-planning would start from the post-chunk budget
+        # state and inject the wrong packets.
+        self._plan_state: tuple | None = None
 
         # -- negotiation: adversary observation --------------------------------
         self._window = negotiated_view_window(adversary, self.config.full_history)
         self.view = AdversaryView(n=self.n, window=self._window)
         self._observe_view = self._window != 0
+
+        # -- negotiation: batched injection planning ---------------------------
+        # Planning adversaries are oblivious by contract; requiring the
+        # negotiated window to be 0 keeps a full_history override (or a
+        # mis-declared adversary) on the checked per-round path.
+        self._planned_injections = self._window == 0 and bool(
+            getattr(adversary, "plans_injections", False)
+        )
 
         # -- negotiation: wake schedule ----------------------------------------
         self._period_awake: tuple[tuple[int, ...], ...] | None = None
@@ -122,6 +150,19 @@ class KernelEngine:
             getattr(ctrl, "static_wake_schedule", False) for ctrl in self.controllers
         ):
             self._period_awake = schedule.periodic_awake_sets()
+        # -- negotiation: schedule-backed windowed view ------------------------
+        self._scheduled_view = False
+        if (
+            self._period_awake is not None
+            and self._observe_view
+            and self._window is not None
+        ):
+            prefix = schedule.period_on_count_prefix()
+            if prefix is not None:
+                self.view = ScheduleBackedView(
+                    self.n, self._window, self._period_awake, prefix
+                )
+                self._scheduled_view = True
         if self._period_awake is not None:
             # Precompute the per-period awake-count series.  When the cap
             # can never be exceeded (or there is none) the per-round
@@ -196,6 +237,16 @@ class KernelEngine:
         """True unless the adversary declared itself oblivious."""
         return self._observe_view
 
+    @property
+    def uses_planned_injections(self) -> bool:
+        """True when injections are consumed from chunked plans."""
+        return self._planned_injections
+
+    @property
+    def uses_batched_view(self) -> bool:
+        """True when the adversary view is schedule-backed (batched)."""
+        return self._scheduled_view
+
     # -- main loop ------------------------------------------------------------
     def run(self, rounds: int) -> None:
         """Simulate ``rounds`` further rounds.
@@ -220,6 +271,19 @@ class KernelEngine:
         incremental = self._incremental_metrics
         heard_only_polls = self._heard_only_polls
         observe_view = self._observe_view
+        scheduled_view = self._scheduled_view
+        observe_scheduled = view.observe_scheduled if scheduled_view else None
+        planned = self._planned_injections
+        chunk = config.plan_chunk
+        plan_injections = adversary.plan_injections if planned else None
+        # An unbound adversary has no factory; the first plan_injections
+        # call raises the same RuntimeError inject() would, before this
+        # None could be used.
+        factory_make = (
+            adversary.factory.make
+            if planned and adversary.factory is not None
+            else None
+        )
         checked_messages = (
             config.check_plain_packet or config.max_control_bits is not None
         )
@@ -263,25 +327,86 @@ class KernelEngine:
                 np.arange(start, start + rounds, dtype=np.int64) % period_len
             ].tolist()
 
+        # Chunked machinery: injection plans are fetched (and the
+        # schedule-backed view's history ring refreshed) every ``chunk``
+        # rounds.  ``next_chunk`` is the first round of the next chunk.
+        end = self.round_no + rounds
+        next_chunk = self.round_no
+        no_injections: tuple = ()
+        plan_offsets: list[int] = []
+        plan_sources: list[int] = []
+        plan_destinations: list[int] = []
+        plan_base = 0
+        if planned and self._plan_state is not None:
+            # A previous run aborted mid-chunk: replay the cached plan
+            # remainder instead of re-planning rounds whose budget the
+            # adversary has already consumed.
+            base, stop, offsets, sources, destinations = self._plan_state
+            if base <= self.round_no < stop:
+                plan_base, plan_offsets = base, offsets
+                plan_sources, plan_destinations = sources, destinations
+                next_chunk = stop
+            else:
+                self._plan_state = None
+
         try:
-            for t in range(self.round_no, self.round_no + rounds):
+            for t in range(self.round_no, end):
                 # 1. Adversarial injections (stations receive packets even
-                #    when off).
-                if observe_view:
-                    view.round_no = t
-                injections = inject(t, view)
-                for station, packet in injections:
-                    if not 0 <= station < n:
-                        raise ValueError(
-                            f"adversary injected into unknown station {station}"
+                #    when off).  Planning adversaries are consumed as
+                #    chunked array slices; everyone else through the
+                #    per-round inject() fallback.
+                if planned:
+                    if t == next_chunk:
+                        plan = plan_injections(t, min(t + chunk, end))
+                        plan.validate(n)
+                        plan_offsets = plan.offsets
+                        plan_sources = plan.sources
+                        plan_destinations = plan.destinations
+                        plan_base = t
+                        next_chunk = plan.stop
+                        self._plan_state = (
+                            plan_base,
+                            next_chunk,
+                            plan_offsets,
+                            plan_sources,
+                            plan_destinations,
                         )
-                    if not 0 <= packet.destination < n:
-                        raise ValueError(
-                            "adversary created packet with unknown destination "
-                            f"{packet.destination}"
-                        )
-                    inject_into[station](t, packet)
-                    record_injection(packet, t)
+                    rel = t - plan_base
+                    lo = plan_offsets[rel]
+                    hi = plan_offsets[rel + 1]
+                    if lo == hi:
+                        injections = no_injections
+                    else:
+                        injections = []
+                        for j in range(lo, hi):
+                            station = plan_sources[j]
+                            packet = factory_make(
+                                destination=plan_destinations[j],
+                                injected_at=t,
+                                origin=station,
+                            )
+                            inject_into[station](t, packet)
+                            record_injection(packet, t)
+                            injections.append((station, packet))
+                else:
+                    if observe_view:
+                        view.round_no = t
+                        if scheduled_view and t == next_chunk:
+                            view.flush_window()
+                            next_chunk = t + chunk
+                    injections = inject(t, view)
+                    for station, packet in injections:
+                        if not 0 <= station < n:
+                            raise ValueError(
+                                f"adversary injected into unknown station {station}"
+                            )
+                        if not 0 <= packet.destination < n:
+                            raise ValueError(
+                                "adversary created packet with unknown destination "
+                                f"{packet.destination}"
+                            )
+                        inject_into[station](t, packet)
+                        record_injection(packet, t)
 
                 # 2. On/off decisions and energy accounting.
                 if period is not None:
@@ -408,17 +533,38 @@ class KernelEngine:
                         energy_series.append(awake_count)
                 rounds_done += 1
 
-                # 8. Adversary view update (skipped for oblivious adversaries).
+                # 8. Adversary view update (skipped for oblivious
+                #    adversaries; O(1) on the schedule-backed path, where
+                #    awake-derived state comes from the period series and
+                #    the live size list is aliased rather than copied).
                 if observe_view:
-                    view.observe_round(
-                        awake, outcome, list(queue_sizes), collector.delivered_count
-                    )
+                    if scheduled_view:
+                        observe_scheduled(
+                            outcome, queue_sizes, collector.delivered_count
+                        )
+                    else:
+                        view.observe_round(
+                            awake, outcome, list(queue_sizes), collector.delivered_count
+                        )
         finally:
             # Reconcile the aggregate counters with the rounds actually
             # completed (exceptions included).
             self.round_no += rounds_done
             self._queue_sizes = queue_sizes
             self._total_queue = total_queue
+            if (
+                planned
+                and self._plan_state is not None
+                and self.round_no >= self._plan_state[1]
+            ):
+                # The cached plan is fully consumed; only aborted runs
+                # leave a remainder for the next run() to replay.
+                self._plan_state = None
+            if scheduled_view:
+                # Bring the lazily maintained history ring current so
+                # post-run inspection sees the same window the
+                # incremental path would have left behind.
+                view.flush_window()
             if counts_list is not None:
                 # Flush the precomputed awake-count series: the energy
                 # monitor up to the last round that reached step 2, the

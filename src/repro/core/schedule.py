@@ -29,6 +29,8 @@ from __future__ import annotations
 import abc
 from typing import TYPE_CHECKING, Sequence
 
+import numpy as np
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..channel.station import StationController
 
@@ -110,6 +112,30 @@ class ObliviousSchedule(abc.ABC):
         round-by-round wake-up calls.
         """
         return None
+
+    def period_on_count_prefix(self) -> "np.ndarray | None":
+        """Per-station on-count prefix sums over one period, if periodic.
+
+        Row ``p`` of the returned ``(period_length + 1, n)`` int64 array
+        holds, for every station, the number of on-rounds among the first
+        ``p`` rounds of the period (row 0 is all zeros, the last row the
+        full-period totals).  This is the per-period series behind the
+        kernel engine's batched windowed-view maintenance: a station's
+        exact on-count after ``f`` full periods plus ``p`` rounds is
+        ``f * prefix[-1] + prefix[p]``, so the view advances its counts
+        once per period instead of once per awake station per round.
+        Schedules without a finite period return ``None``.
+        """
+        period = self.periodic_awake_sets()
+        if period is None:
+            return None
+        prefix = np.zeros((len(period) + 1, self.n), dtype=np.int64)
+        for t, awake in enumerate(period):
+            row = prefix[t + 1]
+            row[:] = prefix[t]
+            if awake:
+                row[list(awake)] += 1
+        return prefix
 
     def max_awake(self, horizon: int) -> int:
         """Maximum simultaneously-awake stations over ``[0, horizon)``."""

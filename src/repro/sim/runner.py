@@ -69,6 +69,7 @@ def run_simulation(
     label: str | None = None,
     engine: str = "auto",
     full_history: bool = False,
+    plan_chunk: int | None = None,
 ) -> RunResult:
     """Simulate ``rounds`` rounds of ``algorithm`` against ``adversary``.
 
@@ -102,6 +103,11 @@ def run_simulation(
     full_history:
         Keep the unbounded adversary view regardless of the adversary's
         declared observation profile.
+    plan_chunk:
+        Batching granularity (in rounds) of the kernel loop's injection
+        plans and windowed-view ring refreshes; ``None`` keeps the
+        engine default.  An execution-strategy knob — results are
+        bit-identical for every value.
     """
     if rounds < 1:
         raise ValueError("rounds must be positive")
@@ -114,11 +120,13 @@ def run_simulation(
         )
     collector = MetricsCollector()
     cap = energy_cap if energy_cap is not None else algorithm.energy_cap
+    config_kwargs = {} if plan_chunk is None else {"plan_chunk": plan_chunk}
     config = EngineConfig(
         energy_cap=cap,
         enforce_energy_cap=enforce_energy_cap,
         record_trace=record_trace,
         full_history=full_history,
+        **config_kwargs,
     )
     kind = resolve_engine(engine, record_trace)
     if kind == "kernel":

@@ -230,6 +230,13 @@ class RunSpec:
     #: from :meth:`to_dict`/:meth:`spec_hash` and a cached result is valid
     #: whichever engine computed it.
     engine: str = "auto"
+    #: Kernel batching granularity in rounds (``None`` = engine default):
+    #: how many rounds one ``plan_injections`` call materialises and how
+    #: often the schedule-backed view's history ring is refreshed.  Like
+    #: ``engine`` this is an execution strategy — results are
+    #: bit-identical for every value (property-tested) — so it is
+    #: excluded from the spec's identity and hash.
+    plan_chunk: int | None = None
 
     def __post_init__(self) -> None:
         if self.rounds < 1:
@@ -238,6 +245,8 @@ class RunSpec:
             raise ValueError(
                 f"unknown engine {self.engine!r}; expected one of {ENGINE_KINDS}"
             )
+        if self.plan_chunk is not None and self.plan_chunk < 1:
+            raise ValueError("plan_chunk must be at least 1 round")
         # Fail fast on unknown keys, at the construction site rather than
         # later inside a worker process.
         adversary_entry(self.adversary)
@@ -280,6 +289,7 @@ class RunSpec:
             record_trace=bool(data.get("record_trace", False)),
             label=data.get("label"),
             engine=str(data.get("engine", "auto")),
+            plan_chunk=data.get("plan_chunk"),
         )
 
     @classmethod
@@ -399,6 +409,7 @@ def execute_spec(spec: RunSpec | Mapping[str, Any]) -> RunResult:
         record_trace=spec.record_trace,
         label=spec.label,
         engine=spec.engine,
+        plan_chunk=spec.plan_chunk,
     )
 
 

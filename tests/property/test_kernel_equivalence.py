@@ -124,6 +124,10 @@ def test_kernel_matches_reference_summaries(pair):
         # Several full Count-Hop phases and Orchestra baton rotations.
         ("count-hop", {"n": 5}, 2000),
         ("orchestra", {"n": 5}, 2000),
+        # 40 k-Subsets phases (gamma = C(6,3) = 20): the shared phase
+        # clock's ticked tier must reassign packets at every boundary
+        # exactly as the legacy stateful per-station wakes() did.
+        ("k-subsets", {"n": 6, "k": 3}, 800),
     ],
 )
 def test_ticked_algorithms_match_reference_across_stage_boundaries(
@@ -145,6 +149,65 @@ def test_ticked_algorithms_match_reference_across_stage_boundaries(
     )
     assert kernel.collector.energy_series == reference.collector.energy_series
     assert kernel.collector.delays == reference.collector.delays
+
+
+@pytest.mark.parametrize("plan_chunk", [1, 7, 64, 4096])
+@pytest.mark.parametrize(
+    "adversary, adversary_params",
+    [
+        ("spray", {"rho": 0.3, "beta": 2.0}),
+        ("bursty", {"rho": 0.4, "beta": 4.0}),
+        ("random", {"rho": 0.5, "beta": 2.0, "seed": 13}),
+    ],
+)
+def test_planned_injection_chunk_boundaries_match_reference(
+    adversary, adversary_params, plan_chunk
+):
+    """Batched-injection runs are bit-identical to the reference loop for
+    every chunking granularity, including degenerate one-round plans and
+    chunks that straddle the horizon."""
+    common = dict(
+        algorithm="k-cycle",
+        algorithm_params={"n": 8, "k": 3},
+        adversary=adversary,
+        adversary_params=adversary_params,
+        rounds=333,
+        enforce_energy_cap=False,
+    )
+    kernel = execute_spec(
+        RunSpec(engine="kernel", plan_chunk=plan_chunk, **common)
+    )
+    reference = execute_spec(RunSpec(engine="reference", **common))
+    assert kernel.summary.as_dict() == reference.summary.as_dict()
+    kc, rc = kernel.collector, reference.collector
+    assert kc.total_queue_series == rc.total_queue_series
+    assert kc.energy_series == rc.energy_series
+    assert kc.delays == rc.delays
+    assert sorted(kc.records) == sorted(rc.records)
+
+
+@pytest.mark.parametrize("plan_chunk", [1, 13, 4096])
+def test_batched_windowed_view_chunk_boundaries_match_reference(plan_chunk):
+    """The schedule-backed view path (windowed adversary on the static
+    schedule tier) is bit-identical to the reference loop at every ring
+    flush cadence."""
+    common = dict(
+        algorithm="k-cycle",
+        algorithm_params={"n": 12, "k": 4},
+        adversary="adaptive-starvation",
+        adversary_params={"rho": 0.3, "beta": 2.0},
+        rounds=400,
+        enforce_energy_cap=False,
+    )
+    kernel = execute_spec(
+        RunSpec(engine="kernel", plan_chunk=plan_chunk, **common)
+    )
+    reference = execute_spec(RunSpec(engine="reference", **common))
+    assert kernel.summary.as_dict() == reference.summary.as_dict()
+    kc, rc = kernel.collector, reference.collector
+    assert kc.total_queue_series == rc.total_queue_series
+    assert kc.delays == rc.delays
+    assert sorted(kc.records) == sorted(rc.records)
 
 
 def test_kernel_rejects_trace_recording():

@@ -1,7 +1,7 @@
 """Property tests for the tick-split wake protocol.
 
-The three state-machine algorithms (Count-Hop, Orchestra, Adjust-Window)
-now advance their stage structure in a shared
+The four state-machine algorithms (Count-Hop, Orchestra, Adjust-Window,
+k-Subsets) now advance their stage/phase structure in a shared
 :class:`~repro.core.schedule.WakeOracle`: ``tick(t)`` is the explicit
 per-round state transition and ``wakes(t)`` a pure query afterwards.
 These tests pin the protocol contract:
@@ -38,6 +38,8 @@ ALGORITHMS = [
     ("orchestra", {"n": 8}),
     ("adjust-window", {"n": 3}),
     ("adjust-window", {"n": 4}),
+    ("k-subsets", {"n": 5, "k": 2}),
+    ("k-subsets", {"n": 6, "k": 3}),
 ]
 
 ADVERSARIES = {
@@ -164,15 +166,12 @@ def test_kernel_negotiates_ticked_tier(algorithm_key, algorithm_params):
     assert engine.collector.rounds_observed == 150
 
 
-@pytest.mark.parametrize(
-    "algorithm_key, algorithm_params",
-    [("k-cycle", {"n": 9, "k": 3}), ("k-subsets", {"n": 6, "k": 3})],
-)
-def test_non_ticked_algorithms_do_not_negotiate_the_tier(
-    algorithm_key, algorithm_params
-):
+def test_schedule_published_algorithms_use_the_static_tier_instead():
+    """k-Cycle declares a static schedule, so the kernel never needs the
+    ticked tier for it; with k-Subsets migrated, no algorithm is left on
+    the per-station ``wakes()`` fallback."""
     algorithm, controllers, adversary = _build(
-        algorithm_key, algorithm_params, "spray", 0.2
+        "k-cycle", {"n": 9, "k": 3}, "spray", 0.2
     )
     engine = KernelEngine(
         controllers,
@@ -181,3 +180,26 @@ def test_non_ticked_algorithms_do_not_negotiate_the_tier(
         schedule=algorithm.oblivious_schedule(),
     )
     assert not engine.uses_ticked_wakes
+    assert engine.uses_schedule_fast_path
+
+
+@pytest.mark.parametrize(
+    "algorithm_params, rounds",
+    [
+        # gamma = C(5, 2) = 10: many phase boundaries, including several
+        # with packets pending reassignment.
+        ({"n": 5, "k": 2}, 400),
+        # gamma = C(6, 3) = 20 with a larger per-phase thread fan-out.
+        ({"n": 6, "k": 3}, 300),
+    ],
+)
+def test_k_subsets_batch_matches_legacy_across_phase_boundaries(
+    algorithm_params, rounds
+):
+    """Deterministic long drives over many k-Subsets phases: the shared
+    phase clock's batch awake set and post-tick pure ``wakes`` must equal
+    the legacy stateful per-station pass in every round."""
+    _, controllers, adversary = _build(
+        "k-subsets", algorithm_params, "round-robin", 0.6
+    )
+    _assert_batch_matches_legacy(controllers, adversary, rounds)

@@ -39,11 +39,80 @@ class TestNegotiation:
         assert engine.uses_incremental_metrics
 
     def test_no_schedule_fast_path_when_wakes_has_side_effects(self):
-        # k-Subsets publishes a schedule but its controllers advance a
-        # phase state machine inside wakes(), so they do not declare
-        # static_wake_schedule and the kernel must keep calling wakes().
+        # k-Subsets publishes a schedule but its wake protocol advances a
+        # phase state machine, so its controllers do not declare
+        # static_wake_schedule; the shared phase clock puts them on the
+        # ticked tier instead of the per-station fallback.
         engine = build_kernel(KSubsets(6, 3), SingleTargetAdversary(0.2, 1.0))
         assert not engine.uses_schedule_fast_path
+        assert engine.uses_ticked_wakes
+
+    def test_planned_injections_for_oblivious_adversaries(self):
+        engine = build_kernel(KCycle(9, 3), SingleTargetAdversary(0.2, 1.0))
+        assert engine.uses_planned_injections
+        engine.run(50)
+        assert engine.collector.injected_count > 0
+
+    def test_planned_injections_skipped_for_windowed_adversaries(self):
+        engine = build_kernel(KCycle(9, 3), AdaptiveStarvationAdversary(0.5, 1.0))
+        assert not engine.uses_planned_injections
+
+    def test_planned_injections_skipped_under_full_history_override(self):
+        # full_history forces an unbounded view; the conservative kernel
+        # keeps such runs on the checked per-round inject() path.
+        engine = build_kernel(
+            KCycle(9, 3), SingleTargetAdversary(0.2, 1.0), full_history=True
+        )
+        assert not engine.uses_planned_injections
+
+    def test_batched_view_for_windowed_adversary_on_schedule_path(self):
+        engine = build_kernel(KCycle(9, 3), AdaptiveStarvationAdversary(0.5, 1.0))
+        assert engine.uses_batched_view
+        assert engine.maintains_view
+
+    def test_batched_view_needs_the_static_schedule_tier(self):
+        # The ticked tier has no precomputed awake-count series to back
+        # the view, so windowed adversaries stay on incremental updates.
+        engine = build_kernel(CountHop(5), AdaptiveStarvationAdversary(0.5, 1.0))
+        assert not engine.uses_batched_view
+        assert engine.maintains_view
+
+    def test_batched_view_skipped_for_full_history(self):
+        engine = build_kernel(
+            KCycle(9, 3), AdaptiveStarvationAdversary(0.5, 1.0), full_history=True
+        )
+        assert not engine.uses_batched_view
+
+    def test_aborted_run_replays_the_cached_plan_remainder(self):
+        # A plan consumes the leaky-bucket budget for its whole chunk up
+        # front.  When an EnergyCapViolation aborts the run mid-chunk,
+        # resuming must replay the cached remainder — re-planning would
+        # start from the post-chunk budget state and inject the wrong
+        # packets for the rounds already materialised.
+        from repro.adversary import SingleSourceSprayAdversary
+
+        algorithm = CountHop(5)
+        adversary = SingleSourceSprayAdversary(0.9, 2.0)
+        adversary.bind(algorithm.n, PacketFactory())
+        engine = KernelEngine(
+            algorithm.build_controllers(),
+            adversary,
+            MetricsCollector(),
+            EngineConfig(energy_cap=1, enforce_energy_cap=True),
+            schedule=algorithm.oblivious_schedule(),
+        )
+        assert engine.uses_planned_injections
+        with pytest.raises(EnergyCapViolation):
+            engine.run(400)
+        consumed = adversary.constraint.total_injected
+        injected = engine.collector.injected_count
+        assert consumed > injected  # chunk materialised past the abort
+        with pytest.raises(EnergyCapViolation):
+            engine.run(400)
+        # The retry re-injects only the failing round's planned packets —
+        # no second chunk is planned, so the adversary state is untouched.
+        assert adversary.constraint.total_injected == consumed
+        assert engine.collector.injected_count > injected
 
     def test_no_schedule_fast_path_without_published_schedule(self):
         engine = build_kernel(Orchestra(6), SingleTargetAdversary(0.2, 1.0))

@@ -55,6 +55,19 @@ class TestRunSpec:
         assert base.spec_hash() != _spec(record_trace=True).spec_hash()
         assert base.spec_hash() != _spec(adversary="spray").spec_hash()
 
+    def test_execution_strategy_knobs_do_not_change_identity(self):
+        # engine and plan_chunk choose *how* a run executes, not what it
+        # computes (results are bit-identical, property-tested), so a
+        # cached result is valid for any combination.
+        base = _spec()
+        assert base.spec_hash() == _spec(engine="reference").spec_hash()
+        assert base.spec_hash() == _spec(plan_chunk=7).spec_hash()
+        assert base == _spec(plan_chunk=7)
+
+    def test_plan_chunk_validated(self):
+        with pytest.raises(ValueError, match="plan_chunk"):
+            _spec(plan_chunk=0)
+
     def test_rejects_unknown_adversary_and_bad_rounds(self):
         with pytest.raises(KeyError, match="unknown adversary"):
             _spec(adversary="nope")
