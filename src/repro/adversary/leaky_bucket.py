@@ -137,6 +137,42 @@ class LeakyBucketConstraint:
         slack = min(self._slack + rounds * self._rho, self._cap)
         return max(0, math.floor(slack + 1e-9))
 
+    def consume_demands(self, demands) -> list[int]:
+        """Clip a per-round demand sequence to the envelope and consume it.
+
+        Equivalent to, for each round, ``budget()`` followed by
+        ``consume(min(demand, budget))`` — exactly the clipping the
+        per-round ``inject()`` path applies to an over-demanding
+        adversary — in one call.  The float recurrence is evaluated in
+        the same operation order as :meth:`consume`, so a run clipped
+        here is bit-identical to the same demands tracked round by
+        round.  This is the batch half of the versioned RNG protocol:
+        the stochastic families draw raw per-round demand counts in one
+        vectorised sweep and clip them against the bucket here.
+
+        Returns the realised per-round injection counts.
+        """
+        counts = [0] * len(demands)
+        slack = self._slack
+        rho = self._rho
+        cap = self._cap
+        total = 0
+        for r, demand in enumerate(demands):
+            if demand:
+                allowed = math.floor(slack + 1e-9)
+                if allowed > 0:
+                    take = demand if demand < allowed else allowed
+                    counts[r] = take
+                    total += take
+                    slack = slack - take
+            slack = slack + rho
+            if slack > cap:
+                slack = cap
+        self._slack = slack
+        self._round += len(demands)
+        self.total_injected += total
+        return counts
+
     def consume_run(self, rounds: int, active=None) -> list[int]:
         """Consume the full per-round budget for the next ``rounds`` rounds.
 

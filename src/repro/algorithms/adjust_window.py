@@ -224,7 +224,16 @@ class _AdjustWindowClock(WakeOracle):
 
 
 class _AdjustWindowController(TickedQueueingController):
-    """Per-station controller of Adjust-Window."""
+    """Per-station controller of Adjust-Window.
+
+    Quiescence holdout: ``silence_invariant`` stays False because silent
+    rounds carry information here — a Gossip listener notes a 0-bit into
+    the :class:`_GossipRecord` of any station that announced itself large
+    earlier in the window, and the Main-stage wake pattern follows from
+    window-start queue snapshots.  A span whose queues drained to zero
+    mid-window therefore still mutates history-dependent state on
+    silence, which no round-window arithmetic can reproduce.
+    """
 
     def __init__(self, station_id: int, n: int, clock: _AdjustWindowClock) -> None:
         super().__init__(station_id, n, clock)

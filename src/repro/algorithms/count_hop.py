@@ -159,6 +159,11 @@ class _CountHopController(TickedQueueingController):
     The stage state machine is shared (:class:`_CountHopClock`); each
     station privately tracks only what it derives from its own queue and
     the Assign message addressed to it.
+
+    Quiescence holdout: ``silence_invariant`` stays False because the
+    coordinator *beacons* — it transmits an Assign control message in
+    every Assign-substage round even when no station holds a packet, so
+    an idle stretch is not a run of silent rounds and cannot be elided.
     """
 
     def __init__(self, station_id: int, n: int, clock: _CountHopClock) -> None:

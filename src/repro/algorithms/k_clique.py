@@ -28,7 +28,7 @@ from ..channel.feedback import Feedback
 from ..core.algorithm import AlgorithmProperties, RoutingAlgorithm
 from ..core.controller import QueueingController
 from ..core.registry import register_algorithm
-from ..core.schedule import PeriodicSchedule
+from ..core.schedule import PeriodicSchedule, rounds_in_congruence_class
 from ..protocols.token_ring import TokenRingReplica
 
 __all__ = ["KClique", "half_groups", "clique_pairs"]
@@ -74,6 +74,11 @@ class _KCliqueController(QueueingController):
     # algorithm's PeriodicSchedule), so the kernel may batch awake sets.
     static_wake_schedule = True
 
+    # Holding no packets the token holder withholds, and a silent round
+    # only advances the active pair's token: quiescent spans fast-forward
+    # with one congruence count per pair membership.
+    silence_invariant = True
+
     def __init__(self, station_id: int, n: int, pairs: list[list[int]]) -> None:
         super().__init__(station_id, n)
         self.pairs = pairs
@@ -107,6 +112,15 @@ class _KCliqueController(QueueingController):
         replica = self.replicas.get(pair)
         if replica is not None:
             replica.observe(feedback.outcome)
+
+    def advance_silent_span(self, start: int, stop: int) -> None:
+        # This station observes exactly the silent rounds in which one of
+        # its pairs is active (pair ``p`` is active when t % num_pairs ==
+        # p); each such round advances that pair's token.
+        for p in self.my_pairs:
+            rounds = rounds_in_congruence_class(start, stop, self.num_pairs, p)
+            if rounds:
+                self.replicas[p].advance_silence(rounds)
 
 
 @register_algorithm("k-clique")

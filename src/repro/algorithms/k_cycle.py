@@ -78,6 +78,12 @@ class _KCycleController(QueueingController):
     # algorithm's PeriodicSchedule), so the kernel may batch awake sets.
     static_wake_schedule = True
 
+    # Holding no packets the token holder withholds, and a silent round
+    # only advances the active group's token (phase-end aging is a no-op
+    # on an empty queue): quiescent spans fast-forward with one modular
+    # count per group membership.
+    silence_invariant = True
+
     def __init__(
         self,
         station_id: int,
@@ -176,6 +182,30 @@ class _KCycleController(QueueingController):
         if self.station_id == self.forward_connector[group]:
             # The packet leaves the group: we are its relay.
             self.adopt(packet)
+
+    def advance_silent_span(self, start: int, stop: int) -> None:
+        # This station observes exactly the silent rounds in which one of
+        # its groups is active; each such round advances that group's
+        # token.  Rounds are grouped into blocks of ``delta`` and block
+        # ``b`` activates group ``b % num_groups``, so the number of
+        # active rounds per group over [start, stop) is closed-form.
+        delta = self.delta
+        super_period = delta * self.num_groups
+        for g in self.my_groups:
+            offset = g * delta
+
+            def active_upto(limit: int) -> int:
+                full, rest = divmod(limit, super_period)
+                partial = rest - offset
+                if partial < 0:
+                    partial = 0
+                elif partial > delta:
+                    partial = delta
+                return full * delta + partial
+
+            rounds = active_upto(stop) - active_upto(start)
+            if rounds:
+                self.replicas[g].advance_silence(rounds)
 
     def after_feedback(self, round_no: int, feedback: Feedback) -> None:
         if feedback.outcome is not ChannelOutcome.SILENCE:

@@ -39,13 +39,15 @@ import itertools
 import math
 from collections import deque
 
+import numpy as np
+
 from ..channel.feedback import Feedback
 from ..channel.message import Message
 from ..channel.packet import Packet
 from ..channel.station import StationController
 from ..core.algorithm import AlgorithmProperties, RoutingAlgorithm
 from ..core.registry import register_algorithm
-from ..core.schedule import PeriodicSchedule, WakeOracle
+from ..core.schedule import PeriodicSchedule, WakeOracle, rounds_in_congruence_class
 from ..protocols.token_ring import MoveBigToFrontReplica
 
 __all__ = ["KSubsets"]
@@ -84,6 +86,23 @@ class _KSubsetsClock(WakeOracle):
     def awake_stations(self, round_no: int) -> tuple[int, ...]:
         return self.subsets[round_no % self.gamma]
 
+    # -- quiescent-span protocol -----------------------------------------
+    def advance_span(self, start: int, stop: int) -> None:
+        # With every queue (and every ``_unassigned`` buffer) empty, the
+        # phase-boundary reassignments inside the span are no-ops, so the
+        # clock jumps straight to the last ticked phase.  Controllers'
+        # private ``_last_phase_processed`` may lag; the guard in
+        # ``_process_phase_boundary`` makes that harmless (the skipped
+        # boundaries had nothing to reassign).
+        if stop > start:
+            phase = (stop - 1) // self.gamma
+            if phase > self._last_phase:
+                self._last_phase = phase
+
+    def quiescent_awake_counts(self, start: int, stop: int) -> np.ndarray:
+        # Every round wakes exactly one k-subset.
+        return np.full(stop - start, len(self.subsets[0]), dtype=np.int64)
+
 
 class _KSubsetsController(StationController):
     """Per-station controller of k-Subsets.
@@ -98,6 +117,12 @@ class _KSubsetsController(StationController):
     queue_changes_on_heard_only = True
 
     ticked_wakes = True
+
+    # Holding no packets the thread's MBTF holder withholds, a silent
+    # round only advances that thread's token, and phase-boundary
+    # reassignment of an empty queue is a no-op: quiescent spans
+    # fast-forward with one congruence count per thread membership.
+    silence_invariant = True
 
     def __init__(
         self,
@@ -205,6 +230,15 @@ class _KSubsetsController(StationController):
         replica = self.replicas.get(thread)
         if replica is not None:
             replica.observe(feedback.outcome, feedback.message)
+
+    def advance_silent_span(self, start: int, stop: int) -> None:
+        # This station observes exactly the silent rounds of its own
+        # threads (thread ``i`` runs in rounds t % gamma == i); each such
+        # round advances that thread's MBTF token.
+        for thread in self.my_threads:
+            rounds = rounds_in_congruence_class(start, stop, self.gamma, thread)
+            if rounds:
+                self.replicas[thread].advance_silence(rounds)
 
     def on_inject(self, round_no: int, packet: Packet) -> None:
         self._unassigned.append(packet)

@@ -104,7 +104,13 @@ class _OrchestraClock(WakeOracle):
 
 
 class _OrchestraController(TickedQueueingController):
-    """Per-station controller of Orchestra."""
+    """Per-station controller of Orchestra.
+
+    Quiescence holdout: ``silence_invariant`` stays False because the
+    conductor transmits its teach/big control message in *every* round
+    of its season, packets or not — an idle Orchestra execution has no
+    silent rounds at all, so there is never a quiescent span to elide.
+    """
 
     def __init__(self, station_id: int, n: int, clock: _OrchestraClock) -> None:
         super().__init__(station_id, n, clock)

@@ -294,6 +294,14 @@ class EngineConfig:
     bit-identical for every value (property-tested) — exposed for tuning
     and for tests that want many chunk boundaries.  Ignored by the
     reference loop.
+
+    ``quiescence_skip`` enables the kernel loop's quiescent-span fast
+    path: when every controller declares ``silence_invariant`` and all
+    queues are empty, whole injection-free spans are elided in one step.
+    Another execution-strategy knob — results are bit-identical either
+    way (property-tested); switching it off recovers the strictly
+    per-round kernel loop for comparison benchmarks.  Ignored by the
+    reference loop.
     """
 
     energy_cap: int | None = None
@@ -303,6 +311,7 @@ class EngineConfig:
     max_control_bits: int | None = None
     full_history: bool = False
     plan_chunk: int = DEFAULT_PLAN_CHUNK
+    quiescence_skip: bool = True
 
     def __post_init__(self) -> None:
         if self.plan_chunk < 1:

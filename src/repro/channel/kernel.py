@@ -36,6 +36,18 @@ actually need:
   ``queue_metrics_incremental``, only stations that were awake or received
   an injection are re-polled for their queue size; everyone else is known
   unchanged.
+* **Quiescence skipping** — when every controller declares
+  ``silence_invariant`` (holding no packets, an awake station never
+  transmits, and silent rounds only advance clock-like state) and the
+  adversary plans its injections, a run whose total queue hits zero
+  consults the current :class:`~repro.adversary.base.InjectionPlan` chunk
+  for the next injection round and elides the whole silent span in one
+  step: controllers fast-forward via ``advance_silent_span``, a shared
+  :class:`~repro.core.schedule.WakeOracle` via ``advance_span``, and the
+  span's SILENCE outcomes, energy counts and flat queue series are
+  flushed as batch appends.  In the paper's regime of interest (injection
+  rate ρ < 1) most rounds of a stable execution are quiescent, so this is
+  what moves low-rate runs from O(rounds) toward O(busy rounds).
 
 Per-round :class:`~repro.channel.feedback.Feedback` allocation is
 eliminated through a :class:`~repro.channel.feedback.FeedbackPool`:
@@ -52,6 +64,7 @@ reference loop is the oracle.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
@@ -203,6 +216,27 @@ class KernelEngine:
         if self._incremental_metrics:
             self.collector.begin_stations(self.n)
 
+        # -- negotiation: quiescence skipping ----------------------------------
+        # Eliding a span requires knowing, without running the adversary,
+        # that no injection falls inside it (planned injections), that no
+        # controller state beyond what advance_silent_span reproduces can
+        # change (silence_invariant everywhere), that queue metrics stay
+        # flat without polling (incremental), and a tier that can supply
+        # the span's awake counts in batch (cap-safe static schedule or a
+        # wake oracle answering quiescent_awake_counts).
+        self._silence_capable = (
+            self.config.quiescence_skip
+            and self._planned_injections
+            and self._incremental_metrics
+            and (self._period_counts is not None or self._wake_oracle is not None)
+            and all(
+                getattr(ctrl, "silence_invariant", False)
+                for ctrl in self.controllers
+            )
+        )
+        #: Quiescent rounds elided by the span fast path (introspection).
+        self.quiescent_rounds_elided = 0
+
         # Pre-bound per-station methods: the hot loop touches only awake
         # stations, and a plain list indexing beats repeated attribute
         # lookups on the controller objects.
@@ -246,6 +280,11 @@ class KernelEngine:
     def uses_batched_view(self) -> bool:
         """True when the adversary view is schedule-backed (batched)."""
         return self._scheduled_view
+
+    @property
+    def uses_quiescence_skipping(self) -> bool:
+        """True when injection-free all-queues-empty spans are elided."""
+        return self._silence_capable
 
     # -- main loop ------------------------------------------------------------
     def run(self, rounds: int) -> None:
@@ -296,6 +335,14 @@ class KernelEngine:
         inject_into = self._inject_into
         record_injection = collector.record_injection
         inject = adversary.inject
+        silence_capable = self._silence_capable
+        advance_silent = (
+            [ctrl.advance_silent_span for ctrl in controllers]
+            if silence_capable
+            else ()
+        )
+        record_queue_span = collector.record_queue_span
+        observe_span = energy.observe_span
         pool = self._feedback_pool
         pool_heard = pool.heard
         silence_feedback = pool.silence()
@@ -337,6 +384,11 @@ class KernelEngine:
         plan_sources: list[int] = []
         plan_destinations: list[int] = []
         plan_base = 0
+        # Ascending rounds of the current chunk that carry injections,
+        # derived lazily from the plan offsets on the first quiescent-span
+        # probe of each chunk (including a chunk replayed from
+        # ``_plan_state``).
+        plan_nonzero: list[int] | None = None
         if planned and self._plan_state is not None:
             # A previous run aborted mid-chunk: replay the cached plan
             # remainder instead of re-planning rounds whose budget the
@@ -350,7 +402,8 @@ class KernelEngine:
                 self._plan_state = None
 
         try:
-            for t in range(self.round_no, end):
+            t = self.round_no
+            while t < end:
                 # 1. Adversarial injections (stations receive packets even
                 #    when off).  Planning adversaries are consumed as
                 #    chunked array slices; everyone else through the
@@ -364,6 +417,7 @@ class KernelEngine:
                         plan_destinations = plan.destinations
                         plan_base = t
                         next_chunk = plan.stop
+                        plan_nonzero = None
                         self._plan_state = (
                             plan_base,
                             next_chunk,
@@ -371,6 +425,63 @@ class KernelEngine:
                             plan_sources,
                             plan_destinations,
                         )
+                    if silence_capable and total_queue == 0:
+                        # -- quiescent-span fast path: with every queue
+                        # empty and the silence invariant declared, all
+                        # rounds up to the chunk's next injection are
+                        # silent and state-predictable — elide them in
+                        # one step instead of looping.
+                        if plan_nonzero is None:
+                            offs = np.asarray(plan_offsets, dtype=np.int64)
+                            plan_nonzero = (
+                                np.flatnonzero(offs[1:] > offs[:-1]) + plan_base
+                            ).tolist()
+                        pos = bisect_left(plan_nonzero, t)
+                        next_injection = (
+                            plan_nonzero[pos]
+                            if pos < len(plan_nonzero)
+                            else next_chunk
+                        )
+                        span_end = next_injection if next_injection < end else end
+                        span_counts: np.ndarray | None = None
+                        if span_end > t:
+                            if counts_list is not None:
+                                # Static tier: per-round counts flush from
+                                # the precomputed (cap-safe) series in the
+                                # finally block.
+                                eligible = True
+                            else:
+                                span_counts = oracle.quiescent_awake_counts(
+                                    t, span_end
+                                )
+                                eligible = span_counts is not None and (
+                                    cap is None or int(span_counts.max()) <= cap
+                                )
+                                if not eligible:
+                                    # Sticky rejection: the counts are a
+                                    # pure function of the round window,
+                                    # so re-probing every quiescent round
+                                    # would rebuild O(span) arrays without
+                                    # ever succeeding.
+                                    silence_capable = False
+                                    self._silence_capable = False
+                            if eligible:
+                                span = span_end - t
+                                for advance in advance_silent:
+                                    advance(t, span_end)
+                                if counts_list is not None:
+                                    energized += span
+                                else:
+                                    oracle.advance_span(t, span_end)
+                                    span_ints = span_counts.tolist()
+                                    observe_span(span_ints)
+                                    energy_series.extend(span_ints)
+                                record_queue_span(total_queue, span)
+                                n_silence += span
+                                rounds_done += span
+                                self.quiescent_rounds_elided += span
+                                t = span_end
+                                continue
                     rel = t - plan_base
                     lo = plan_offsets[rel]
                     hi = plan_offsets[rel + 1]
@@ -546,6 +657,7 @@ class KernelEngine:
                         view.observe_round(
                             awake, outcome, list(queue_sizes), collector.delivered_count
                         )
+                t += 1
         finally:
             # Reconcile the aggregate counters with the rounds actually
             # completed (exceptions included).

@@ -91,6 +91,36 @@ class StationController(abc.ABC):
     #: controllers declaring :attr:`ticked_wakes`; ``None`` otherwise.
     wake_oracle = None
 
+    #: Capability flag read by the kernel engine (the *quiescence* axis):
+    #: when True, this controller guarantees the **silence invariant** —
+    #: while it holds no packets it never transmits, and the state it
+    #: mutates during a stretch of silent rounds in which *every*
+    #: station's queue is empty (token positions, phase counters) is a
+    #: pure function of the stretch's round window, reproducible by one
+    #: :meth:`advance_silent_span` call.  The kernel may then elide whole
+    #: quiescent spans (all queues empty, no injection planned) in one
+    #: step instead of driving wakes/act/on_feedback round by round.
+    #: Controllers that transmit control messages while idle (Count-Hop's
+    #: coordinator, Orchestra's conductor — their idle rounds are not
+    #: even silent) or whose silent-round bookkeeping depends on queue
+    #: history (Adjust-Window's gossip records) must leave this False.
+    silence_invariant: bool = False
+
+    def advance_silent_span(self, start: int, stop: int) -> None:
+        """Fast-forward this controller across the silent span ``[start, stop)``.
+
+        Called by the kernel engine only when :attr:`silence_invariant`
+        is declared and every station's queue was empty for the whole
+        span, so every round in it had channel outcome SILENCE and no
+        station transmitted.  The implementation must leave the
+        controller in exactly the state that per-round driving — a
+        ``wakes(t)`` / ``act(t)`` / ``on_feedback(t, SILENCE)`` sequence
+        for each of its awake rounds in the span — would have.  The
+        default is a no-op, correct only for controllers with no
+        silence-driven state.
+        """
+
+
     def __init__(self, station_id: int, n: int) -> None:
         if not 0 <= station_id < n:
             raise ValueError(f"station_id {station_id} out of range for n={n}")

@@ -7,7 +7,11 @@ FIFO queue with an aging epoch: packets are enqueued as new, and
 :meth:`age_all` promotes everything currently queued to old (typically
 called at a phase boundary).  The queue also provides the per-destination
 counting that Count-Hop, Adjust-Window and Orchestra need to build their
-schedules.
+schedules; those counts are maintained incrementally (one dict update per
+mutation), so :meth:`count_for` / :meth:`count_old_for` /
+:meth:`destinations` are O(1) / O(distinct destinations) instead of a
+scan over the whole queue — schedule building polls them once per
+(station, destination) pair per stage.
 """
 
 from __future__ import annotations
@@ -18,6 +22,19 @@ from typing import Callable, Iterable, Iterator
 from ..channel.packet import Packet
 
 __all__ = ["PacketQueue"]
+
+
+def _bump(table: dict[int, int], destination: int, delta: int) -> None:
+    """Adjust one destination's count, dropping zero entries.
+
+    Zero entries are removed so that iterating the table enumerates only
+    destinations with at least one live packet (:meth:`destinations`).
+    """
+    value = table.get(destination, 0) + delta
+    if value:
+        table[destination] = value
+    elif destination in table:
+        del table[destination]
 
 
 class PacketQueue:
@@ -31,54 +48,84 @@ class PacketQueue:
     def __init__(self) -> None:
         self._old: deque[Packet] = deque()
         self._new: deque[Packet] = deque()
+        # Incremental per-destination counters over each store; every
+        # mutation below keeps them exact.
+        self._old_for: dict[int, int] = {}
+        self._new_for: dict[int, int] = {}
 
     # -- mutation ------------------------------------------------------------
     def push(self, packet: Packet) -> None:
         """Enqueue a packet as *new*."""
         self._new.append(packet)
+        _bump(self._new_for, packet.destination, 1)
 
     def push_old(self, packet: Packet) -> None:
         """Enqueue a packet directly as *old* (used by relays mid-phase)."""
         self._old.append(packet)
+        _bump(self._old_for, packet.destination, 1)
 
     def age_all(self) -> None:
         """Promote every queued packet to *old* (phase boundary)."""
+        if not self._new:
+            return
         self._old.extend(self._new)
         self._new.clear()
+        old_for = self._old_for
+        for destination, count in self._new_for.items():
+            old_for[destination] = old_for.get(destination, 0) + count
+        self._new_for.clear()
 
     def pop_old(self) -> Packet:
         """Dequeue the oldest *old* packet."""
-        return self._old.popleft()
+        packet = self._old.popleft()
+        _bump(self._old_for, packet.destination, -1)
+        return packet
 
     def pop_any(self) -> Packet:
         """Dequeue the overall oldest packet (old first, then new)."""
         if self._old:
-            return self._old.popleft()
-        return self._new.popleft()
+            return self.pop_old()
+        packet = self._new.popleft()
+        _bump(self._new_for, packet.destination, -1)
+        return packet
 
     def pop_old_for(self, destination: int) -> Packet | None:
         """Dequeue the oldest *old* packet addressed to ``destination``."""
-        return self._pop_matching(self._old, lambda p: p.destination == destination)
+        if destination not in self._old_for:
+            return None
+        packet = self._pop_matching(self._old, lambda p: p.destination == destination)
+        if packet is not None:
+            _bump(self._old_for, destination, -1)
+        return packet
 
     def pop_any_for(self, destination: int) -> Packet | None:
         """Dequeue the oldest packet (old or new) addressed to ``destination``."""
-        packet = self._pop_matching(self._old, lambda p: p.destination == destination)
+        packet = self.pop_old_for(destination)
         if packet is not None:
             return packet
-        return self._pop_matching(self._new, lambda p: p.destination == destination)
+        if destination not in self._new_for:
+            return None
+        packet = self._pop_matching(self._new, lambda p: p.destination == destination)
+        if packet is not None:
+            _bump(self._new_for, destination, -1)
+        return packet
 
     def pop_old_matching(self, predicate: Callable[[Packet], bool]) -> Packet | None:
         """Dequeue the oldest *old* packet satisfying ``predicate``."""
-        return self._pop_matching(self._old, predicate)
+        packet = self._pop_matching(self._old, predicate)
+        if packet is not None:
+            _bump(self._old_for, packet.destination, -1)
+        return packet
 
     def remove(self, packet: Packet) -> bool:
         """Remove a specific packet (by identity); returns True if found."""
-        for store in (self._old, self._new):
+        for store, counts in ((self._old, self._old_for), (self._new, self._new_for)):
             try:
                 store.remove(packet)
-                return True
             except ValueError:
                 continue
+            _bump(counts, packet.destination, -1)
+            return True
         return False
 
     @staticmethod
@@ -121,11 +168,20 @@ class PacketQueue:
 
     def peek_old_for(self, destination: int) -> Packet | None:
         """The oldest *old* packet addressed to ``destination``, without removal."""
+        if destination not in self._old_for:
+            return None
         return self.peek_old_matching(lambda p: p.destination == destination)
 
     def peek_any_for(self, destination: int) -> Packet | None:
         """The oldest packet addressed to ``destination``, without removal."""
-        return self.peek_any_matching(lambda p: p.destination == destination)
+        if destination in self._old_for:
+            return self.peek_old_for(destination)
+        if destination not in self._new_for:
+            return None
+        for packet in self._new:
+            if packet.destination == destination:
+                return packet
+        return None
 
     # -- inspection ------------------------------------------------------------
     def size(self) -> int:
@@ -166,22 +222,26 @@ class PacketQueue:
         return list(self._new)
 
     def count_old_for(self, destination: int) -> int:
-        """Number of old packets addressed to ``destination``."""
-        return sum(1 for p in self._old if p.destination == destination)
+        """Number of old packets addressed to ``destination`` (O(1))."""
+        return self._old_for.get(destination, 0)
 
     def count_for(self, destination: int) -> int:
-        """Number of packets (old or new) addressed to ``destination``."""
-        return sum(1 for p in self if p.destination == destination)
+        """Number of packets (old or new) addressed to ``destination`` (O(1))."""
+        return self._old_for.get(destination, 0) + self._new_for.get(destination, 0)
 
     def count_old_matching(self, predicate: Callable[[Packet], bool]) -> int:
         """Number of old packets satisfying ``predicate``."""
         return sum(1 for p in self._old if predicate(p))
 
     def destinations(self) -> set[int]:
-        """Set of destinations with at least one queued packet."""
-        return {p.destination for p in self}
+        """Set of destinations with at least one queued packet.
+
+        O(distinct destinations): read off the incremental counters
+        rather than scanning every queued packet.
+        """
+        return set(self._old_for) | set(self._new_for)
 
     def has_old_for(self, destinations: Iterable[int]) -> bool:
         """True when an old packet exists for any of ``destinations``."""
-        targets = set(destinations)
-        return any(p.destination in targets for p in self._old)
+        old_for = self._old_for
+        return any(d in old_for for d in destinations)

@@ -34,7 +34,33 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..channel.station import StationController
 
-__all__ = ["ObliviousSchedule", "PeriodicSchedule", "AlwaysOnSchedule", "WakeOracle"]
+__all__ = [
+    "ObliviousSchedule",
+    "PeriodicSchedule",
+    "AlwaysOnSchedule",
+    "WakeOracle",
+    "rounds_in_congruence_class",
+]
+
+
+def rounds_in_congruence_class(
+    start: int, stop: int, modulus: int, residue: int
+) -> int:
+    """Number of rounds ``t`` in ``[start, stop)`` with ``t % modulus == residue``.
+
+    Closed-form O(1) counting used by the quiescent-span fast-forwards:
+    a controller that participates in rounds of one congruence class
+    (k-Clique's pair rotation, k-Subsets' threads) advances its replicas
+    by this many silent observations instead of looping over the span.
+    """
+    if stop <= start:
+        return 0
+    residue %= modulus
+
+    def upto(limit: int) -> int:
+        return (limit + modulus - 1 - residue) // modulus
+
+    return upto(stop) - upto(start)
 
 
 class WakeOracle:
@@ -84,6 +110,32 @@ class WakeOracle:
         return tuple(
             i for i, ctrl in enumerate(self.controllers) if ctrl.wakes(round_no)
         )
+
+    # -- quiescent-span protocol (the kernel's fifth negotiation axis) -----
+    def advance_span(self, start: int, stop: int) -> None:
+        """Advance shared state as if ``tick`` ran for every round in
+        ``[start, stop)``.
+
+        Called by the kernel engine when it elides a quiescent span:
+        every round in the span was silent with all queues empty, so the
+        oracle's transitions over it are a pure function of the round
+        window.  The default replays ``tick`` round by round (always
+        correct); oracles of silence-invariant algorithms override it
+        with an O(1) jump.
+        """
+        for t in range(start, stop):
+            self.tick(t)
+
+    def quiescent_awake_counts(self, start: int, stop: int) -> "np.ndarray | None":
+        """Per-round awake counts over a quiescent span, or ``None``.
+
+        Only consulted for spans in which every queue is empty and every
+        round is silent, so the counts may assume packet-independent wake
+        behaviour.  Returning ``None`` (the default) tells the kernel it
+        cannot elide spans on this oracle's run — the ticked tier then
+        stays on the per-round loop.
+        """
+        return None
 
 
 class ObliviousSchedule(abc.ABC):

@@ -137,6 +137,18 @@ class MetricsCollector:
         """
         self.energy_series.extend(awake_counts)
 
+    def record_queue_span(self, total_queue: int, rounds: int) -> None:
+        """Batch-append a flat stretch of the total-queue series.
+
+        The kernel engine's quiescent-span fast path records ``rounds``
+        consecutive rounds whose total queue size is ``total_queue`` (0
+        in practice) in one extend instead of one append per round; the
+        per-station maxima are untouched because no queue changed.  Like
+        :meth:`record_energy_series` this leaves ``rounds_observed`` to
+        the caller's end-of-run reconciliation.
+        """
+        self.total_queue_series.extend([total_queue] * rounds)
+
     # -- derived statistics ----------------------------------------------------
     @property
     def pending_count(self) -> int:

@@ -37,6 +37,11 @@ class _MBTFController(QueueingController):
     # Always on: wakes() is trivially pure and matches AlwaysOnSchedule.
     static_wake_schedule = True
 
+    # Holding no packets the holder withholds, and silence only advances
+    # the token (the MBTF list reorders exclusively on heard big-bits),
+    # so quiescent spans may be elided wholesale.
+    silence_invariant = True
+
     def __init__(self, station_id: int, n: int, big_threshold: int | None = None) -> None:
         super().__init__(station_id, n)
         self.replica = MoveBigToFrontReplica(list(range(n)))
@@ -58,6 +63,10 @@ class _MBTFController(QueueingController):
 
     def after_feedback(self, round_no: int, feedback: Feedback) -> None:
         self.replica.observe(feedback.outcome, feedback.message)
+
+    def advance_silent_span(self, start: int, stop: int) -> None:
+        # Always awake: the token advances once per silent round.
+        self.replica.advance_silence(stop - start)
 
 
 @register_algorithm("mbtf")

@@ -39,6 +39,12 @@ class _RRWController(QueueingController):
     # Always on: wakes() is trivially pure and matches AlwaysOnSchedule.
     static_wake_schedule = True
 
+    # Holding no packets the holder withholds (act returns None), and a
+    # silent round only advances the token — modular arithmetic that
+    # advance_silent_span reproduces (phase-end aging is a no-op on an
+    # empty queue), so quiescent spans may be elided wholesale.
+    silence_invariant = True
+
     def __init__(self, station_id: int, n: int, old_first: bool) -> None:
         super().__init__(station_id, n)
         self.old_first = old_first
@@ -72,6 +78,12 @@ class _RRWController(QueueingController):
         phase_done = self.replica.observe(feedback.outcome)
         if phase_done and self.old_first:
             self.queue.age_all()
+
+    def advance_silent_span(self, start: int, stop: int) -> None:
+        # Always awake: the token advances once per silent round.  The
+        # OF-RRW phase-end age_all is a no-op on an empty queue, so the
+        # completed-phase count needs no further replay.
+        self.replica.advance_silence(stop - start)
 
 
 class _RRWBase(RoutingAlgorithm):

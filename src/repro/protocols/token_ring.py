@@ -70,6 +70,27 @@ class TokenRingReplica:
         # the token where it is so that replicas stay consistent.
         return False
 
+    def advance_silence(self, rounds: int) -> int:
+        """Fast-forward ``rounds`` consecutive silent observations in O(1).
+
+        State-for-state equivalent to ``rounds`` calls of
+        ``observe(SILENCE)``; returns the number of phases (full token
+        cycles) completed in the stretch, so callers that act on
+        ``observe``'s phase-done signal can replay it in aggregate.  This
+        is the quiescent-span fast path of the kernel engine: during an
+        all-queues-empty stretch every round is silent, so the token's
+        final position is pure modular arithmetic.
+        """
+        if rounds <= 0:
+            return 0
+        members = self.members
+        size = len(members)
+        self.token_pos = (self.token_pos + rounds) % size
+        self.holder = members[self.token_pos]
+        phases, self.advancements = divmod(self.advancements + rounds, size)
+        self.phase_no += phases
+        return phases
+
     def _advance(self) -> bool:
         """Advance the token one position (test/debug helper)."""
         return self.observe(ChannelOutcome.SILENCE)
@@ -109,6 +130,17 @@ class MoveBigToFrontReplica:
             if message.control.get(self.BIG_FLAG):
                 self._move_to_front(message.sender)
             # Otherwise the holder keeps the token.
+
+    def advance_silence(self, rounds: int) -> None:
+        """Fast-forward ``rounds`` consecutive silent observations in O(1).
+
+        Silence never reorders the MBTF list (only heard ``big`` bits
+        do), so the only state to advance is the token position.
+        """
+        if rounds <= 0:
+            return
+        self.token_pos = (self.token_pos + rounds) % len(self.order)
+        self.holder = self.order[self.token_pos]
 
     def _move_to_front(self, station: int) -> None:
         if station not in self.order:

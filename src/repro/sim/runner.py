@@ -70,6 +70,7 @@ def run_simulation(
     engine: str = "auto",
     full_history: bool = False,
     plan_chunk: int | None = None,
+    quiescence_skip: bool = True,
 ) -> RunResult:
     """Simulate ``rounds`` rounds of ``algorithm`` against ``adversary``.
 
@@ -108,6 +109,11 @@ def run_simulation(
         plans and windowed-view ring refreshes; ``None`` keeps the
         engine default.  An execution-strategy knob — results are
         bit-identical for every value.
+    quiescence_skip:
+        Enable the kernel loop's quiescent-span fast path (default).
+        Another execution-strategy knob — results are bit-identical
+        either way; ``False`` recovers the strictly per-round kernel for
+        comparison benchmarks.
     """
     if rounds < 1:
         raise ValueError("rounds must be positive")
@@ -126,6 +132,7 @@ def run_simulation(
         enforce_energy_cap=enforce_energy_cap,
         record_trace=record_trace,
         full_history=full_history,
+        quiescence_skip=quiescence_skip,
         **config_kwargs,
     )
     kind = resolve_engine(engine, record_trace)

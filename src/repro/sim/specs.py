@@ -237,6 +237,13 @@ class RunSpec:
     #: bit-identical for every value (property-tested) — so it is
     #: excluded from the spec's identity and hash.
     plan_chunk: int | None = None
+    #: Kernel quiescent-span fast path (silence-invariant runs elide
+    #: injection-free all-queues-empty spans in one step).  Execution
+    #: strategy like ``engine``/``plan_chunk`` — results are bit-identical
+    #: either way (property-tested) — so it too is excluded from the
+    #: spec's identity and hash; ``False`` recovers the strictly
+    #: per-round kernel for comparison benchmarks.
+    quiescence_skip: bool = True
 
     def __post_init__(self) -> None:
         if self.rounds < 1:
@@ -290,6 +297,7 @@ class RunSpec:
             label=data.get("label"),
             engine=str(data.get("engine", "auto")),
             plan_chunk=data.get("plan_chunk"),
+            quiescence_skip=bool(data.get("quiescence_skip", True)),
         )
 
     @classmethod
@@ -410,6 +418,7 @@ def execute_spec(spec: RunSpec | Mapping[str, Any]) -> RunResult:
         label=spec.label,
         engine=spec.engine,
         plan_chunk=spec.plan_chunk,
+        quiescence_skip=spec.quiescence_skip,
     )
 
 
