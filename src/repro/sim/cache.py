@@ -21,7 +21,7 @@ import tempfile
 from pathlib import Path
 
 from .runner import RunResult
-from .specs import RunSpec
+from .specs import EXECUTION_FIELDS, RunSpec
 
 __all__ = ["CACHE_VERSION", "ResultCache", "default_cache_dir"]
 
@@ -57,6 +57,20 @@ class ResultCache:
         return self.root / f"{spec.spec_hash()}.json"
 
     # -- store/load ----------------------------------------------------------
+    @staticmethod
+    def _stored_identity(stored: object) -> dict | None:
+        """Project a stored spec dict onto its identity fields.
+
+        Stored specs carry the full :meth:`RunSpec.to_dict` (identity
+        fields plus execution knobs); entries written before the knobs
+        were serialised carry the identity fields alone.  Either way the
+        identity projection is what must match — a result computed by one
+        engine is valid for a spec requesting another.
+        """
+        if not isinstance(stored, dict):
+            return None
+        return {k: v for k, v in stored.items() if k not in EXECUTION_FIELDS}
+
     def get(self, spec: RunSpec) -> RunResult | None:
         """Return the cached result for ``spec``, or None on a miss."""
         path = self._payload_path(spec)
@@ -72,7 +86,7 @@ class ResultCache:
         if (
             not isinstance(payload, dict)
             or payload.get("version") != CACHE_VERSION
-            or payload.get("spec") != spec.to_dict()
+            or self._stored_identity(payload.get("spec")) != spec.identity_dict()
             or not isinstance(payload.get("result"), RunResult)
         ):
             self.misses += 1
@@ -81,13 +95,14 @@ class ResultCache:
         return payload["result"]
 
     def put(self, spec: RunSpec, result: RunResult) -> None:
-        """Store ``result`` under ``spec``'s hash (atomic write)."""
-        payload = {
-            "version": CACHE_VERSION,
-            "spec": spec.to_dict(),
-            "result": result,
-        }
-        self._atomic_write(self._payload_path(spec), pickle.dumps(payload))
+        """Store ``result`` under ``spec``'s hash (atomic writes).
+
+        The JSON sidecar is written *before* the pickled payload: the
+        payload is what :meth:`get` keys a hit on, so after a crash
+        between the two writes the entry reads as a clean miss (an
+        orphan sidecar is inert) rather than as a payload whose sidecar
+        is missing or stale.
+        """
         sidecar = json.dumps(
             {
                 "version": CACHE_VERSION,
@@ -98,6 +113,12 @@ class ResultCache:
             sort_keys=True,
         )
         self._atomic_write(self._sidecar_path(spec), sidecar.encode("utf-8"))
+        payload = {
+            "version": CACHE_VERSION,
+            "spec": spec.to_dict(),
+            "result": result,
+        }
+        self._atomic_write(self._payload_path(spec), pickle.dumps(payload))
 
     def _atomic_write(self, path: Path, data: bytes) -> None:
         fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
@@ -120,11 +141,20 @@ class ResultCache:
         return self._payload_path(spec).exists()
 
     def clear(self) -> int:
-        """Delete every cache entry; return the number of payloads removed."""
-        removed = 0
-        for path in self.root.glob("*.pkl"):
+        """Delete every cache entry; return the number of entries removed.
+
+        An *entry* is one spec hash, counted once whether its payload,
+        its sidecar or both were present — so an orphan sidecar left by
+        an interrupted :meth:`put` is counted too, not silently removed.
+        Stale ``*.tmp`` files from writes that never reached
+        ``os.replace`` are swept as well (they have no entry semantics
+        and are not counted).
+        """
+        entries: set[str] = set()
+        for pattern in ("*.pkl", "*.json"):
+            for path in self.root.glob(pattern):
+                path.unlink(missing_ok=True)
+                entries.add(path.stem)
+        for path in self.root.glob("*.tmp"):
             path.unlink(missing_ok=True)
-            removed += 1
-        for path in self.root.glob("*.json"):
-            path.unlink(missing_ok=True)
-        return removed
+        return len(entries)

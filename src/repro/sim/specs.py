@@ -48,6 +48,7 @@ from .runner import ENGINE_KINDS, RunResult, run_simulation
 
 __all__ = [
     "AdversaryEntry",
+    "EXECUTION_FIELDS",
     "RunSpec",
     "available_adversaries",
     "execute_spec",
@@ -211,6 +212,17 @@ def _json_ready(params: Mapping[str, Any], what: str) -> dict:
 # RunSpec
 # ---------------------------------------------------------------------------
 
+#: Execution-strategy fields of a :class:`RunSpec`: they choose *how* a run
+#: executes (which engine, what batching granularity, whether quiescent
+#: spans are elided), not *what* it computes — results are bit-identical
+#: for every combination (property-tested).  They round-trip through
+#: :meth:`RunSpec.to_dict`/:meth:`RunSpec.from_dict` like every other
+#: field but are excluded from :meth:`RunSpec.identity_dict` and with it
+#: from :meth:`RunSpec.canonical_json`/:meth:`RunSpec.spec_hash`, so a
+#: cached result is valid whichever strategy computed it.
+EXECUTION_FIELDS = ("engine", "plan_chunk", "quiescence_skip")
+
+
 @dataclass(frozen=True, eq=False)
 class RunSpec:
     """A declarative, hashable description of one simulation run."""
@@ -224,25 +236,29 @@ class RunSpec:
     energy_cap: int | None = None
     record_trace: bool = False
     label: str | None = None
-    #: Engine selector ("auto" / "kernel" / "reference").  An execution
-    #: strategy, not part of the run's identity: both engines produce
-    #: bit-identical results (property-tested), so ``engine`` is excluded
-    #: from :meth:`to_dict`/:meth:`spec_hash` and a cached result is valid
-    #: whichever engine computed it.
+    #: Engine selector ("auto" / "block" / "kernel" / "reference").  An
+    #: execution strategy (see :data:`EXECUTION_FIELDS`), not part of the
+    #: run's identity: all engines produce bit-identical results
+    #: (property-tested), so ``engine`` round-trips through
+    #: :meth:`to_dict` but is excluded from :meth:`identity_dict` and
+    #: :meth:`spec_hash` — a cached result is valid whichever engine
+    #: computed it.
     engine: str = "auto"
     #: Kernel batching granularity in rounds (``None`` = engine default):
     #: how many rounds one ``plan_injections`` call materialises and how
     #: often the schedule-backed view's history ring is refreshed.  Like
     #: ``engine`` this is an execution strategy — results are
-    #: bit-identical for every value (property-tested) — so it is
-    #: excluded from the spec's identity and hash.
+    #: bit-identical for every value (property-tested) — so it
+    #: round-trips through :meth:`to_dict` but stays outside the spec's
+    #: identity and hash.
     plan_chunk: int | None = None
     #: Kernel quiescent-span fast path (silence-invariant runs elide
     #: injection-free all-queues-empty spans in one step).  Execution
     #: strategy like ``engine``/``plan_chunk`` — results are bit-identical
-    #: either way (property-tested) — so it too is excluded from the
-    #: spec's identity and hash; ``False`` recovers the strictly
-    #: per-round kernel for comparison benchmarks.
+    #: either way (property-tested) — so it too round-trips through
+    #: :meth:`to_dict` while staying outside the spec's identity and
+    #: hash; ``False`` recovers the strictly per-round kernel for
+    #: comparison benchmarks.
     quiescence_skip: bool = True
 
     def __post_init__(self) -> None:
@@ -270,7 +286,14 @@ class RunSpec:
         )
 
     # -- serialisation -------------------------------------------------------
-    def to_dict(self) -> dict:
+    def identity_dict(self) -> dict:
+        """The fields that define *what* this run computes.
+
+        This is the dict behind :meth:`canonical_json` and
+        :meth:`spec_hash`; the :data:`EXECUTION_FIELDS` are deliberately
+        absent, so specs differing only in execution strategy share one
+        hash (and one cache entry).
+        """
         return {
             "algorithm": self.algorithm,
             "algorithm_params": self.algorithm_params,
@@ -282,6 +305,21 @@ class RunSpec:
             "record_trace": self.record_trace,
             "label": self.label,
         }
+
+    def to_dict(self) -> dict:
+        """Lossless serialisation: identity fields plus execution knobs.
+
+        ``RunSpec.from_dict(spec.to_dict())`` reconstructs every field —
+        including the :data:`EXECUTION_FIELDS`, so a spec shipped across a
+        process boundary keeps its requested engine, plan chunking and
+        quiescence-skip setting.  Identity (hashing, caching, equality)
+        comes from :meth:`identity_dict` instead.
+        """
+        data = self.identity_dict()
+        data["engine"] = self.engine
+        data["plan_chunk"] = self.plan_chunk
+        data["quiescence_skip"] = self.quiescence_skip
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RunSpec":
@@ -327,7 +365,7 @@ class RunSpec:
 
     def canonical_json(self) -> str:
         """Canonical JSON encoding: the identity of the run."""
-        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return json.dumps(self.identity_dict(), sort_keys=True, separators=(",", ":"))
 
     def spec_hash(self) -> str:
         """SHA-256 of the canonical encoding — the cache key of the run."""

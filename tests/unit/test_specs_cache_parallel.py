@@ -1,8 +1,11 @@
 """Unit tests for the orchestration layer: specs, cache, executor wiring."""
 
+import dataclasses
 import pickle
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.adversary import NoInjectionAdversary, SingleTargetAdversary
 from repro.algorithms import CountHop
@@ -16,6 +19,7 @@ from repro.sim import (
     sweep,
     worst_case_over,
 )
+from repro.sim.runner import ENGINE_KINDS
 from repro.sim.specs import (
     available_adversaries,
     make_adversary,
@@ -42,6 +46,56 @@ class TestRunSpec:
     def test_round_trips_through_dict(self):
         spec = _spec(energy_cap=3, record_trace=True, label="x")
         assert RunSpec.from_dict(spec.to_dict()) == spec
+
+    def test_round_trip_preserves_execution_knobs(self):
+        # The historical bug: to_dict() omitted the execution knobs while
+        # from_dict() read them, so a spec crossing a process boundary
+        # silently reverted to engine="auto" / default chunking.
+        spec = _spec(engine="reference", plan_chunk=7, quiescence_skip=False)
+        rebuilt = RunSpec.from_dict(spec.to_dict())
+        assert rebuilt.engine == "reference"
+        assert rebuilt.plan_chunk == 7
+        assert rebuilt.quiescence_skip is False
+
+    @given(
+        engine=st.sampled_from(ENGINE_KINDS),
+        plan_chunk=st.one_of(st.none(), st.integers(min_value=1, max_value=5000)),
+        quiescence_skip=st.booleans(),
+        rounds=st.integers(min_value=1, max_value=10_000),
+        energy_cap=st.one_of(st.none(), st.integers(min_value=1, max_value=8)),
+        label=st.one_of(st.none(), st.text(max_size=12)),
+    )
+    def test_round_trip_is_lossless_for_every_field(
+        self, engine, plan_chunk, quiescence_skip, rounds, energy_cap, label
+    ):
+        spec = _spec(
+            engine=engine,
+            plan_chunk=plan_chunk,
+            quiescence_skip=quiescence_skip,
+            rounds=rounds,
+            energy_cap=energy_cap,
+            label=label,
+        )
+        rebuilt = RunSpec.from_dict(spec.to_dict())
+        assert rebuilt == spec
+        for field in dataclasses.fields(RunSpec):
+            assert getattr(rebuilt, field.name) == getattr(spec, field.name), field.name
+        # The execution knobs never leak into the identity.
+        assert rebuilt.spec_hash() == spec.spec_hash()
+        assert spec.spec_hash() == _spec(rounds=rounds, energy_cap=energy_cap, label=label).spec_hash()
+
+    def test_spec_hash_is_stable_across_versions(self):
+        # Pinned hex digest: the identity encoding is an on-disk contract
+        # (cache keys, manifests).  Adding serialised fields to to_dict()
+        # must never shift it — identity_dict() is what gets hashed.
+        spec = _spec(engine="reference", plan_chunk=9, quiescence_skip=False)
+        assert spec.canonical_json() == (
+            '{"adversary":"single-target",'
+            '"adversary_params":{"beta":1.0,"rho":0.4},'
+            '"algorithm":"count-hop","algorithm_params":{"n":4},'
+            '"energy_cap":null,"enforce_energy_cap":true,"label":null,'
+            '"record_trace":false,"rounds":200}'
+        )
 
     def test_hash_ignores_param_insertion_order(self):
         a = _spec(adversary_params={"rho": 0.4, "beta": 1.0})
@@ -150,6 +204,78 @@ class TestResultCache:
         cache.put(spec, execute_spec(spec))
         assert cache.clear() == 1
         assert len(cache) == 0 and cache.get(spec) is None
+
+    def test_clear_counts_orphan_sidecars_and_sweeps_tmp(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _spec()
+        cache.put(spec, execute_spec(spec))  # one complete entry
+        (tmp_path / "feedbeef.json").write_text("{}")  # orphan sidecar
+        (tmp_path / "tmpabc123.tmp").write_bytes(b"partial")  # stale temp file
+        assert cache.clear() == 2  # entry + orphan, tmp swept but not counted
+        assert list(tmp_path.iterdir()) == []
+
+    def test_crash_between_sidecar_and_payload_reads_as_clean_miss(
+        self, tmp_path, monkeypatch
+    ):
+        """Kill the process between the two put() writes: the sidecar lands,
+        the payload does not, and the entry must read as an ordinary miss."""
+        cache = ResultCache(tmp_path)
+        spec = _spec()
+        result = execute_spec(spec)
+
+        real_write = ResultCache._atomic_write
+
+        def crashing_write(self, path, data):
+            if path.suffix == ".pkl":
+                raise OSError("simulated crash before payload write")
+            real_write(self, path, data)
+
+        monkeypatch.setattr(ResultCache, "_atomic_write", crashing_write)
+        with pytest.raises(OSError, match="simulated crash"):
+            cache.put(spec, result)
+        monkeypatch.undo()
+
+        # Sidecar-then-payload ordering: the interrupted entry has a sidecar
+        # but no payload, so membership and lookup see a clean miss ...
+        assert cache._sidecar_path(spec).exists()
+        assert not cache._payload_path(spec).exists()
+        assert spec not in cache and len(cache) == 0
+        assert cache.get(spec) is None
+        # ... no stray .tmp survives the failed write ...
+        assert not list(tmp_path.glob("*.tmp"))
+        # ... and a retried put() simply completes the entry.
+        cache.put(spec, result)
+        hit = cache.get(spec)
+        assert hit is not None and hit.summary == result.summary
+
+    def test_hit_is_shared_across_execution_strategies(self, tmp_path):
+        # engine / plan_chunk / quiescence_skip are execution knobs: results
+        # are bit-identical, the hash is shared, and the stored-spec check
+        # must compare identities — not the full serialised dict.
+        cache = ResultCache(tmp_path)
+        stored = _spec(engine="kernel", plan_chunk=64)
+        cache.put(stored, execute_spec(stored))
+        assert cache.get(_spec(engine="reference", quiescence_skip=False)) is not None
+        assert cache.hits == 1
+
+    def test_legacy_identity_only_stored_spec_still_hits(self, tmp_path):
+        # Entries written before the execution knobs were serialised stored
+        # the identity dict alone; they must remain valid hits.
+        import pickle as _pickle
+
+        from repro.sim.cache import CACHE_VERSION
+
+        cache = ResultCache(tmp_path)
+        spec = _spec()
+        result = execute_spec(spec)
+        payload = {
+            "version": CACHE_VERSION,
+            "spec": spec.identity_dict(),
+            "result": result,
+        }
+        cache._payload_path(spec).write_bytes(_pickle.dumps(payload))
+        hit = cache.get(spec)
+        assert hit is not None and hit.summary == result.summary
 
     def test_executor_consults_cache(self, tmp_path):
         cache = ResultCache(tmp_path)
