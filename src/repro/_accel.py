@@ -1,0 +1,77 @@
+"""Optional numba acceleration probe.
+
+The simulation is pure CPython + numpy by design; numba is an *optional*
+accelerator, never a dependency.  This module probes for it once at
+import time and exposes
+
+* :data:`HAVE_NUMBA` — True when ``import numba`` succeeded,
+* :func:`maybe_jit` — ``numba.njit`` when available, the identity
+  decorator otherwise (a silent no-op, so decorated functions stay plain
+  Python functions on numba-free installs),
+* the jitted array helpers of the block engine's inner loop, each with a
+  vectorised numpy fallback so behaviour is bit-identical either way.
+
+Everything downstream imports from here instead of touching numba
+directly; the CI matrix runs one leg with numba installed (exercising the
+JIT path) and one without (asserting the probe degrades cleanly).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["HAVE_NUMBA", "maybe_jit", "injection_round_indices"]
+
+try:  # pragma: no cover - exercised on the numba-installed CI leg
+    from numba import njit as _njit
+
+    HAVE_NUMBA = True
+except Exception:  # ImportError, or a broken numba install — same answer.
+    _njit = None
+    HAVE_NUMBA = False
+
+
+def maybe_jit(func=None, **jit_kwargs):
+    """``numba.njit`` when numba is importable, identity decorator otherwise.
+
+    Usable bare (``@maybe_jit``) or with njit keyword arguments
+    (``@maybe_jit(cache=True)``).  On numba-free installs the function is
+    returned unchanged, so callers need no feature checks of their own —
+    but hot callers that have a *different* (vectorised) numpy fallback
+    should branch on :data:`HAVE_NUMBA` instead of calling the undecorated
+    per-element loop.
+    """
+
+    def wrap(f):
+        if HAVE_NUMBA:
+            return _njit(**jit_kwargs)(f)
+        return f
+
+    if func is not None:
+        return wrap(func)
+    return wrap
+
+
+@maybe_jit(cache=False)
+def _injection_round_indices_jit(offsets):  # pragma: no cover - numba leg only
+    out = np.empty(offsets.shape[0] - 1, dtype=np.int64)
+    m = 0
+    for r in range(offsets.shape[0] - 1):
+        if offsets[r + 1] > offsets[r]:
+            out[m] = r
+            m += 1
+    return out[:m]
+
+
+def injection_round_indices(offsets: np.ndarray) -> np.ndarray:
+    """Relative round indices of an injection plan that carry injections.
+
+    ``offsets`` is an injection plan's CSR-style offset array
+    (``len == rounds + 1``); round ``r`` carries injections iff
+    ``offsets[r + 1] > offsets[r]``.  This is the scan behind the block
+    and kernel engines' quiescent-span probes: jitted (single pass, no
+    temporaries) when numba is available, vectorised numpy otherwise.
+    """
+    if HAVE_NUMBA:
+        return _injection_round_indices_jit(offsets)
+    return np.flatnonzero(offsets[1:] > offsets[:-1])

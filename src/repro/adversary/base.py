@@ -13,9 +13,12 @@ adversary can accidentally exceed its own type.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
+import numpy as np
+
+from .._accel import injection_round_indices
 from ..channel.engine import AdversaryView
 from ..channel.packet import Packet, PacketFactory
 from .leaky_bucket import AdversaryType, LeakyBucketConstraint
@@ -102,9 +105,49 @@ class InjectionPlan:
     offsets: list[int]
     sources: list[int]
     destinations: list[int]
+    # Lazily-built structured views, cached because a plan is consumed by
+    # several engine passes (injection slicing, quiescent-span probes) and
+    # may be replayed across run() calls.  Excluded from repr/compare: two
+    # plans with the same rounds and pairs are the same plan.
+    _arrays: "tuple[np.ndarray, np.ndarray, np.ndarray] | None" = field(
+        default=None, repr=False, compare=False
+    )
+    _injection_rounds: "list[int] | None" = field(
+        default=None, repr=False, compare=False
+    )
 
     def __len__(self) -> int:
         return len(self.sources)
+
+    def as_arrays(self) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """The plan as structured arrays ``(offsets, sources, destinations)``.
+
+        CSR layout: the injections of round ``start + r`` are rows
+        ``offsets[r]:offsets[r + 1]`` of the flat source/destination
+        arrays.  Built once and cached; all three are int64 so engine
+        code can index and compare them without dtype surprises.
+        """
+        if self._arrays is None:
+            self._arrays = (
+                np.asarray(self.offsets, dtype=np.int64),
+                np.asarray(self.sources, dtype=np.int64),
+                np.asarray(self.destinations, dtype=np.int64),
+            )
+        return self._arrays
+
+    def injection_rounds(self) -> list[int]:
+        """Ascending absolute round numbers that carry >= 1 injection.
+
+        This is the index the kernel and block engines binary-search when
+        probing how far a quiescent span extends.  Cached after the first
+        call.
+        """
+        if self._injection_rounds is None:
+            offsets = self.as_arrays()[0]
+            self._injection_rounds = (
+                injection_round_indices(offsets) + self.start
+            ).tolist()
+        return self._injection_rounds
 
     @classmethod
     def from_counts(

@@ -23,9 +23,10 @@ from __future__ import annotations
 import itertools
 import math
 
+from ..channel.feedback import ChannelOutcome, Feedback
 from ..channel.message import Message
-from ..channel.feedback import Feedback
 from ..core.algorithm import AlgorithmProperties, RoutingAlgorithm
+from ..core.blocks import RoundBlockDriver
 from ..core.controller import QueueingController
 from ..core.registry import register_algorithm
 from ..core.schedule import PeriodicSchedule, rounds_in_congruence_class
@@ -123,6 +124,41 @@ class _KCliqueController(QueueingController):
                 self.replicas[p].advance_silence(rounds)
 
 
+class _KCliqueBlockDriver(RoundBlockDriver):
+    """Compiled-round driver for k-Clique (one shared instance per run).
+
+    Pair ``t % num_pairs`` is active in round ``t``; only its token
+    holder may transmit.  Silence advances every pair member's replica;
+    a heard round only removes the sender's confirmed packet (k-Clique
+    routes directly inside the pair, so nothing is adopted, and a heard
+    outcome leaves the token in place).
+    """
+
+    def __init__(self, controllers: list[_KCliqueController]) -> None:
+        super().__init__(len(controllers))
+        self._controllers = controllers
+        pairs = controllers[0].pairs
+        self._num_pairs = len(pairs)
+        self._pair_replicas = [
+            [controllers[i].replicas[p] for i in members]
+            for p, members in enumerate(pairs)
+        ]
+
+    def transmitter(self, t: int) -> int:
+        return self._pair_replicas[t % self._num_pairs][0].holder
+
+    def silent_round(self, t: int) -> None:
+        for replica in self._pair_replicas[t % self._num_pairs]:
+            replica.observe(ChannelOutcome.SILENCE)
+
+    def heard_round(self, t: int, sender: int, message: Message) -> tuple[int, ...]:
+        sender_ctrl = self._controllers[sender]
+        if sender_ctrl._in_flight is not None:
+            sender_ctrl.queue.remove(sender_ctrl._in_flight)
+            sender_ctrl._in_flight = None
+        return (sender,)
+
+
 @register_algorithm("k-clique")
 class KClique(RoutingAlgorithm):
     """The k-Clique algorithm of Section 6.
@@ -152,7 +188,11 @@ class KClique(RoutingAlgorithm):
         return len(self.pairs)
 
     def build_controllers(self) -> list[_KCliqueController]:
-        return [_KCliqueController(i, self.n, self.pairs) for i in range(self.n)]
+        controllers = [_KCliqueController(i, self.n, self.pairs) for i in range(self.n)]
+        driver = _KCliqueBlockDriver(controllers)
+        for ctrl in controllers:
+            ctrl.block_driver = driver
+        return controllers
 
     def properties(self) -> AlgorithmProperties:
         cap = max(len(pair) for pair in self.pairs)

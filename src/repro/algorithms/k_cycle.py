@@ -33,6 +33,7 @@ import math
 from ..channel.feedback import ChannelOutcome, Feedback
 from ..channel.message import Message
 from ..core.algorithm import AlgorithmProperties, RoutingAlgorithm
+from ..core.blocks import RoundBlockDriver
 from ..core.controller import QueueingController
 from ..core.registry import register_algorithm
 from ..core.schedule import PeriodicSchedule
@@ -221,6 +222,145 @@ class _KCycleController(QueueingController):
             self.queue.age_all()
 
 
+class _KCycleBlockDriver(RoundBlockDriver):
+    """Compiled-round driver for k-Cycle (one shared instance per run).
+
+    Per round only the active group's token holder may transmit.  The
+    driver mirrors what the reference loop's feedback fan-out does to the
+    k awake members: on silence every member's replica advances (queues
+    age at phase end), on heard the sender drops its in-flight packet and
+    the group's forward connector adopts a packet leaving the group.
+
+    All member replicas of a group agree by construction, so inside a
+    compiled block the driver advances one *canonical* replica per silent
+    round instead of k — loaded from the members when an activity segment
+    begins and written back to all of them when the segment (or the
+    block) ends.  Quiescent-span elision advances the (stale-in-block)
+    per-station replicas through ``advance_silent_span`` as usual; the
+    :meth:`advance_span` hook applies the active-round count of the same
+    jump to the canonical copy so the end-of-segment write-back stays
+    consistent.
+    """
+
+    def __init__(self, controllers: list[_KCycleController]) -> None:
+        super().__init__(len(controllers))
+        first = controllers[0]
+        self._controllers = controllers
+        self._delta = first.delta
+        self._num_groups = first.num_groups
+        self._groups = first.groups
+        self._forward_connector = first.forward_connector
+        self._member_sets = first._member_sets
+        # Activity-segment cache, same shape as the controllers' own.
+        self._seg_start = 0
+        self._seg_end = 0  # empty: the first transmitter() call refreshes
+        self._member_ctrls: list[_KCycleController] = []
+        self._replicas: list[TokenRingReplica] = []
+        self._member_set: set[int] = set()
+        self._connector = -1
+        self._group = -1
+        self._canonical: TokenRingReplica | None = None
+
+    def _write_back(self) -> None:
+        canonical = self._canonical
+        if canonical is None:
+            return
+        for replica in self._replicas:
+            replica.token_pos = canonical.token_pos
+            replica.advancements = canonical.advancements
+            replica.phase_no = canonical.phase_no
+            replica.holder = canonical.holder
+
+    def _refresh_segment(self, round_no: int) -> None:
+        self._write_back()
+        block = round_no // self._delta
+        group = block % self._num_groups
+        ctrls = [self._controllers[i] for i in self._groups[group]]
+        self._member_ctrls = ctrls
+        self._replicas = [ctrl.replicas[group] for ctrl in ctrls]
+        self._member_set = self._member_sets[group]
+        self._connector = self._forward_connector[group]
+        self._group = group
+        source = self._replicas[0]
+        canonical = TokenRingReplica(list(self._groups[group]))
+        canonical.token_pos = source.token_pos
+        canonical.advancements = source.advancements
+        canonical.phase_no = source.phase_no
+        canonical.holder = source.holder
+        self._canonical = canonical
+        self._seg_start = block * self._delta
+        self._seg_end = self._seg_start + self._delta
+
+    def begin_block(self, start: int, stop: int) -> bool:
+        # The members are authoritative between blocks (the fallback path
+        # mutates them directly): force the first round to reload.
+        self._seg_start = self._seg_end = 0
+        self._canonical = None
+        return True
+
+    def end_block(self, stop: int) -> None:
+        self._write_back()
+        self._canonical = None
+        self._seg_start = self._seg_end = 0
+
+    def advance_span(self, start: int, stop: int) -> None:
+        canonical = self._canonical
+        if canonical is None:
+            return  # elision before the first round of the block
+        # Same closed-form as the controllers' advance_silent_span, for
+        # the one group the canonical copy currently mirrors.
+        delta = self._delta
+        super_period = delta * self._num_groups
+        offset = self._group * delta
+
+        def active_upto(limit: int) -> int:
+            full, rest = divmod(limit, super_period)
+            partial = rest - offset
+            if partial < 0:
+                partial = 0
+            elif partial > delta:
+                partial = delta
+            return full * delta + partial
+
+        rounds = active_upto(stop) - active_upto(start)
+        if rounds:
+            canonical.advance_silence(rounds)
+
+    def transmitter(self, t: int) -> int:
+        if not self._seg_start <= t < self._seg_end:
+            self._refresh_segment(t)
+        holder = self._canonical.holder
+        # The holder's own (stale inside the segment) replica must agree
+        # before act() runs its holder check.
+        self._controllers[holder].replicas[self._group].holder = holder
+        return holder
+
+    def silent_round(self, t: int) -> None:
+        if self._canonical.observe(ChannelOutcome.SILENCE):
+            # Packets injected or adopted during the finished phase
+            # become old for every member of the active group.
+            for ctrl in self._member_ctrls:
+                ctrl.queue.age_all()
+
+    def heard_round(self, t: int, sender: int, message: Message) -> tuple[int, ...]:
+        # Sender's confirmed transmission leaves its queue; replicas do
+        # not move on heard rounds (the token stays with its holder).
+        sender_ctrl = self._controllers[sender]
+        if sender_ctrl._in_flight is not None:
+            sender_ctrl.queue.remove(sender_ctrl._in_flight)
+            sender_ctrl._in_flight = None
+        packet = message.packet
+        if (
+            packet is not None
+            and packet.destination not in self._member_set
+            and self._connector != sender
+        ):
+            # The packet leaves the group: the forward connector relays.
+            self._controllers[self._connector].adopt(packet)
+            return (sender, self._connector)
+        return (sender,)
+
+
 @register_algorithm("k-cycle")
 class KCycle(RoutingAlgorithm):
     """The k-Cycle algorithm of Section 5.
@@ -246,10 +386,14 @@ class KCycle(RoutingAlgorithm):
         self.delta = activity_segment_length(n, k)
 
     def build_controllers(self) -> list[_KCycleController]:
-        return [
+        controllers = [
             _KCycleController(i, self.n, self.groups, self.delta)
             for i in range(self.n)
         ]
+        driver = _KCycleBlockDriver(controllers)
+        for ctrl in controllers:
+            ctrl.block_driver = driver
+        return controllers
 
     def properties(self) -> AlgorithmProperties:
         return AlgorithmProperties(

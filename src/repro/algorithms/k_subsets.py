@@ -41,11 +41,12 @@ from collections import deque
 
 import numpy as np
 
-from ..channel.feedback import Feedback
+from ..channel.feedback import ChannelOutcome, Feedback
 from ..channel.message import Message
 from ..channel.packet import Packet
 from ..channel.station import StationController
 from ..core.algorithm import AlgorithmProperties, RoutingAlgorithm
+from ..core.blocks import RoundBlockDriver
 from ..core.registry import register_algorithm
 from ..core.schedule import PeriodicSchedule, WakeOracle, rounds_in_congruence_class
 from ..protocols.token_ring import MoveBigToFrontReplica
@@ -249,6 +250,59 @@ class _KSubsetsController(StationController):
         )
 
 
+class _KSubsetsBlockDriver(RoundBlockDriver):
+    """Compiled-round driver for k-Subsets (one shared instance per run).
+
+    Thread ``t % gamma`` runs in round ``t``; only its MBTF holder may
+    transmit.  Every awake member observes the round's outcome on its
+    replica of that thread (silence advances the token, a heard big-bit
+    reorders the list); a heard own transmission pops the sender's thread
+    queue head.  Phase-boundary reassignment stays with the shared clock
+    (the engine ticks it before asking for the transmitter), so the
+    driver reads post-reassignment state.
+    """
+
+    def __init__(self, controllers: list[_KSubsetsController]) -> None:
+        super().__init__(len(controllers))
+        self._controllers = controllers
+        self._subsets = controllers[0].subsets
+        self._gamma = controllers[0].gamma
+        # Per-thread member replica lists, resolved lazily: gamma can be
+        # thousands of threads while a short run touches only a few.
+        self._thread_replicas: list[list[MoveBigToFrontReplica] | None] = (
+            [None] * self._gamma
+        )
+
+    def _replicas_for(self, thread: int) -> list[MoveBigToFrontReplica]:
+        replicas = self._thread_replicas[thread]
+        if replicas is None:
+            replicas = [
+                self._controllers[i].replicas[thread]
+                for i in self._subsets[thread]
+            ]
+            self._thread_replicas[thread] = replicas
+        return replicas
+
+    def transmitter(self, t: int) -> int:
+        return self._replicas_for(t % self._gamma)[0].holder
+
+    def silent_round(self, t: int) -> None:
+        for replica in self._replicas_for(t % self._gamma):
+            replica.observe(ChannelOutcome.SILENCE, None)
+
+    def heard_round(self, t: int, sender: int, message: Message) -> tuple[int, ...]:
+        sender_ctrl = self._controllers[sender]
+        if sender_ctrl._in_flight is not None:
+            in_thread, packet = sender_ctrl._in_flight
+            queue = sender_ctrl.thread_queues.get(in_thread)
+            if queue and queue[0] is packet:
+                queue.popleft()
+            sender_ctrl._in_flight = None
+        for replica in self._replicas_for(t % self._gamma):
+            replica.observe(ChannelOutcome.HEARD, message)
+        return (sender,)
+
+
 @register_algorithm("k-subsets")
 class KSubsets(RoutingAlgorithm):
     """The k-Subsets algorithm of Section 6.
@@ -288,6 +342,9 @@ class KSubsets(RoutingAlgorithm):
             for i in range(self.n)
         ]
         clock.attach(controllers)
+        driver = _KSubsetsBlockDriver(controllers)
+        for ctrl in controllers:
+            ctrl.block_driver = driver
         return controllers
 
     def properties(self) -> AlgorithmProperties:

@@ -7,6 +7,7 @@ round engine that arbitrates transmissions and performs delivery
 bookkeeping.
 """
 
+from .block import BlockEngine
 from .energy import EnergyCapViolation, EnergyMonitor, EnergyReport
 from .engine import DEFAULT_VIEW_WINDOW, AdversaryView, EngineConfig, RoundEngine
 from .events import ExecutionTrace, InjectionEvent, RoundEvent
@@ -18,6 +19,7 @@ from .station import StationController
 
 __all__ = [
     "AdversaryView",
+    "BlockEngine",
     "ChannelOutcome",
     "DEFAULT_VIEW_WINDOW",
     "EngineConfig",

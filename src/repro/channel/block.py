@@ -1,0 +1,379 @@
+"""Compiled round-block engine for token-withholding protocols.
+
+:class:`BlockEngine` is the third engine tier, above
+:class:`~repro.channel.kernel.KernelEngine`.  The kernel already negotiates
+away most per-round overhead, but it still drives every *busy* round
+through the full generic protocol: ``act`` on every awake station,
+feedback fan-out to every awake station, queue polls for every awake
+station.  The token-withholding algorithms (k-Cycle, k-Clique, k-Subsets,
+RRW/OF-RRW, MBTF) make almost all of that provably redundant:
+
+* only the replica-agreed token holder may transmit, so collisions are
+  impossible and the round's outcome is decided by **one** ``act`` call
+  (skipped outright when the holder's queue is known empty — the silence
+  invariant says an empty holder withholds);
+* the feedback effects on every awake station are a pure function of the
+  outcome, applied directly by a per-algorithm
+  :class:`~repro.core.blocks.RoundBlockDriver` (one or two targeted
+  mutations instead of ``n`` ``on_feedback`` dispatches);
+* only driver-reported stations can have changed queue sizes, so heard
+  rounds poll a handful of stations instead of the whole awake set.
+
+Negotiation: the engine compiles blocks when the run is on the kernel's
+static-schedule or ticked wake tier with planned injections, incremental
+heard-only queue metrics, the silence invariant on every controller, and
+one shared driver attached to all controllers.  Anything missing — or a
+driver declining an individual block — degrades that block (never the
+run, never an error) to the inherited kernel loop, which remains
+bit-identical and resumable mid-chunk.  Results are bit-identical to both
+other engines; the equivalence property suites enforce it.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from .energy import EnergyCapViolation
+from .engine import EngineConfig, check_message
+from .feedback import ChannelOutcome
+from .kernel import KernelEngine
+from .message import Message
+from .station import StationController
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..adversary.base import Adversary
+    from ..core.blocks import RoundBlockDriver
+    from ..core.schedule import ObliviousSchedule
+    from ..metrics.collector import MetricsCollector
+
+__all__ = ["BlockEngine"]
+
+
+class BlockEngine(KernelEngine):
+    """Kernel engine that lowers eligible round blocks to compiled form.
+
+    Construction, negotiation and the fallback loop are inherited from
+    :class:`KernelEngine`; this class adds the block-eligibility
+    negotiation and the compiled per-block loop.  See the module
+    docstring for the eligibility conditions.
+    """
+
+    def __init__(
+        self,
+        controllers: Sequence[StationController],
+        adversary: "Adversary",
+        collector: "MetricsCollector | None" = None,
+        config: EngineConfig | None = None,
+        schedule: "ObliviousSchedule | None" = None,
+    ) -> None:
+        super().__init__(controllers, adversary, collector, config, schedule)
+        driver = getattr(self.controllers[0], "block_driver", None)
+        if driver is not None and not all(
+            getattr(ctrl, "block_driver", None) is driver
+            for ctrl in self.controllers
+        ):
+            driver = None
+        self._driver: "RoundBlockDriver | None" = driver
+        self._block_capable = (
+            driver is not None
+            and self._planned_injections
+            and self._incremental_metrics
+            and self._heard_only_polls
+            and (self._period_awake is not None or self._wake_oracle is not None)
+            and all(
+                getattr(ctrl, "silence_invariant", False)
+                for ctrl in self.controllers
+            )
+        )
+        # Static tier: awake membership as one bool matrix over the period
+        # (schedule.awake_matrix batch export), so the per-delivery
+        # "destination awake?" test is one cell lookup instead of a scan
+        # of the awake tuple.
+        self._period_member: np.ndarray | None = None
+        if self._block_capable and self._period_awake is not None:
+            self._period_member = self._schedule.awake_matrix(
+                0, len(self._period_awake)
+            )
+        #: Blocks run through the compiled loop (introspection).
+        self.blocks_compiled = 0
+        #: Blocks degraded to the inherited kernel loop (introspection).
+        self.blocks_fallback = 0
+
+    # -- negotiated capabilities ----------------------------------------------
+    @property
+    def uses_block_compilation(self) -> bool:
+        """True when the run is eligible for compiled round blocks."""
+        return self._block_capable
+
+    def negotiation(self) -> dict:
+        data = super().negotiation()
+        data["block_compilation"] = self.uses_block_compilation
+        data["blocks_compiled"] = self.blocks_compiled
+        data["blocks_fallback"] = self.blocks_fallback
+        return data
+
+    # -- main loop ------------------------------------------------------------
+    def run(self, rounds: int) -> None:
+        """Simulate ``rounds`` further rounds, block by block.
+
+        Each block spans one injection-plan chunk; the shared driver may
+        accept or decline each block independently, and declined blocks
+        run through the (resumable) kernel loop, so compiled and fallback
+        blocks interleave freely with bit-identical results.
+        """
+        if not self._block_capable:
+            self.blocks_fallback += 1
+            super().run(rounds)
+            return
+        driver = self._driver
+        chunk = self.config.plan_chunk
+        end = self.round_no + rounds
+        while self.round_no < end:
+            start = self.round_no
+            stop = min(start + chunk, end)
+            plan = self._plan_state
+            if plan is not None and plan.start <= start < plan.stop:
+                # Align the block with the cached (replayable) plan
+                # remainder so compiled and fallback paths consume the
+                # same chunk boundaries.
+                stop = min(plan.stop, end)
+            if driver.begin_block(start, stop):
+                self.blocks_compiled += 1
+                try:
+                    self._run_block(start, stop)
+                finally:
+                    driver.end_block(self.round_no)
+            else:
+                self.blocks_fallback += 1
+                super().run(stop - start)
+
+    def _run_block(self, start: int, stop: int) -> None:
+        """Drive rounds ``[start, stop)`` through the compiled loop.
+
+        Mirrors the kernel loop's 8 steps and its finally-block
+        reconciliation, with the per-round fan-out replaced by the
+        driver's single-transmitter protocol.  Aggregate counters stay
+        consistent on exceptions, exactly as in the kernel.
+        """
+        driver = self._driver
+        collector = self.collector
+        config = self.config
+        energy = self.energy
+        period = self._period_awake
+        period_len = len(period) if period is not None else 0
+        period_member = self._period_member
+        oracle = self._wake_oracle
+        oracle_tick = oracle.tick if oracle is not None else None
+        oracle_awake = oracle.awake_stations if oracle is not None else None
+        act = self._act
+        poll = self._poll
+        inject_into = self._inject_into
+        record_injection = collector.record_injection
+        record_delivery = collector.record_delivery
+        factory_make = (
+            self.adversary.factory.make
+            if self.adversary.factory is not None
+            else None
+        )
+        checked_messages = (
+            config.check_plain_packet or config.max_control_bits is not None
+        )
+        queue_sizes = self._queue_sizes
+        total_queue = self._total_queue
+        silence_capable = self._silence_capable
+        advance_silent = (
+            [ctrl.advance_silent_span for ctrl in self.controllers]
+            if silence_capable
+            else ()
+        )
+        record_queue_span = collector.record_queue_span
+        observe_span = energy.observe_span
+        energy_per_round = energy.per_round
+        total_queue_series = collector.total_queue_series
+        energy_series = collector.energy_series
+        per_station_max = collector.per_station_max_queue
+        cap = energy.cap
+        enforce_cap = energy.enforce
+        silence = ChannelOutcome.SILENCE
+        heard_outcome = ChannelOutcome.HEARD
+        transmitter = driver.transmitter
+        silent_round = driver.silent_round
+        heard_round = driver.heard_round
+        advance_span = driver.advance_span
+        n_silence = n_heard = 0
+        rounds_done = 0
+        counts_list: list[int] | None = None
+        energized = 0
+        if period is not None and self._period_counts is not None and stop > start:
+            counts_list = self._period_counts[
+                np.arange(start, stop, dtype=np.int64) % period_len
+            ].tolist()
+
+        plan = self._next_plan(start, stop)
+        plan_offsets = plan.offsets
+        plan_sources = plan.sources
+        plan_destinations = plan.destinations
+        plan_base = plan.start
+        plan_stop = plan.stop
+        try:
+            t = start
+            while t < stop:
+                # 0. Quiescent-span elision (same conditions and
+                #    bookkeeping as the kernel; the driver's advance_span
+                #    hook additionally keeps any canonical state current).
+                if silence_capable and total_queue == 0:
+                    plan_nonzero = plan.injection_rounds()
+                    pos = bisect_left(plan_nonzero, t)
+                    next_injection = (
+                        plan_nonzero[pos] if pos < len(plan_nonzero) else plan_stop
+                    )
+                    span_end = next_injection if next_injection < stop else stop
+                    span_counts: np.ndarray | None = None
+                    if span_end > t:
+                        if counts_list is not None:
+                            eligible = True
+                        else:
+                            span_counts = oracle.quiescent_awake_counts(t, span_end)
+                            eligible = span_counts is not None and (
+                                cap is None or int(span_counts.max()) <= cap
+                            )
+                            if not eligible:
+                                silence_capable = False
+                                self._silence_capable = False
+                        if eligible:
+                            span = span_end - t
+                            for advance in advance_silent:
+                                advance(t, span_end)
+                            advance_span(t, span_end)
+                            if counts_list is not None:
+                                energized += span
+                            else:
+                                oracle.advance_span(t, span_end)
+                                span_ints = span_counts.tolist()
+                                observe_span(span_ints)
+                                energy_series.extend(span_ints)
+                            record_queue_span(total_queue, span)
+                            n_silence += span
+                            rounds_done += span
+                            self.quiescent_rounds_elided += span
+                            t = span_end
+                            continue
+
+                # 1. Adversarial injections (plan slices; block capability
+                #    implies a planning adversary).
+                rel = t - plan_base
+                lo = plan_offsets[rel]
+                hi = plan_offsets[rel + 1]
+                injected: list[int] | None = None
+                if lo != hi:
+                    injected = []
+                    for j in range(lo, hi):
+                        station = plan_sources[j]
+                        packet = factory_make(
+                            destination=plan_destinations[j],
+                            injected_at=t,
+                            origin=station,
+                        )
+                        inject_into[station](t, packet)
+                        record_injection(packet, t)
+                        injected.append(station)
+
+                # 2. On/off decisions and energy accounting.
+                if period is not None:
+                    if counts_list is not None:
+                        energized += 1
+                    else:
+                        awake_count = len(period[t % period_len])
+                        energy_per_round.append(awake_count)
+                        if cap is not None and awake_count > cap:
+                            energy.violations += 1
+                            if enforce_cap:
+                                raise EnergyCapViolation(t, awake_count, cap)
+                else:
+                    oracle_tick(t)
+                    awake = oracle_awake(t)
+                    awake_count = len(awake)
+                    energy_per_round.append(awake_count)
+                    if cap is not None and awake_count > cap:
+                        energy.violations += 1
+                        if enforce_cap:
+                            raise EnergyCapViolation(t, awake_count, cap)
+
+                # 3+4. Single-candidate act and arbitration: only the
+                #      token holder may transmit, and an empty holder
+                #      provably withholds — unless an injection landed
+                #      this round (queue_sizes is polled post-round, so
+                #      it cannot yet see this round's injections).
+                s = transmitter(t)
+                message: Message | None = None
+                if s >= 0 and (queue_sizes[s] > 0 or injected is not None):
+                    message = act[s](t)
+
+                # 5+6. Delivery bookkeeping and feedback effects, applied
+                #      directly by the driver.
+                if message is None:
+                    n_silence += 1
+                    silent_round(t)
+                    changed: tuple[int, ...] = ()
+                else:
+                    if message.sender != s:
+                        raise ValueError(
+                            f"station {s} transmitted a message claiming sender "
+                            f"{message.sender}"
+                        )
+                    if checked_messages:
+                        check_message(config, s, message)
+                    n_heard += 1
+                    packet = message.packet
+                    if packet is not None:
+                        destination = packet.destination
+                        if (
+                            period_member[t % period_len, destination]
+                            if period_member is not None
+                            else destination in awake
+                        ):
+                            record_delivery(packet, destination, t)
+                    changed = heard_round(t, s, message)
+
+                # 7. Metrics: re-poll only stations whose queues can have
+                #    changed (driver-reported plus this round's injectees).
+                if injected is not None:
+                    for station in injected:
+                        size = poll[station]()
+                        if size != queue_sizes[station]:
+                            total_queue += size - queue_sizes[station]
+                            queue_sizes[station] = size
+                            if size > per_station_max[station]:
+                                per_station_max[station] = size
+                for i in changed:
+                    size = poll[i]()
+                    if size != queue_sizes[i]:
+                        total_queue += size - queue_sizes[i]
+                        queue_sizes[i] = size
+                        if size > per_station_max[i]:
+                            per_station_max[i] = size
+                total_queue_series.append(total_queue)
+                if counts_list is None:
+                    energy_series.append(awake_count)
+                rounds_done += 1
+                # (8. View maintenance: block capability implies an
+                #  oblivious adversary — there is no view to update.)
+                t += 1
+        finally:
+            self.round_no += rounds_done
+            self._total_queue = total_queue
+            if self._plan_state is not None and self.round_no >= self._plan_state.stop:
+                self._plan_state = None
+            if counts_list is not None:
+                energy_per_round.extend(counts_list[:energized])
+                collector.record_energy_series(counts_list[:rounds_done])
+            collector.rounds_observed += rounds_done
+            counts = collector.outcome_counts
+            for outcome, count in ((silence, n_silence), (heard_outcome, n_heard)):
+                if count:
+                    counts[outcome] = counts.get(outcome, 0) + count
+            energy.total_station_rounds = sum(energy_per_round)
+            energy.max_awake = max(energy_per_round, default=0)

@@ -83,7 +83,7 @@ from .message import Message
 from .station import StationController
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from ..adversary.base import Adversary
+    from ..adversary.base import Adversary, InjectionPlan
     from ..core.schedule import ObliviousSchedule, WakeOracle
     from ..metrics.collector import MetricsCollector
 
@@ -135,13 +135,16 @@ class KernelEngine:
         self.round_no = 0
         self._feedback_pool = FeedbackPool()
         # Unconsumed remainder of a fetched injection plan, carried across
-        # run() calls: (base, stop, offsets, sources, destinations).  A
-        # plan consumes the adversary's leaky-bucket budget for its whole
-        # window up front, so when an exception aborts a run mid-chunk the
-        # already-materialised rounds must be replayed from this cache on
-        # resume — re-planning would start from the post-chunk budget
-        # state and inject the wrong packets.
-        self._plan_state: tuple | None = None
+        # run() calls.  A plan consumes the adversary's leaky-bucket
+        # budget for its whole window up front, so when an exception
+        # aborts a run mid-chunk the already-materialised rounds must be
+        # replayed from this cache on resume — re-planning would start
+        # from the post-chunk budget state and inject the wrong packets.
+        self._plan_state: "InjectionPlan | None" = None
+        # The algorithm's published schedule (may be None); kept for
+        # subclasses that negotiate further batch exports from it (the
+        # block engine's awake-membership matrix).
+        self._schedule = schedule
 
         # -- negotiation: adversary observation --------------------------------
         self._window = negotiated_view_window(adversary, self.config.full_history)
@@ -286,6 +289,39 @@ class KernelEngine:
         """True when injection-free all-queues-empty spans are elided."""
         return self._silence_capable
 
+    def negotiation(self) -> dict:
+        """The negotiated capabilities as a plain dict (reports/CLI)."""
+        return {
+            "engine": type(self).__name__,
+            "schedule_fast_path": self.uses_schedule_fast_path,
+            "ticked_wakes": self.uses_ticked_wakes,
+            "vectorised_energy": self.uses_vectorised_energy,
+            "incremental_metrics": self.uses_incremental_metrics,
+            "maintains_view": self.maintains_view,
+            "planned_injections": self.uses_planned_injections,
+            "batched_view": self.uses_batched_view,
+            "quiescence_skipping": self.uses_quiescence_skipping,
+            "quiescent_rounds_elided": self.quiescent_rounds_elided,
+        }
+
+    # -- chunked plan management (shared with the block engine) ---------------
+    def _next_plan(self, t: int, stop: int) -> "InjectionPlan":
+        """The injection plan covering round ``t``, fetching if necessary.
+
+        Replays the cached remainder of an aborted chunk when one covers
+        ``t`` — the adversary's leaky-bucket budget for those rounds is
+        already consumed, so re-planning would inject the wrong packets.
+        Otherwise fetches and validates a fresh plan for ``[t, stop)``
+        and caches it for exactly that replay contingency.
+        """
+        plan = self._plan_state
+        if plan is not None and plan.start <= t < plan.stop:
+            return plan
+        plan = self.adversary.plan_injections(t, stop)
+        plan.validate(self.n)
+        self._plan_state = plan
+        return plan
+
     # -- main loop ------------------------------------------------------------
     def run(self, rounds: int) -> None:
         """Simulate ``rounds`` further rounds.
@@ -314,7 +350,6 @@ class KernelEngine:
         observe_scheduled = view.observe_scheduled if scheduled_view else None
         planned = self._planned_injections
         chunk = config.plan_chunk
-        plan_injections = adversary.plan_injections if planned else None
         # An unbound adversary has no factory; the first plan_injections
         # call raises the same RuntimeError inject() would, before this
         # None could be used.
@@ -376,30 +411,18 @@ class KernelEngine:
 
         # Chunked machinery: injection plans are fetched (and the
         # schedule-backed view's history ring refreshed) every ``chunk``
-        # rounds.  ``next_chunk`` is the first round of the next chunk.
+        # rounds.  ``next_chunk`` is the first round of the next chunk;
+        # it starts at the current round so the first loop iteration pulls
+        # a plan through _next_plan — which transparently replays the
+        # cached remainder of a chunk an earlier run() aborted inside.
         end = self.round_no + rounds
         next_chunk = self.round_no
         no_injections: tuple = ()
+        plan: "InjectionPlan | None" = None
         plan_offsets: list[int] = []
         plan_sources: list[int] = []
         plan_destinations: list[int] = []
         plan_base = 0
-        # Ascending rounds of the current chunk that carry injections,
-        # derived lazily from the plan offsets on the first quiescent-span
-        # probe of each chunk (including a chunk replayed from
-        # ``_plan_state``).
-        plan_nonzero: list[int] | None = None
-        if planned and self._plan_state is not None:
-            # A previous run aborted mid-chunk: replay the cached plan
-            # remainder instead of re-planning rounds whose budget the
-            # adversary has already consumed.
-            base, stop, offsets, sources, destinations = self._plan_state
-            if base <= self.round_no < stop:
-                plan_base, plan_offsets = base, offsets
-                plan_sources, plan_destinations = sources, destinations
-                next_chunk = stop
-            else:
-                self._plan_state = None
 
         try:
             t = self.round_no
@@ -410,32 +433,19 @@ class KernelEngine:
                 #    per-round inject() fallback.
                 if planned:
                     if t == next_chunk:
-                        plan = plan_injections(t, min(t + chunk, end))
-                        plan.validate(n)
+                        plan = self._next_plan(t, min(t + chunk, end))
                         plan_offsets = plan.offsets
                         plan_sources = plan.sources
                         plan_destinations = plan.destinations
-                        plan_base = t
+                        plan_base = plan.start
                         next_chunk = plan.stop
-                        plan_nonzero = None
-                        self._plan_state = (
-                            plan_base,
-                            next_chunk,
-                            plan_offsets,
-                            plan_sources,
-                            plan_destinations,
-                        )
                     if silence_capable and total_queue == 0:
                         # -- quiescent-span fast path: with every queue
                         # empty and the silence invariant declared, all
                         # rounds up to the chunk's next injection are
                         # silent and state-predictable — elide them in
                         # one step instead of looping.
-                        if plan_nonzero is None:
-                            offs = np.asarray(plan_offsets, dtype=np.int64)
-                            plan_nonzero = (
-                                np.flatnonzero(offs[1:] > offs[:-1]) + plan_base
-                            ).tolist()
+                        plan_nonzero = plan.injection_rounds()
                         pos = bisect_left(plan_nonzero, t)
                         next_injection = (
                             plan_nonzero[pos]
@@ -667,7 +677,7 @@ class KernelEngine:
             if (
                 planned
                 and self._plan_state is not None
-                and self.round_no >= self._plan_state[1]
+                and self.round_no >= self._plan_state.stop
             ):
                 # The cached plan is fully consumed; only aborted runs
                 # leave a remainder for the next run() to replay.

@@ -106,6 +106,14 @@ class StationController(abc.ABC):
     #: history (Adjust-Window's gossip records) must leave this False.
     silence_invariant: bool = False
 
+    #: The run's shared :class:`~repro.core.blocks.RoundBlockDriver`, for
+    #: algorithms whose rounds can be compiled by the block engine (at
+    #: most one candidate transmitter per round); ``None`` otherwise.
+    #: Every controller of a run must reference the *same* driver object —
+    #: the block engine treats a mismatch as "no driver" and falls back to
+    #: the kernel's per-round loop.
+    block_driver = None
+
     def advance_silent_span(self, start: int, stop: int) -> None:
         """Fast-forward this controller across the silent span ``[start, stop)``.
 

@@ -24,6 +24,7 @@ from .adversary.stochastic import SeededAdversary
 from .core import available_algorithms
 from .metrics.summary import RunSummary
 from .sim import ProgressTicker, ResultCache, run_simulation, spec_fragment, sweep
+from .sim.runner import ENGINE_KINDS
 from .sim.reporting import sweep_table
 from .sim.specs import (
     adversary_entry,
@@ -106,8 +107,12 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--rounds", type=int, default=10_000)
     run_p.add_argument("--seed", type=int, default=None,
                        help="RNG seed for stochastic adversaries")
+    run_p.add_argument("--engine", default=None, choices=ENGINE_KINDS,
+                       help="engine selector (default: auto)")
     run_p.add_argument("--reference-engine", action="store_true",
-                       help="force the checked reference loop instead of the kernel")
+                       help="shorthand for --engine reference")
+    run_p.add_argument("--negotiation", action="store_true",
+                       help="print the engine's negotiated-capability report")
 
     table_p = sub.add_parser("table1", help="regenerate Table 1 (paper vs measured)")
     table_p.add_argument("--full", action="store_true", help="full-size experiments")
@@ -139,8 +144,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="reuse finished runs from this cache directory")
     sweep_p.add_argument("--progress", action="store_true",
                          help="stderr ticker as sweep points finish")
+    sweep_p.add_argument("--engine", default=None, choices=ENGINE_KINDS,
+                         help="engine selector (default: auto)")
     sweep_p.add_argument("--reference-engine", action="store_true",
-                         help="force the checked reference loop instead of the kernel")
+                         help="shorthand for --engine reference")
     return parser
 
 
@@ -155,7 +162,15 @@ def _cmd_list() -> int:
 
 
 def _engine_from_args(args: argparse.Namespace) -> str:
-    return "reference" if getattr(args, "reference_engine", False) else "auto"
+    explicit = getattr(args, "engine", None)
+    reference = getattr(args, "reference_engine", False)
+    if explicit is not None:
+        if reference and explicit != "reference":
+            raise SystemExit(
+                f"--reference-engine conflicts with --engine {explicit}"
+            )
+        return explicit
+    return "reference" if reference else "auto"
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -167,6 +182,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     result = run_simulation(
         algorithm, adversary, args.rounds, engine=_engine_from_args(args)
     )
+    if args.negotiation:
+        print(f"engine: {result.engine_used}")
+        if result.negotiation is None:
+            print("  (reference engine: no capability negotiation)")
+        else:
+            for key, value in result.negotiation.items():
+                print(f"  {key}: {value}")
     print(RunSummary.header())
     print(result.summary.format_row())
     return 0 if result.stable else 2

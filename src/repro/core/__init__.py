@@ -1,6 +1,7 @@
 """Core routing-algorithm framework: controllers, queues, schedules, registry."""
 
 from .algorithm import AlgorithmProperties, RoutingAlgorithm
+from .blocks import RoundBlockDriver
 from .controller import QueueingController, TickedQueueingController
 from .queues import PacketQueue
 from .registry import available_algorithms, make_algorithm, register_algorithm
@@ -13,6 +14,7 @@ __all__ = [
     "PacketQueue",
     "PeriodicSchedule",
     "QueueingController",
+    "RoundBlockDriver",
     "RoutingAlgorithm",
     "TickedQueueingController",
     "WakeOracle",

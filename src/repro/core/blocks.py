@@ -1,0 +1,94 @@
+"""Round-block driver protocol for the compiled block engine.
+
+The token-withholding protocols in this codebase share a structural
+property the per-round engines cannot exploit: in every round there is at
+most **one** station that may transmit (the replica-agreed token holder),
+so collisions are impossible and the channel outcome is decided by a
+single ``act`` call.  A :class:`RoundBlockDriver` packages that knowledge
+per algorithm: it names the round's sole candidate transmitter and applies
+the feedback effects of the round directly to controller state, replacing
+the kernel's n-wide ``on_feedback`` fan-out with one or two targeted
+mutations.
+
+Algorithms opt in by attaching one shared driver instance to every
+controller (``ctrl.block_driver``) from their ``build_controllers``.  The
+:class:`~repro.channel.block.BlockEngine` negotiates for the driver at
+construction time and falls back to the kernel's per-round loop — per
+block, never for the whole run — whenever a driver is absent or declines
+a block.
+
+Contract (all rounds ``t`` are absolute round numbers):
+
+* Rounds are driven strictly in order within ``[start, stop)`` between a
+  ``begin_block``/``end_block`` pair; quiescent spans inside the block
+  may be elided, reported through :meth:`advance_span`.
+* For each executed round the engine calls :meth:`transmitter`, then the
+  candidate's ``act`` (skipped when its queue is provably empty — the
+  protocols are silence-invariant, so an empty holder withholds), then
+  exactly one of :meth:`silent_round` / :meth:`heard_round`.
+* :meth:`heard_round` must leave every awake controller in the state the
+  reference engine's ``on_feedback(HEARD)`` fan-out would, and return the
+  stations whose queue length may have changed (a superset is fine; the
+  engine re-polls exactly those, so an omission silently corrupts queue
+  metrics).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .feedback import Message
+
+__all__ = ["RoundBlockDriver"]
+
+
+class RoundBlockDriver(abc.ABC):
+    """Per-algorithm compiled-round driver (see module docstring)."""
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+
+    # -- block lifecycle ------------------------------------------------------
+    def begin_block(self, start: int, stop: int) -> bool:
+        """Prepare for rounds ``[start, stop)``; False declines the block.
+
+        Declining is always safe: the engine runs the block through the
+        kernel's per-round loop instead and asks again for the next one.
+        """
+        return True
+
+    def end_block(self, stop: int) -> None:
+        """Reconcile any driver-private state back into the controllers.
+
+        ``stop`` is the first round *not* executed; it may be earlier
+        than the ``stop`` passed to :meth:`begin_block` when the block
+        aborted mid-way (e.g. an energy-cap violation), so drivers that
+        keep canonical copies must sync what they have, not assume the
+        block completed.
+        """
+
+    def advance_span(self, start: int, stop: int) -> None:
+        """Observe that quiescent rounds ``[start, stop)`` were elided.
+
+        Controllers are advanced by the engine via ``advance_silent_span``
+        as usual; this hook exists for drivers that additionally keep
+        canonical state of their own (default: no-op).
+        """
+
+    # -- per-round protocol ---------------------------------------------------
+    @abc.abstractmethod
+    def transmitter(self, t: int) -> int:
+        """Station id of round ``t``'s sole candidate transmitter, -1 if none."""
+
+    @abc.abstractmethod
+    def silent_round(self, t: int) -> None:
+        """Apply the effects of a SILENCE outcome in round ``t``."""
+
+    @abc.abstractmethod
+    def heard_round(self, t: int, sender: int, message: "Message") -> tuple[int, ...]:
+        """Apply the effects of ``sender``'s message being heard in round ``t``.
+
+        Returns the station ids whose queue length may have changed.
+        """

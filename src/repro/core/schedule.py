@@ -189,6 +189,33 @@ class ObliviousSchedule(abc.ABC):
                 row[list(awake)] += 1
         return prefix
 
+    def awake_matrix(self, start: int, stop: int) -> "np.ndarray | None":
+        """Boolean awake matrix for rounds ``[start, stop)``, if periodic.
+
+        Row ``r`` of the ``(stop - start, n)`` array is round
+        ``start + r``'s on/off pattern: ``matrix[r, i]`` is True iff
+        station ``i`` is switched on.  This is the batch export behind
+        the block engine's membership tests (one O(1) cell lookup per
+        delivery check instead of an awake-tuple scan) — built once from
+        the period and tiled by congruence, so the cost is O(period × n)
+        regardless of the window length.  Aperiodic schedules return
+        ``None``.
+        """
+        if stop < start:
+            raise ValueError("awake matrix window is reversed")
+        period = self.periodic_awake_sets()
+        if period is None:
+            return None
+        base = getattr(self, "_awake_matrix_period", None)
+        if base is None:
+            base = np.zeros((len(period), self.n), dtype=bool)
+            for t, awake in enumerate(period):
+                if awake:
+                    base[t, list(awake)] = True
+            self._awake_matrix_period = base
+        idx = np.arange(start, stop, dtype=np.int64) % len(period)
+        return base[idx]
+
     def max_awake(self, horizon: int) -> int:
         """Maximum simultaneously-awake stations over ``[0, horizon)``."""
         return max((len(self.awake_set(t)) for t in range(horizon)), default=0)

@@ -20,9 +20,10 @@ until it drains — which is what yields stability at injection rate 1.
 
 from __future__ import annotations
 
-from ..channel.feedback import Feedback
+from ..channel.feedback import ChannelOutcome, Feedback
 from ..channel.message import Message
 from ..core.algorithm import AlgorithmProperties, RoutingAlgorithm
+from ..core.blocks import RoundBlockDriver
 from ..core.controller import QueueingController
 from ..core.registry import register_algorithm
 from ..core.schedule import AlwaysOnSchedule, ObliviousSchedule
@@ -69,6 +70,57 @@ class _MBTFController(QueueingController):
         self.replica.advance_silence(stop - start)
 
 
+class _MBTFBlockDriver(RoundBlockDriver):
+    """Compiled-round driver for the MBTF baseline.
+
+    Same canonical-replica scheme as the RRW driver, with the MBTF list
+    as the replicated state: silence advances the canonical token, a
+    heard big-bit moves the canonical list's sender to the front, and the
+    per-station replicas are refreshed from the canonical copy at block
+    end.
+    """
+
+    def __init__(self, controllers: list[_MBTFController]) -> None:
+        super().__init__(len(controllers))
+        self._controllers = controllers
+        self._canonical = MoveBigToFrontReplica(list(range(len(controllers))))
+
+    def begin_block(self, start: int, stop: int) -> bool:
+        source = self._controllers[0].replica
+        canonical = self._canonical
+        canonical.order = list(source.order)
+        canonical.token_pos = source.token_pos
+        canonical.holder = source.holder
+        return True
+
+    def end_block(self, stop: int) -> None:
+        canonical = self._canonical
+        for ctrl in self._controllers:
+            replica = ctrl.replica
+            replica.order = list(canonical.order)
+            replica.token_pos = canonical.token_pos
+            replica.holder = canonical.holder
+
+    def advance_span(self, start: int, stop: int) -> None:
+        self._canonical.advance_silence(stop - start)
+
+    def transmitter(self, t: int) -> int:
+        holder = self._canonical.holder
+        self._controllers[holder].replica.holder = holder
+        return holder
+
+    def silent_round(self, t: int) -> None:
+        self._canonical.observe(ChannelOutcome.SILENCE, None)
+
+    def heard_round(self, t: int, sender: int, message: Message) -> tuple[int, ...]:
+        sender_ctrl = self._controllers[sender]
+        if sender_ctrl._in_flight is not None:
+            sender_ctrl.queue.remove(sender_ctrl._in_flight)
+            sender_ctrl._in_flight = None
+        self._canonical.observe(ChannelOutcome.HEARD, message)
+        return (sender,)
+
+
 @register_algorithm("mbtf")
 class MoveBigToFront(RoutingAlgorithm):
     """Uncapped MBTF baseline: stable for injection rate 1 with energy cap n."""
@@ -80,10 +132,14 @@ class MoveBigToFront(RoutingAlgorithm):
         self.big_threshold = big_threshold
 
     def build_controllers(self) -> list[_MBTFController]:
-        return [
+        controllers = [
             _MBTFController(i, self.n, big_threshold=self.big_threshold)
             for i in range(self.n)
         ]
+        driver = _MBTFBlockDriver(controllers)
+        for ctrl in controllers:
+            ctrl.block_driver = driver
+        return controllers
 
     def properties(self) -> AlgorithmProperties:
         return AlgorithmProperties(

@@ -22,9 +22,10 @@ energy cap is ``n`` — the point of the paper is to do better.
 
 from __future__ import annotations
 
-from ..channel.feedback import Feedback
+from ..channel.feedback import ChannelOutcome, Feedback
 from ..channel.message import Message
 from ..core.algorithm import AlgorithmProperties, RoutingAlgorithm
+from ..core.blocks import RoundBlockDriver
 from ..core.controller import QueueingController
 from ..core.registry import register_algorithm
 from ..core.schedule import AlwaysOnSchedule, ObliviousSchedule
@@ -86,15 +87,81 @@ class _RRWController(QueueingController):
         self.replica.advance_silence(stop - start)
 
 
+class _RRWBlockDriver(RoundBlockDriver):
+    """Compiled-round driver for RRW / OF-RRW (one shared instance per run).
+
+    All ``n`` per-station token replicas are identical by construction, so
+    inside a block the driver advances one *canonical* replica per silent
+    round instead of ``n`` — synced from the controllers at block start
+    and written back to all of them at block end.  Quiescent-span elision
+    advances the per-station replicas through ``advance_silent_span`` as
+    usual; the :meth:`advance_span` hook applies the same jump to the
+    canonical copy so both stay consistent until the end-of-block sync.
+    """
+
+    def __init__(self, controllers: list[_RRWController], old_first: bool) -> None:
+        super().__init__(len(controllers))
+        self._controllers = controllers
+        self._old_first = old_first
+        self._canonical = TokenRingReplica(list(range(len(controllers))))
+
+    def begin_block(self, start: int, stop: int) -> bool:
+        source = self._controllers[0].replica
+        canonical = self._canonical
+        canonical.token_pos = source.token_pos
+        canonical.advancements = source.advancements
+        canonical.phase_no = source.phase_no
+        canonical.holder = source.holder
+        return True
+
+    def end_block(self, stop: int) -> None:
+        canonical = self._canonical
+        for ctrl in self._controllers:
+            replica = ctrl.replica
+            replica.token_pos = canonical.token_pos
+            replica.advancements = canonical.advancements
+            replica.phase_no = canonical.phase_no
+            replica.holder = canonical.holder
+
+    def advance_span(self, start: int, stop: int) -> None:
+        self._canonical.advance_silence(stop - start)
+
+    def transmitter(self, t: int) -> int:
+        holder = self._canonical.holder
+        # The holder's own (stale inside the block) replica must agree
+        # before act() runs its holder check.
+        self._controllers[holder].replica.holder = holder
+        return holder
+
+    def silent_round(self, t: int) -> None:
+        phase_done = self._canonical.observe(ChannelOutcome.SILENCE)
+        if phase_done and self._old_first:
+            for ctrl in self._controllers:
+                ctrl.queue.age_all()
+
+    def heard_round(self, t: int, sender: int, message: Message) -> tuple[int, ...]:
+        # The token stays with its holder on heard rounds; only the
+        # sender's confirmed packet leaves a queue.
+        sender_ctrl = self._controllers[sender]
+        if sender_ctrl._in_flight is not None:
+            sender_ctrl.queue.remove(sender_ctrl._in_flight)
+            sender_ctrl._in_flight = None
+        return (sender,)
+
+
 class _RRWBase(RoutingAlgorithm):
     """Shared scaffolding of the two withholding baselines."""
 
     old_first: bool = False
 
     def build_controllers(self) -> list[_RRWController]:
-        return [
+        controllers = [
             _RRWController(i, self.n, old_first=self.old_first) for i in range(self.n)
         ]
+        driver = _RRWBlockDriver(controllers, old_first=self.old_first)
+        for ctrl in controllers:
+            ctrl.block_driver = driver
+        return controllers
 
     def properties(self) -> AlgorithmProperties:
         return AlgorithmProperties(

@@ -6,6 +6,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Mapping, Sequence
 
 from ..adversary.base import Adversary
+from ..channel.block import BlockEngine
 from ..channel.energy import EnergyReport
 from ..channel.engine import EngineConfig, RoundEngine
 from ..channel.events import ExecutionTrace
@@ -17,18 +18,28 @@ from ..metrics.summary import RunSummary
 
 __all__ = ["ENGINE_KINDS", "RunResult", "resolve_engine", "run_simulation", "worst_case_over"]
 
-#: Valid values of the ``engine`` selector: ``"auto"`` picks the kernel
-#: unless the run needs a trace, ``"kernel"`` forces the fast loop,
-#: ``"reference"`` forces the checked oracle loop.
-ENGINE_KINDS = ("auto", "kernel", "reference")
+#: Valid values of the ``engine`` selector: ``"auto"`` picks the block
+#: engine unless the run needs a trace, ``"block"`` forces the compiled
+#: round-block loop (which itself degrades per block to kernel semantics
+#: whenever a capability is missing), ``"kernel"`` forces the
+#: capability-negotiated per-round loop, ``"reference"`` forces the
+#: checked oracle loop.  All four produce bit-identical results.
+ENGINE_KINDS = ("auto", "block", "kernel", "reference")
 
 
 def resolve_engine(engine: str, record_trace: bool) -> str:
-    """Resolve the ``engine`` selector to ``"kernel"`` or ``"reference"``."""
+    """Resolve the ``engine`` selector to a concrete engine kind.
+
+    ``"auto"`` prefers ``"block"``: runs whose components negotiate the
+    block capabilities get compiled blocks, and everything else falls
+    back — per block, inside the engine — to the kernel loop at
+    negligible cost, so the preference is always safe.  A requested
+    trace forces ``"reference"``, the only engine that records one.
+    """
     if engine not in ENGINE_KINDS:
         raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINE_KINDS}")
     if engine == "auto":
-        return "reference" if record_trace else "kernel"
+        return "reference" if record_trace else "block"
     return engine
 
 
@@ -44,6 +55,12 @@ class RunResult:
     collector: MetricsCollector
     energy: EnergyReport
     trace: ExecutionTrace | None = None
+    #: Concrete engine kind that executed the run ("block" / "kernel" /
+    #: "reference"), after ``auto`` resolution.
+    engine_used: str | None = None
+    #: The engine's negotiated-capability report (``None`` for the
+    #: reference loop, which negotiates nothing).
+    negotiation: dict | None = None
 
     @property
     def max_queue(self) -> int:
@@ -96,11 +113,13 @@ def run_simulation(
         Label stored in the resulting summary; defaults to a description
         of the configuration.
     engine:
-        ``"auto"`` (default) runs the capability-negotiated kernel loop
-        unless a trace is requested; ``"reference"`` is the escape hatch
-        forcing the original checked loop; ``"kernel"`` forces the fast
-        loop (and rejects ``record_trace``).  Both produce bit-identical
-        summaries (property-tested).
+        ``"auto"`` (default) runs the compiled round-block loop unless a
+        trace is requested; ``"block"`` forces that loop explicitly
+        (ineligible runs degrade per block to kernel semantics inside the
+        engine); ``"kernel"`` forces the capability-negotiated per-round
+        loop; ``"reference"`` is the escape hatch forcing the original
+        checked loop.  All engines produce bit-identical summaries
+        (property-tested).
     full_history:
         Keep the unbounded adversary view regardless of the adversary's
         declared observation profile.
@@ -136,8 +155,9 @@ def run_simulation(
         **config_kwargs,
     )
     kind = resolve_engine(engine, record_trace)
-    if kind == "kernel":
-        eng = KernelEngine(
+    if kind in ("block", "kernel"):
+        engine_cls = BlockEngine if kind == "block" else KernelEngine
+        eng = engine_cls(
             controllers,
             adversary,
             collector=collector,
@@ -157,6 +177,8 @@ def run_simulation(
         collector=collector,
         energy=eng.energy.report(),
         trace=eng.trace,
+        engine_used=kind,
+        negotiation=eng.negotiation() if kind != "reference" else None,
     )
 
 

@@ -1,0 +1,335 @@
+"""Property tests for the compiled round-block backend.
+
+:class:`~repro.channel.block.BlockEngine` lowers fully negotiated round
+blocks — static-schedule or ticked tier, silence-invariant controllers,
+planned injections, heard-only polling — to a single-transmitter compiled
+loop driven by the run's shared :class:`RoundBlockDriver`.  The contract
+pinned here:
+
+* every block-capable algorithm produces bit-identical collector and
+  energy state to both the kernel and the checked reference loop;
+* anything short of full capability degrades gracefully — whole-run
+  fallback for ineligible components, per-block fallback when the driver
+  declines a block — and still matches the reference bit for bit;
+* resolution (``auto`` → block) and the negotiation report are stable
+  introspection surfaces.
+"""
+
+import pytest
+
+from repro.channel.block import BlockEngine
+from repro.channel.engine import EngineConfig
+from repro.channel.kernel import KernelEngine
+from repro.channel.packet import PacketFactory
+from repro.core.registry import make_algorithm
+from repro.metrics.collector import MetricsCollector
+from repro.sim import RunSpec, execute_spec
+from repro.sim.runner import resolve_engine
+from repro.sim.specs import make_adversary
+
+#: Algorithms whose build_controllers attaches a shared block driver.
+BLOCK_CAPABLE = ["k-cycle", "k-clique", "k-subsets", "rrw", "of-rrw", "mbtf"]
+
+#: Algorithms without a block driver: whole-run kernel fallback.
+BLOCK_HOLDOUTS = [
+    ("count-hop", {"n": 6}),
+    ("orchestra", {"n": 6}),
+    ("adjust-window", {"n": 4}),
+]
+
+
+def _collector_state(collector: MetricsCollector) -> tuple:
+    return (
+        collector.total_queue_series,
+        collector.per_station_max_queue,
+        collector.energy_series,
+        collector.outcome_counts,
+        collector.delays,
+        collector.rounds_observed,
+        collector.injected_count,
+        collector.delivered_count,
+        sorted(collector.records),
+    )
+
+
+def _params_for(algorithm: str, n: int = 8) -> dict:
+    params = {"n": n}
+    if algorithm in ("k-cycle", "k-clique", "k-subsets"):
+        params["k"] = 3
+    return params
+
+
+def _build_engine(common, engine_cls, plan_chunk=64):
+    algorithm = make_algorithm(common["algorithm"], **common["algorithm_params"])
+    adversary = make_adversary(common["adversary"], **common["adversary_params"])
+    adversary.bind(algorithm.n, PacketFactory())
+    return engine_cls(
+        algorithm.build_controllers(),
+        adversary,
+        config=EngineConfig(enforce_energy_cap=False, plan_chunk=plan_chunk),
+        schedule=algorithm.oblivious_schedule(),
+    )
+
+
+@pytest.mark.parametrize("algorithm", BLOCK_CAPABLE)
+@pytest.mark.parametrize(
+    "adversary, adversary_params",
+    [
+        ("random", {"rho": 0.35, "beta": 2.0, "seed": 17}),
+        ("bursty", {"rho": 0.2, "beta": 4.0, "idle_rounds": 19}),
+        ("saturating", {"rho": 1.0, "beta": 2.0}),
+    ],
+)
+def test_block_capable_algorithms_match_kernel_and_reference(
+    algorithm, adversary, adversary_params
+):
+    common = dict(
+        algorithm=algorithm,
+        algorithm_params=_params_for(algorithm),
+        adversary=adversary,
+        adversary_params=adversary_params,
+        rounds=400,
+        enforce_energy_cap=False,
+        plan_chunk=97,
+    )
+    block = execute_spec(RunSpec(engine="block", **common))
+    kernel = execute_spec(RunSpec(engine="kernel", **common))
+    common.pop("plan_chunk")
+    reference = execute_spec(RunSpec(engine="reference", **common))
+
+    assert block.negotiation["block_compilation"], algorithm
+    assert block.negotiation["blocks_compiled"] > 0
+    assert block.negotiation["blocks_fallback"] == 0
+    for fast in (block, kernel):
+        assert fast.summary.as_dict() == reference.summary.as_dict()
+        assert _collector_state(fast.collector) == _collector_state(
+            reference.collector
+        )
+        assert fast.energy.total_station_rounds == reference.energy.total_station_rounds
+        assert fast.energy.max_awake == reference.energy.max_awake
+
+
+@pytest.mark.parametrize("algorithm, params", BLOCK_HOLDOUTS)
+def test_holdout_algorithms_fall_back_whole_run(algorithm, params):
+    common = dict(
+        algorithm=algorithm,
+        algorithm_params=params,
+        adversary="round-robin",
+        adversary_params={"rho": 0.4, "beta": 2.0},
+        rounds=300,
+        enforce_energy_cap=False,
+    )
+    block = execute_spec(RunSpec(engine="block", **common))
+    reference = execute_spec(RunSpec(engine="reference", **common))
+    assert not block.negotiation["block_compilation"], algorithm
+    assert block.negotiation["blocks_compiled"] == 0
+    assert block.negotiation["blocks_fallback"] > 0
+    assert block.summary.as_dict() == reference.summary.as_dict()
+    assert _collector_state(block.collector) == _collector_state(reference.collector)
+
+
+def test_unplanned_adversary_falls_back_whole_run():
+    """adaptive-starvation reads the channel, so no injection plan — the
+    block engine must degrade to the kernel loop without compiling."""
+    common = dict(
+        algorithm="k-cycle",
+        algorithm_params={"n": 8, "k": 3},
+        adversary="adaptive-starvation",
+        adversary_params={"rho": 0.3, "beta": 2.0},
+        rounds=300,
+        enforce_energy_cap=False,
+    )
+    block = execute_spec(RunSpec(engine="block", **common))
+    reference = execute_spec(RunSpec(engine="reference", **common))
+    assert not block.negotiation["block_compilation"]
+    assert block.negotiation["blocks_compiled"] == 0
+    assert block.summary.as_dict() == reference.summary.as_dict()
+    assert _collector_state(block.collector) == _collector_state(reference.collector)
+
+
+COMMON = dict(
+    algorithm="k-cycle",
+    algorithm_params={"n": 8, "k": 3},
+    adversary="random",
+    adversary_params={"rho": 0.3, "beta": 2.0, "seed": 29},
+)
+
+
+def test_mixed_eligible_and_declined_blocks_match_reference():
+    """A driver may decline any individual block (begin_block → False);
+    declined blocks run through the kernel loop and the mix must still be
+    bit-identical.  Decline every other block to interleave the paths."""
+    engine = _build_engine(COMMON, BlockEngine, plan_chunk=50)
+    assert engine.uses_block_compilation
+
+    driver = engine.controllers[0].block_driver
+    original = driver.begin_block
+    calls = {"count": 0}
+
+    def alternating(start, stop):
+        calls["count"] += 1
+        if calls["count"] % 2 == 0:
+            return False
+        return original(start, stop)
+
+    driver.begin_block = alternating
+    engine.run(500)
+    assert engine.blocks_compiled > 0
+    assert engine.blocks_fallback > 0
+
+    reference = execute_spec(
+        RunSpec(engine="reference", rounds=500, enforce_energy_cap=False, **COMMON)
+    )
+    assert _collector_state(engine.collector) == _collector_state(
+        reference.collector
+    )
+    report = engine.energy.report()
+    assert report.total_station_rounds == reference.energy.total_station_rounds
+    assert report.max_awake == reference.energy.max_awake
+    assert report.rounds == reference.energy.rounds
+
+
+def test_mid_run_decline_switchover_matches_reference():
+    """Compile for a while, then the driver starts declining: the mid-run
+    switchover (canonical state written back, kernel loop resumes from
+    member state) must leave no seam."""
+    engine = _build_engine(COMMON, BlockEngine, plan_chunk=25)
+    driver = engine.controllers[0].block_driver
+    original = driver.begin_block
+
+    def decline_after_round_200(start, stop):
+        if start >= 200:
+            return False
+        return original(start, stop)
+
+    driver.begin_block = decline_after_round_200
+    engine.run(450)
+    assert engine.blocks_compiled > 0
+    assert engine.blocks_fallback > 0
+
+    reference = execute_spec(
+        RunSpec(engine="reference", rounds=450, enforce_energy_cap=False, **COMMON)
+    )
+    assert _collector_state(engine.collector) == _collector_state(
+        reference.collector
+    )
+
+
+@pytest.mark.parametrize("splits", [(123, 377), (1, 499), (250, 249, 1)])
+def test_segmented_block_runs_match_single_run(splits):
+    """run() may be called repeatedly; segment boundaries land mid-chunk
+    and mid-activity-segment and must not disturb the compiled state."""
+    segmented = _build_engine(COMMON, BlockEngine, plan_chunk=64)
+    for piece in splits:
+        segmented.run(piece)
+    single = _build_engine(COMMON, BlockEngine, plan_chunk=64)
+    single.run(sum(splits))
+    assert _collector_state(segmented.collector) == _collector_state(
+        single.collector
+    )
+    assert segmented.energy.report() == single.energy.report()
+
+
+def test_auto_prefers_block_and_trace_forces_reference():
+    assert resolve_engine("auto", record_trace=False) == "block"
+    assert resolve_engine("auto", record_trace=True) == "reference"
+    assert resolve_engine("kernel", record_trace=False) == "kernel"
+    with pytest.raises(ValueError, match="unknown engine"):
+        resolve_engine("compiled", record_trace=False)
+
+
+def test_run_result_reports_engine_and_negotiation():
+    result = execute_spec(
+        RunSpec(rounds=60, enforce_energy_cap=False, **COMMON)
+    )
+    assert result.engine_used == "block"
+    neg = result.negotiation
+    assert neg["engine"] == "BlockEngine"
+    for key in (
+        "schedule_fast_path",
+        "planned_injections",
+        "quiescence_skipping",
+        "block_compilation",
+        "blocks_compiled",
+        "blocks_fallback",
+    ):
+        assert key in neg
+    reference = execute_spec(
+        RunSpec(engine="reference", rounds=60, enforce_energy_cap=False, **COMMON)
+    )
+    assert reference.engine_used == "reference"
+    assert reference.negotiation is None
+
+
+def test_block_engine_requires_shared_driver():
+    """Controllers with per-station (non-shared) drivers must not
+    negotiate block compilation — the driver is one object for the run."""
+    engine = _build_engine(COMMON, BlockEngine)
+    assert engine.uses_block_compilation
+    # Simulate a buggy algorithm attaching distinct drivers.
+    algorithm = make_algorithm("k-cycle", n=8, k=3)
+    adversary = make_adversary("random", rho=0.3, beta=2.0, seed=29)
+    adversary.bind(algorithm.n, PacketFactory())
+    controllers = algorithm.build_controllers()
+    import copy
+
+    controllers[1].block_driver = copy.copy(controllers[1].block_driver)
+    engine = BlockEngine(
+        controllers,
+        adversary,
+        config=EngineConfig(enforce_energy_cap=False),
+        schedule=algorithm.oblivious_schedule(),
+    )
+    assert not engine.uses_block_compilation
+    engine.run(50)  # still runs, via the kernel loop
+    assert engine.blocks_compiled == 0
+
+
+# ---------------------------------------------------------------------------
+# Batch awake-matrix export and the optional numba probe
+# ---------------------------------------------------------------------------
+
+
+def test_schedule_awake_matrix_tiles_the_period():
+    import numpy as np
+
+    schedule = make_algorithm("k-clique", n=8, k=4).oblivious_schedule()
+    period = schedule.periodic_awake_sets()
+    matrix = schedule.awake_matrix(0, len(period))
+    assert matrix.shape == (len(period), 8)
+    assert matrix.dtype == np.bool_
+    for t, awake in enumerate(period):
+        assert set(np.flatnonzero(matrix[t]).tolist()) == set(awake)
+    # Arbitrary windows tile modulo the period.
+    window = schedule.awake_matrix(5, 5 + 3 * len(period))
+    for row in range(window.shape[0]):
+        assert (window[row] == matrix[(5 + row) % len(period)]).all()
+    with pytest.raises(ValueError):
+        schedule.awake_matrix(10, 5)
+
+
+def test_accel_probe_degrades_cleanly_without_numba():
+    """With numba absent the probe must be a silent no-op: the decorator
+    returns the function unchanged and the offsets scan falls back to
+    numpy.  (A numba-installed CI leg exercises the jitted branch.)"""
+    import numpy as np
+
+    from repro import _accel
+
+    @_accel.maybe_jit
+    def plain(x):
+        return x + 1
+
+    @_accel.maybe_jit(cache=True)
+    def with_kwargs(x):
+        return x * 2
+
+    assert plain(1) == 2
+    assert with_kwargs(3) == 6
+    if not _accel.HAVE_NUMBA:
+        assert plain.__name__ == "plain"
+
+    offsets = np.array([0, 0, 2, 2, 3, 3], dtype=np.int64)
+    assert _accel.injection_round_indices(offsets).tolist() == [1, 3]
+    empty = np.array([0], dtype=np.int64)
+    assert _accel.injection_round_indices(empty).tolist() == []

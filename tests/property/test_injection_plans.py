@@ -196,6 +196,34 @@ def test_plans_compose_with_per_round_injection(family):
     assert _constraint_state(mixed) == _constraint_state(reference)
 
 
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_plan_array_export_matches_per_round_pairs(family):
+    """``as_arrays`` (the compiled block backend's CSR view) and
+    ``injection_rounds`` agree with the per-round pair listing."""
+    import numpy as np
+
+    adversary = FAMILIES[family](0.6, 2.0)
+    adversary.bind(N, PacketFactory())
+    start, stop = 5, 133
+    plan = adversary.plan_injections(start, stop)
+    plan.validate(N)
+
+    offsets, sources, destinations = plan.as_arrays()
+    assert offsets.dtype == sources.dtype == destinations.dtype == np.int64
+    assert offsets[0] == 0 and offsets[-1] == len(sources)
+    expected_rounds = []
+    for t in range(start, stop):
+        lo, hi = offsets[t - start], offsets[t - start + 1]
+        got = list(zip(sources[lo:hi].tolist(), destinations[lo:hi].tolist()))
+        assert got == plan.pairs_for(t)
+        if got:
+            expected_rounds.append(t)
+    assert plan.injection_rounds() == expected_rounds
+    # Both exports are cached: same objects on repeated calls.
+    assert plan.as_arrays() is (offsets, sources, destinations) or plan.as_arrays()[0] is offsets
+    assert plan.injection_rounds() is plan.injection_rounds()
+
+
 def test_plan_validate_rejects_malformed_plans():
     from repro.adversary import InjectionPlan
 

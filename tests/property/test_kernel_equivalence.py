@@ -1,13 +1,16 @@
-"""Property tests: the kernel loop is bit-identical to the reference loop.
+"""Property tests: the fast loops are bit-identical to the reference loop.
 
 The capability-negotiated kernel (`repro.channel.kernel.KernelEngine`)
 skips whatever bookkeeping a run's components declare they do not need —
 view maintenance for oblivious adversaries, per-station wake-up calls for
 schedule-driven controllers, full queue polling for incremental-metrics
-controllers.  None of that may change a single statistic: the checked
-reference loop is the oracle, and for any random :class:`RunSpec` the two
-engines must produce identical summaries, energy reports and packet
-bookkeeping.
+controllers.  The compiled round-block backend
+(`repro.channel.block.BlockEngine`) goes further and lowers fully
+negotiated blocks to a single-transmitter loop, falling back per block to
+the kernel when a capability is missing.  None of that may change a
+single statistic: the checked reference loop is the oracle, and for any
+random :class:`RunSpec` all three engines must produce identical
+summaries, energy reports and packet bookkeeping.
 """
 
 import pytest
@@ -45,7 +48,7 @@ def _algorithm_fragments(draw):
 
 
 @st.composite
-def run_spec_pair_strategy(draw) -> tuple[RunSpec, RunSpec]:
+def run_spec_triple_strategy(draw) -> tuple[RunSpec, RunSpec, RunSpec]:
     """One random configuration, spec'd once per engine."""
     algorithm, algorithm_params = _algorithm_fragments(draw)
     adversary = draw(
@@ -83,36 +86,40 @@ def run_spec_pair_strategy(draw) -> tuple[RunSpec, RunSpec]:
         enforce_energy_cap=False,
     )
     return (
+        RunSpec(engine="block", **common),
         RunSpec(engine="kernel", **common),
         RunSpec(engine="reference", **common),
     )
 
 
-@given(pair=run_spec_pair_strategy())
+@given(triple=run_spec_triple_strategy())
 @settings(
     max_examples=30,
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow],
 )
-def test_kernel_matches_reference_summaries(pair):
-    kernel_spec, reference_spec = pair
+def test_fast_engines_match_reference_summaries(triple):
+    block_spec, kernel_spec, reference_spec = triple
+    block = execute_spec(block_spec)
     kernel = execute_spec(kernel_spec)
     reference = execute_spec(reference_spec)
 
-    assert kernel.summary.as_dict() == reference.summary.as_dict()
-    assert kernel.energy.rounds == reference.energy.rounds
-    assert kernel.energy.total_station_rounds == reference.energy.total_station_rounds
-    assert kernel.energy.max_awake == reference.energy.max_awake
-    # Fine-grained collector state, not just the condensed summary.
-    kc, rc = kernel.collector, reference.collector
-    assert kc.total_queue_series == rc.total_queue_series
-    assert kc.per_station_max_queue == rc.per_station_max_queue
-    assert kc.energy_series == rc.energy_series
-    assert kc.outcome_counts == rc.outcome_counts
-    assert kc.delays == rc.delays
-    assert sorted(kc.records) == sorted(rc.records)
+    for fast in (block, kernel):
+        assert fast.summary.as_dict() == reference.summary.as_dict()
+        assert fast.energy.rounds == reference.energy.rounds
+        assert fast.energy.total_station_rounds == reference.energy.total_station_rounds
+        assert fast.energy.max_awake == reference.energy.max_awake
+        # Fine-grained collector state, not just the condensed summary.
+        kc, rc = fast.collector, reference.collector
+        assert kc.total_queue_series == rc.total_queue_series
+        assert kc.per_station_max_queue == rc.per_station_max_queue
+        assert kc.energy_series == rc.energy_series
+        assert kc.outcome_counts == rc.outcome_counts
+        assert kc.delays == rc.delays
+        assert sorted(kc.records) == sorted(rc.records)
 
 
+@pytest.mark.parametrize("engine", ["kernel", "block"])
 @pytest.mark.parametrize(
     "algorithm, algorithm_params, rounds",
     [
@@ -131,7 +138,7 @@ def test_kernel_matches_reference_summaries(pair):
     ],
 )
 def test_ticked_algorithms_match_reference_across_stage_boundaries(
-    algorithm, algorithm_params, rounds
+    algorithm, algorithm_params, rounds, engine
 ):
     common = dict(
         algorithm=algorithm,
@@ -141,7 +148,7 @@ def test_ticked_algorithms_match_reference_across_stage_boundaries(
         rounds=rounds,
         enforce_energy_cap=False,
     )
-    kernel = execute_spec(RunSpec(engine="kernel", **common))
+    kernel = execute_spec(RunSpec(engine=engine, **common))
     reference = execute_spec(RunSpec(engine="reference", **common))
     assert kernel.summary.as_dict() == reference.summary.as_dict()
     assert (
@@ -151,6 +158,7 @@ def test_ticked_algorithms_match_reference_across_stage_boundaries(
     assert kernel.collector.delays == reference.collector.delays
 
 
+@pytest.mark.parametrize("engine", ["kernel", "block"])
 @pytest.mark.parametrize("plan_chunk", [1, 7, 64, 4096])
 @pytest.mark.parametrize(
     "adversary, adversary_params",
@@ -161,7 +169,7 @@ def test_ticked_algorithms_match_reference_across_stage_boundaries(
     ],
 )
 def test_planned_injection_chunk_boundaries_match_reference(
-    adversary, adversary_params, plan_chunk
+    adversary, adversary_params, plan_chunk, engine
 ):
     """Batched-injection runs are bit-identical to the reference loop for
     every chunking granularity, including degenerate one-round plans and
@@ -175,7 +183,7 @@ def test_planned_injection_chunk_boundaries_match_reference(
         enforce_energy_cap=False,
     )
     kernel = execute_spec(
-        RunSpec(engine="kernel", plan_chunk=plan_chunk, **common)
+        RunSpec(engine=engine, plan_chunk=plan_chunk, **common)
     )
     reference = execute_spec(RunSpec(engine="reference", **common))
     assert kernel.summary.as_dict() == reference.summary.as_dict()
@@ -186,11 +194,14 @@ def test_planned_injection_chunk_boundaries_match_reference(
     assert sorted(kc.records) == sorted(rc.records)
 
 
+@pytest.mark.parametrize("engine", ["kernel", "block"])
 @pytest.mark.parametrize("plan_chunk", [1, 13, 4096])
-def test_batched_windowed_view_chunk_boundaries_match_reference(plan_chunk):
+def test_batched_windowed_view_chunk_boundaries_match_reference(plan_chunk, engine):
     """The schedule-backed view path (windowed adversary on the static
     schedule tier) is bit-identical to the reference loop at every ring
-    flush cadence."""
+    flush cadence.  The block engine cannot compile these runs (the
+    adversary does not plan injections), so its rows pin the per-block
+    kernel fallback."""
     common = dict(
         algorithm="k-cycle",
         algorithm_params={"n": 12, "k": 4},
@@ -200,7 +211,7 @@ def test_batched_windowed_view_chunk_boundaries_match_reference(plan_chunk):
         enforce_energy_cap=False,
     )
     kernel = execute_spec(
-        RunSpec(engine="kernel", plan_chunk=plan_chunk, **common)
+        RunSpec(engine=engine, plan_chunk=plan_chunk, **common)
     )
     reference = execute_spec(RunSpec(engine="reference", **common))
     assert kernel.summary.as_dict() == reference.summary.as_dict()
@@ -210,7 +221,8 @@ def test_batched_windowed_view_chunk_boundaries_match_reference(plan_chunk):
     assert sorted(kc.records) == sorted(rc.records)
 
 
-def test_kernel_rejects_trace_recording():
+@pytest.mark.parametrize("engine", ["kernel", "block"])
+def test_fast_engines_reject_trace_recording(engine):
     spec = RunSpec(
         algorithm="k-cycle",
         algorithm_params={"n": 5, "k": 2},
@@ -218,7 +230,7 @@ def test_kernel_rejects_trace_recording():
         adversary_params={"rho": 0.2, "beta": 1.0},
         rounds=10,
         record_trace=True,
-        engine="kernel",
+        engine=engine,
     )
     with pytest.raises(ValueError, match="does not record traces"):
         execute_spec(spec)

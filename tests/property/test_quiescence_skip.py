@@ -14,6 +14,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro.channel.block import BlockEngine
 from repro.channel.engine import EngineConfig
 from repro.channel.kernel import KernelEngine
 from repro.channel.packet import PacketFactory
@@ -98,6 +99,7 @@ def test_span_skipping_kernel_matches_reference_and_per_round_kernel(common):
             **common,
         )
     )
+    block = execute_spec(RunSpec(engine="block", plan_chunk=plan_chunk, **common))
     reference = execute_spec(RunSpec(engine="reference", **common))
 
     assert skipping.summary.as_dict() == reference.summary.as_dict()
@@ -107,21 +109,29 @@ def test_span_skipping_kernel_matches_reference_and_per_round_kernel(common):
     assert _collector_state(skipping.collector) == _collector_state(
         per_round.collector
     )
+    # The compiled-block engine elides the same quiescent spans inside
+    # its blocks; every algorithm in SILENCE_CAPABLE has a block driver.
+    assert block.summary.as_dict() == reference.summary.as_dict()
+    assert _collector_state(block.collector) == _collector_state(
+        reference.collector
+    )
     assert (
         skipping.energy.total_station_rounds
         == reference.energy.total_station_rounds
     )
     assert skipping.energy.max_awake == reference.energy.max_awake
+    assert block.energy.total_station_rounds == reference.energy.total_station_rounds
+    assert block.energy.max_awake == reference.energy.max_awake
 
 
-def _build_kernel(common, plan_chunk=64, **config_kwargs):
+def _build_kernel(common, plan_chunk=64, engine_cls=KernelEngine, **config_kwargs):
     algorithm = make_algorithm(common["algorithm"], **common["algorithm_params"])
     adversary = make_adversary(common["adversary"], **common["adversary_params"])
     adversary.bind(algorithm.n, PacketFactory())
     config = EngineConfig(
         enforce_energy_cap=False, plan_chunk=plan_chunk, **config_kwargs
     )
-    return KernelEngine(
+    return engine_cls(
         algorithm.build_controllers(),
         adversary,
         config=config,
@@ -173,6 +183,7 @@ def test_quiescence_skip_config_knob_disables_the_fast_path():
     assert engine.quiescent_rounds_elided == 0
 
 
+@pytest.mark.parametrize("engine_cls", [KernelEngine, BlockEngine])
 @pytest.mark.parametrize(
     "splits",
     [
@@ -184,11 +195,11 @@ def test_quiescence_skip_config_knob_disables_the_fast_path():
         (499, 1),
     ],
 )
-def test_aborted_mid_span_run_resumes_from_plan_remainder(splits):
+def test_aborted_mid_span_run_resumes_from_plan_remainder(splits, engine_cls):
     reference = execute_spec(
         RunSpec(engine="reference", rounds=500, enforce_energy_cap=False, **BURSTY_COMMON)
     )
-    engine = _build_kernel(BURSTY_COMMON, plan_chunk=64)
+    engine = _build_kernel(BURSTY_COMMON, plan_chunk=64, engine_cls=engine_cls)
     assert sum(splits) == 500
     for piece in splits:
         engine.run(piece)
