@@ -36,7 +36,13 @@ from .patterns import (
     SingleSourceSprayAdversary,
     SingleTargetAdversary,
 )
-from .stochastic import HotspotAdversary, RandomWalkAdversary, UniformRandomAdversary
+from .stochastic import (
+    DEFAULT_RNG_VERSION,
+    HotspotAdversary,
+    RandomWalkAdversary,
+    SeededAdversary,
+    UniformRandomAdversary,
+)
 from .traces import InjectionTrace, RecordingAdversary, ReplayAdversary, TraceEntry
 
 __all__ = [
@@ -46,6 +52,7 @@ __all__ = [
     "AlternatingPairAdversary",
     "BurstThenIdleAdversary",
     "DEFAULT_OBSERVATION_WINDOW",
+    "DEFAULT_RNG_VERSION",
     "GroupLocalAdversary",
     "HotspotAdversary",
     "InjectionDemand",
@@ -64,6 +71,7 @@ __all__ = [
     "RoundRobinAdversary",
     "SaturatingAdversary",
     "ScheduleLike",
+    "SeededAdversary",
     "SingleSourceSprayAdversary",
     "SingleTargetAdversary",
     "TraceEntry",

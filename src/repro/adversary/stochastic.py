@@ -13,14 +13,17 @@ stream is consumed is **versioned**, because the stream is part of a
 seeded run's identity (recorded runs, caches and replays must keep
 reproducing bit-identical traffic):
 
-* ``rng_version=1`` (the default, and the only protocol that existed
-  before it was versioned) draws per round, with the *number* of calls
-  depending on the realised budget.  It cannot be vectorised without
-  changing the stream, so the generic
+* ``rng_version=1`` (the only protocol that existed before it was
+  versioned) draws per round, with the *number* of calls depending on
+  the realised budget.  It cannot be vectorised without changing the
+  stream, so the generic
   :meth:`~repro.adversary.base.ObliviousAdversary._plan_chunk` replays
-  ``demand`` round by round inside the plan call — old recordings and
-  cached results replay unchanged.
-* ``rng_version=2`` is the *batched RNG protocol*: the stream is
+  ``demand`` round by round inside the plan call.  It is kept so
+  pre-versioned recordings replay unchanged: spec dicts serialised
+  before the version existed carry no ``rng_version`` key, and
+  :meth:`repro.sim.specs.RunSpec.from_dict` reads that absence as
+  version 1.
+* ``rng_version=2`` (the default) is the *batched RNG protocol*: the stream is
   consumed in fixed, absolute blocks of :data:`RNG_BLOCK` rounds, each
   materialised by a handful of array draws (raw per-round demand counts
   first, then the per-packet draws, in a fixed documented order) and
@@ -45,6 +48,7 @@ from .base import InjectionDemand, ObliviousAdversary
 from .leaky_bucket import LeakyBucketConstraint
 
 __all__ = [
+    "DEFAULT_RNG_VERSION",
     "RNG_BLOCK",
     "SeededAdversary",
     "UniformRandomAdversary",
@@ -57,6 +61,13 @@ __all__ = [
 #: at a time, so the constant is part of the protocol: changing it would
 #: change every version-2 stream.
 RNG_BLOCK = 4096
+
+#: RNG protocol new seeded adversaries speak unless told otherwise.  Spec
+#: dicts serialised before the protocol was versioned carry no
+#: ``rng_version`` key; :meth:`repro.sim.specs.RunSpec.from_dict` reads
+#: that absence as version 1, so flipping this default never rewrites the
+#: traffic of an existing recording.
+DEFAULT_RNG_VERSION = 2
 
 
 class SeededAdversary(ObliviousAdversary):
@@ -78,7 +89,7 @@ class SeededAdversary(ObliviousAdversary):
     """
 
     def __init__(
-        self, rho: float, beta: float, seed: int = 0, rng_version: int = 1
+        self, rho: float, beta: float, seed: int = 0, rng_version: int = DEFAULT_RNG_VERSION
     ) -> None:
         super().__init__(rho, beta)
         if rng_version not in (1, 2):
@@ -251,7 +262,7 @@ class HotspotAdversary(SeededAdversary):
         hot_station: int = 0,
         hot_fraction: float = 0.75,
         seed: int = 0,
-        rng_version: int = 1,
+        rng_version: int = DEFAULT_RNG_VERSION,
     ) -> None:
         super().__init__(rho, beta, seed, rng_version)
         if not 0 <= hot_fraction <= 1:
@@ -312,7 +323,7 @@ class RandomWalkAdversary(SeededAdversary):
         beta: float,
         drift_probability: float = 0.2,
         seed: int = 0,
-        rng_version: int = 1,
+        rng_version: int = DEFAULT_RNG_VERSION,
     ) -> None:
         super().__init__(rho, beta, seed, rng_version)
         if not 0 <= drift_probability <= 1:

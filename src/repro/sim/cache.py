@@ -25,7 +25,11 @@ from .specs import EXECUTION_FIELDS, RunSpec
 
 __all__ = ["CACHE_VERSION", "ResultCache", "default_cache_dir"]
 
-CACHE_VERSION = 1
+# Version 2: the seeded adversaries' default RNG protocol flipped to the
+# batched stream (rng_version=2).  Entries cached under version 1 may hold
+# results for specs whose dicts predate explicit rng_version recording, so
+# they cannot be trusted against the re-normalised spec hashes.
+CACHE_VERSION = 2
 
 
 def default_cache_dir() -> Path:

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
 from ..adversary import (
+    DEFAULT_RNG_VERSION,
     AdaptiveStarvationAdversary,
     Adversary,
     AlternatingPairAdversary,
@@ -38,6 +39,7 @@ from ..adversary import (
     RandomWalkAdversary,
     RoundRobinAdversary,
     SaturatingAdversary,
+    SeededAdversary,
     SingleSourceSprayAdversary,
     SingleTargetAdversary,
     UniformRandomAdversary,
@@ -284,6 +286,18 @@ class RunSpec:
         object.__setattr__(
             self, "adversary_params", _json_ready(self.adversary_params, "adversary")
         )
+        # Seeded stochastic adversaries: pin the RNG protocol explicitly.
+        # The constructor default flipped from 1 to 2 when the batched
+        # protocol became standard; recording the version in every new
+        # spec keeps serialised dicts unambiguous, so from_dict can read
+        # a *missing* key as a pre-versioned (v1) recording.
+        if (
+            issubclass(adversary_entry(self.adversary).cls, SeededAdversary)
+            and "rng_version" not in self.adversary_params
+        ):
+            params = dict(self.adversary_params)
+            params["rng_version"] = DEFAULT_RNG_VERSION
+            object.__setattr__(self, "adversary_params", params)
 
     # -- serialisation -------------------------------------------------------
     def identity_dict(self) -> dict:
@@ -323,12 +337,23 @@ class RunSpec:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RunSpec":
+        adversary = data["adversary"]
+        adversary_params = dict(data.get("adversary_params") or {})
+        # New specs always serialise the RNG protocol of a seeded
+        # adversary (__post_init__ pins it), so a dict *without* the key
+        # predates the versioning — replay it on protocol 1, the only
+        # stream that existed then, rather than the current default.
+        if (
+            issubclass(adversary_entry(adversary).cls, SeededAdversary)
+            and "rng_version" not in adversary_params
+        ):
+            adversary_params["rng_version"] = 1
         return cls(
             algorithm=data["algorithm"],
-            adversary=data["adversary"],
+            adversary=adversary,
             rounds=int(data["rounds"]),
             algorithm_params=dict(data.get("algorithm_params") or {}),
-            adversary_params=dict(data.get("adversary_params") or {}),
+            adversary_params=adversary_params,
             enforce_energy_cap=bool(data.get("enforce_energy_cap", True)),
             energy_cap=data.get("energy_cap"),
             record_trace=bool(data.get("record_trace", False)),

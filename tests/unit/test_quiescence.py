@@ -152,24 +152,58 @@ def test_seeded_adversary_rejects_unknown_rng_version():
 
 
 def test_rng_version_is_part_of_identity():
-    from repro.adversary import UniformRandomAdversary
+    from repro.adversary import DEFAULT_RNG_VERSION, UniformRandomAdversary
 
-    v1 = UniformRandomAdversary(0.5, 1.0, seed=1)
-    v2 = UniformRandomAdversary(0.5, 1.0, seed=1, rng_version=2)
-    assert v1.describe() != v2.describe()
-    assert "rng=v2" in v2.describe()
+    assert DEFAULT_RNG_VERSION == 2
+    default = UniformRandomAdversary(0.5, 1.0, seed=1)
+    v1 = UniformRandomAdversary(0.5, 1.0, seed=1, rng_version=1)
+    assert default.rng_version == 2
+    assert v1.describe() != default.describe()
+    assert "rng=v2" in default.describe()
     spec_v1 = RunSpec(
+        algorithm="rrw",
+        algorithm_params={"n": 5},
+        adversary="random",
+        adversary_params={"rho": 0.5, "beta": 1.0, "seed": 1, "rng_version": 1},
+        rounds=10,
+    )
+    spec_default = RunSpec(
         algorithm="rrw",
         algorithm_params={"n": 5},
         adversary="random",
         adversary_params={"rho": 0.5, "beta": 1.0, "seed": 1},
         rounds=10,
     )
-    spec_v2 = RunSpec(
+    assert spec_v1.spec_hash() != spec_default.spec_hash()
+
+
+def test_seeded_specs_pin_the_rng_protocol_explicitly():
+    """New specs record the seeded RNG protocol; a serialised dict
+    *without* the key is a pre-versioned recording and replays on v1."""
+    spec = RunSpec(
         algorithm="rrw",
         algorithm_params={"n": 5},
         adversary="random",
-        adversary_params={"rho": 0.5, "beta": 1.0, "seed": 1, "rng_version": 2},
+        adversary_params={"rho": 0.5, "beta": 1.0, "seed": 1},
         rounds=10,
     )
-    assert spec_v1.spec_hash() != spec_v2.spec_hash()
+    assert spec.adversary_params["rng_version"] == 2
+    assert spec.to_dict()["adversary_params"]["rng_version"] == 2
+    assert RunSpec.from_dict(spec.to_dict()) == spec
+
+    legacy = spec.to_dict()
+    del legacy["adversary_params"]["rng_version"]
+    replayed = RunSpec.from_dict(legacy)
+    assert replayed.adversary_params["rng_version"] == 1
+    assert replayed.spec_hash() != spec.spec_hash()
+
+    # Non-seeded adversaries are untouched by the normalisation.
+    plain = RunSpec(
+        algorithm="rrw",
+        algorithm_params={"n": 5},
+        adversary="round-robin",
+        adversary_params={"rho": 0.5, "beta": 1.0},
+        rounds=10,
+    )
+    assert "rng_version" not in plain.adversary_params
+    assert "rng_version" not in RunSpec.from_dict(plain.to_dict()).adversary_params
