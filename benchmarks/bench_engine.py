@@ -20,9 +20,13 @@ written first, so the artifact survives a failing run).  Gating also
 enforces the quiescent baseline bands: low-rate rows whose algorithm
 declares ``silence_invariant`` are timed a second time with
 ``quiescence_skip=False``, and the with-skip vs without-skip ratio must
-stay above the band recorded in :data:`QUIESCENT_BANDS` — and the
+stay above the band recorded in :data:`QUIESCENT_BANDS` — the
 compiled-block bands: the busy-round dense-rho rows must hold their
-block-vs-kernel speedup above :data:`BLOCK_BANDS`.
+block-vs-kernel speedup above :data:`BLOCK_BANDS` — and the
+segment-lowering bands: the dense token-withholding rows are timed a
+second time with ``lowering=False`` (the strictly per-round block loop),
+and the lowered vs per-round ratio must stay above
+:data:`LOWERED_BANDS`.
 
 The headline configuration — an oblivious adversary driving a
 schedule-published k-Cycle at n=64 in the paper's energy-frugal regime
@@ -196,12 +200,46 @@ CONFIGS: list[tuple[str, dict]] = [
         ),
     ),
     (
+        "of-rrw n=64, dense random rho=0.9 (compiled blocks, all awake)",
+        dict(
+            algorithm="of-rrw",
+            algorithm_params={"n": 64},
+            adversary="random",
+            adversary_params={"rho": 0.9, "beta": 2.0, "seed": 9},
+        ),
+    ),
+    (
         "mbtf n=64, dense random rho=0.95 (compiled blocks, all awake)",
         dict(
             algorithm="mbtf",
             algorithm_params={"n": 64},
             adversary="random",
             adversary_params={"rho": 0.95, "beta": 2.0, "seed": 9},
+        ),
+    ),
+    # -- restricted-driver rows: Count-Hop and Orchestra cannot promise
+    # the silence invariant (their named transmitters beacon with empty
+    # queues), so until this PR they always ran per-round.  The
+    # restricted block drivers compile their deterministic phases
+    # (Orchestra entirely; Count-Hop everything but the adaptive Report
+    # substage, which each block declines into the kernel fallback) —
+    # these rows are the first block numbers either algorithm has had.
+    (
+        "count-hop n=64, oblivious round-robin (restricted block driver)",
+        dict(
+            algorithm="count-hop",
+            algorithm_params={"n": 64},
+            adversary="round-robin",
+            adversary_params={"rho": 0.5, "beta": 2.0},
+        ),
+    ),
+    (
+        "orchestra n=64, oblivious round-robin (restricted block driver)",
+        dict(
+            algorithm="orchestra",
+            algorithm_params={"n": 64},
+            adversary="round-robin",
+            adversary_params={"rho": 0.5, "beta": 2.0},
         ),
     ),
 ]
@@ -229,12 +267,37 @@ QUIESCENT_BANDS: dict[str, float] = {
 BLOCK_BANDS: dict[str, float] = {
     "k-cycle n=64 k=8, dense random rho near threshold (compiled blocks)": 2.0,
     "rrw n=64, dense random rho=0.9 (compiled blocks, all awake)": 2.0,
+    "of-rrw n=64, dense random rho=0.9 (compiled blocks, all awake)": 2.0,
     "mbtf n=64, dense random rho=0.95 (compiled blocks, all awake)": 2.0,
+    # Restricted drivers: the floor only asserts "block beats kernel" —
+    # Count-Hop pays the per-block decline + kernel fallback through
+    # every Report substage, so its margin (~x1.17 on full horizons,
+    # thinner on smoke ones) is structurally smaller than the
+    # fully-compiled rows above; a total compilation failure shows up as
+    # ~x0.85, far below the floor.
+    "count-hop n=64, oblivious round-robin (restricted block driver)": 1.05,
+    "orchestra n=64, oblivious round-robin (restricted block driver)": 1.3,
+}
+
+#: Dense token-withholding configs whose drivers lower whole segments to
+#: array kernels: name -> the minimum acceptable lowered vs per-round
+#: block speedup (``lowering=True`` over ``lowering=False``, both on the
+#: block engine, so the ratio isolates the segment-lowering tier from the
+#: compiled-block win already gated above).  Full runs measure ~x1.5-1.7
+#: (RRW, MBTF) and ~x1.4 (OF-RRW) on the reference box — these are the
+#: ISSUE's >=1.5x dense-rho n=64 acceptance rows — but single-core CI
+#: timing is noisy, so the bands hold a conservative floor that still
+#: fails hard when lowering stops engaging (ratio ~x1.0).  Enforced
+#: whenever ``--fail-below`` gates a run.
+LOWERED_BANDS: dict[str, float] = {
+    "rrw n=64, dense random rho=0.9 (compiled blocks, all awake)": 1.3,
+    "of-rrw n=64, dense random rho=0.9 (compiled blocks, all awake)": 1.15,
+    "mbtf n=64, dense random rho=0.95 (compiled blocks, all awake)": 1.3,
 }
 
 # A band keyed by a name no config carries would silently stop gating the
 # span win — fail at import instead.
-_UNKNOWN_BANDS = (set(QUIESCENT_BANDS) | set(BLOCK_BANDS)) - {
+_UNKNOWN_BANDS = (set(QUIESCENT_BANDS) | set(BLOCK_BANDS) | set(LOWERED_BANDS)) - {
     name for name, _ in CONFIGS
 }
 assert not _UNKNOWN_BANDS, f"band keys not in CONFIGS: {sorted(_UNKNOWN_BANDS)}"
@@ -246,10 +309,15 @@ def _time_engine(
     rounds: int,
     repeats: int,
     quiescence_skip: bool = True,
+    lowering: bool = True,
 ) -> float:
     """Best-of-``repeats`` rounds/sec for one configuration and engine."""
     spec = RunSpec(
-        rounds=rounds, engine=engine, quiescence_skip=quiescence_skip, **template
+        rounds=rounds,
+        engine=engine,
+        quiescence_skip=quiescence_skip,
+        lowering=lowering,
+        **template,
     )
     best = 0.0
     for _ in range(repeats):
@@ -269,8 +337,12 @@ def run_benchmark(smoke: bool) -> dict:
         # awake-matrix builds) over a longer smoke horizon so the gated
         # ratio is not dominated by startup noise on shared CI boxes.
         rounds = base_rounds
-        if smoke and name in BLOCK_BANDS:
-            rounds = 8_000
+        if smoke and (name in BLOCK_BANDS or name in LOWERED_BANDS):
+            # The restricted-driver rows amortise a per-stage block cut
+            # (propose_stop aligns blocks with Count-Hop/Orchestra phase
+            # boundaries), so they need a longer horizon than the other
+            # banded rows before the gated ratio stabilises.
+            rounds = 16_000 if "restricted" in name else 8_000
         reference = _time_engine(template, "reference", rounds, repeats)
         kernel = _time_engine(template, "kernel", rounds, repeats)
         block = _time_engine(template, "block", rounds, repeats)
@@ -300,6 +372,17 @@ def run_benchmark(smoke: bool) -> dict:
         if block_band is not None:
             row["block_band"] = block_band
             extra += f"   block band x{block_band:.2f}"
+        lowered_band = LOWERED_BANDS.get(name)
+        if lowered_band is not None:
+            # Time the strictly per-round block loop too, so the
+            # trajectory records the segment-lowering win itself (the
+            # block-vs-kernel ratio above conflates it with the compiled
+            # per-round win).
+            no_lower = _time_engine(template, "block", rounds, repeats, lowering=False)
+            row["nolower_rps"] = round(no_lower, 1)
+            row["lowered_speedup"] = round(block / no_lower, 2)
+            row["lowered_band"] = lowered_band
+            extra += f"   lowered x{block / no_lower:.2f} (band x{lowered_band:.2f})"
         rows.append(row)
         print(
             f"{name:<58s} reference {reference:>10,.0f} rps   "
@@ -359,8 +442,10 @@ def speedup_failures(run: dict, minimum: float) -> list[str]:
     Every row's kernel-vs-reference speedup must reach ``minimum``;
     quiescent rows must additionally hold their span win — the
     kernel-with-skip vs kernel-without-skip ratio may not regress below
-    the recorded baseline band — and the busy-round rows must hold their
-    block-vs-kernel compiled-loop win above the BLOCK_BANDS floor.
+    the recorded baseline band — the busy-round rows must hold their
+    block-vs-kernel compiled-loop win above the BLOCK_BANDS floor — and
+    the dense token-withholding rows must hold their lowered vs
+    per-round block win above the LOWERED_BANDS floor.
     Block-banded rows are exempt from the kernel minimum: dense all-awake
     traffic is where the kernel's own negotiated wins are thinnest (it
     still pays the full per-awake-station fan-out), and those rows exist
@@ -382,6 +467,12 @@ def speedup_failures(run: dict, minimum: float) -> list[str]:
         f"< band x{row['block_band']:.2f}"
         for row in run["configs"]
         if "block_band" in row and row["block_speedup"] < row["block_band"]
+    )
+    failures.extend(
+        f"{row['name']}: lowered speedup x{row['lowered_speedup']:.2f} "
+        f"< band x{row['lowered_band']:.2f}"
+        for row in run["configs"]
+        if "lowered_band" in row and row["lowered_speedup"] < row["lowered_band"]
     )
     return failures
 

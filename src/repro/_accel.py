@@ -20,7 +20,14 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["HAVE_NUMBA", "maybe_jit", "injection_round_indices"]
+__all__ = [
+    "HAVE_NUMBA",
+    "maybe_jit",
+    "injection_round_indices",
+    "segment_round_totals",
+    "per_station_flow",
+    "count_transmitting",
+]
 
 try:  # pragma: no cover - exercised on the numba-installed CI leg
     from numba import njit as _njit
@@ -52,6 +59,13 @@ def maybe_jit(func=None, **jit_kwargs):
     return wrap
 
 
+# Each kernel below ships two bit-identical implementations: a scalar
+# loop ``_<name>_jit`` (plain Python on numba-free installs, njit-compiled
+# otherwise) and a vectorised numpy expression ``_<name>_np`` used as the
+# fallback.  tests/unit/test_accel_parity.py pins the two paths against
+# each other over randomised segment inputs on both CI legs.
+
+
 @maybe_jit(cache=False)
 def _injection_round_indices_jit(offsets):  # pragma: no cover - numba leg only
     out = np.empty(offsets.shape[0] - 1, dtype=np.int64)
@@ -61,6 +75,10 @@ def _injection_round_indices_jit(offsets):  # pragma: no cover - numba leg only
             out[m] = r
             m += 1
     return out[:m]
+
+
+def _injection_round_indices_np(offsets: np.ndarray) -> np.ndarray:
+    return np.flatnonzero(offsets[1:] > offsets[:-1])
 
 
 def injection_round_indices(offsets: np.ndarray) -> np.ndarray:
@@ -74,4 +92,134 @@ def injection_round_indices(offsets: np.ndarray) -> np.ndarray:
     """
     if HAVE_NUMBA:
         return _injection_round_indices_jit(offsets)
-    return np.flatnonzero(offsets[1:] > offsets[:-1])
+    return _injection_round_indices_np(offsets)
+
+
+@maybe_jit(cache=False)
+def _segment_round_totals_jit(  # pragma: no cover - numba leg only
+    delta_offsets, delta_values, initial_total
+):
+    rounds = delta_offsets.shape[0] - 1
+    out = np.empty(rounds, dtype=np.int64)
+    total = initial_total
+    for r in range(rounds):
+        for k in range(delta_offsets[r], delta_offsets[r + 1]):
+            total += delta_values[k]
+        out[r] = total
+    return out
+
+
+def _segment_round_totals_np(
+    delta_offsets: np.ndarray, delta_values: np.ndarray, initial_total: int
+) -> np.ndarray:
+    # Row sums via prefix-sum differences: ``np.add.reduceat`` returns
+    # ``operand[idx]`` for empty CSR rows, which silent rounds hit
+    # constantly, so the cumsum-diff form is the correct vectorisation.
+    prefix = np.concatenate(
+        (np.zeros(1, dtype=np.int64), np.cumsum(delta_values, dtype=np.int64))
+    )
+    per_round = prefix[delta_offsets[1:]] - prefix[delta_offsets[:-1]]
+    return np.cumsum(per_round, dtype=np.int64) + initial_total
+
+
+def segment_round_totals(
+    delta_offsets: np.ndarray, delta_values: np.ndarray, initial_total: int
+) -> np.ndarray:
+    """End-of-round total queue lengths of a lowered segment.
+
+    ``delta_offsets``/``delta_values`` are the segment's queue-delta CSR
+    (one row per round); the result is the running total starting from
+    ``initial_total``, one entry per round — exactly the slice the block
+    engine appends to ``MetricsCollector.total_queue_series``.
+    """
+    if HAVE_NUMBA:
+        return _segment_round_totals_jit(
+            delta_offsets, delta_values, np.int64(initial_total)
+        )
+    return _segment_round_totals_np(delta_offsets, delta_values, initial_total)
+
+
+@maybe_jit(cache=False)
+def _per_station_flow_jit(  # pragma: no cover - numba leg only
+    delta_stations, delta_values, base_sizes
+):
+    sizes = base_sizes.copy()
+    peaks = base_sizes.copy()
+    for k in range(delta_stations.shape[0]):
+        s = delta_stations[k]
+        sizes[s] += delta_values[k]
+        if sizes[s] > peaks[s]:
+            peaks[s] = sizes[s]
+    return sizes, peaks
+
+
+def _per_station_flow_np(
+    delta_stations: np.ndarray, delta_values: np.ndarray, base_sizes: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    sizes = base_sizes.copy()
+    peaks = base_sizes.copy()
+    m = delta_stations.shape[0]
+    if m == 0:
+        return sizes, peaks
+    # Group the entries by station with a stable sort (preserving the
+    # chronological order within each station), take within-group running
+    # sums, and reduce each group to its last value (final size) and its
+    # maximum (peak).  ``np.bincount(weights=...)`` promotes to float64
+    # and a global cumsum/cummax would leak across groups, hence the
+    # segmented form.
+    order = np.argsort(delta_stations, kind="stable")
+    stations = delta_stations[order]
+    cumulative = np.cumsum(delta_values[order], dtype=np.int64)
+    starts = np.flatnonzero(
+        np.concatenate((np.ones(1, dtype=bool), stations[1:] != stations[:-1]))
+    )
+    group_lengths = np.diff(np.concatenate((starts, np.asarray([m]))))
+    group_base = np.concatenate(
+        (np.zeros(1, dtype=np.int64), cumulative[starts[1:] - 1])
+    )
+    running = cumulative - np.repeat(group_base, group_lengths) + base_sizes[stations]
+    touched = stations[starts]
+    # reduceat is safe here: every group is non-empty by construction.
+    group_peaks = np.maximum.reduceat(running, starts)
+    sizes[touched] = running[starts + group_lengths - 1]
+    peaks[touched] = np.maximum(base_sizes[touched], group_peaks)
+    return sizes, peaks
+
+
+def per_station_flow(
+    delta_stations: np.ndarray, delta_values: np.ndarray, base_sizes: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fold a lowered segment's queue-delta CSR into per-station flows.
+
+    Starting from ``base_sizes`` (length-n int64, the queue sizes at
+    segment start), returns ``(sizes, peaks)``: the per-station sizes
+    after applying every delta in order, and the running per-station
+    maxima along the way (initialised at the base, so ``peaks >=
+    base_sizes`` elementwise).  Because the CSR carries at most one net
+    entry per station per round, the entry-level running values are
+    exactly the end-of-round sizes the per-round engines poll — which is
+    what makes the peaks usable for ``per_station_max_queue``.
+    """
+    if HAVE_NUMBA:
+        return _per_station_flow_jit(delta_stations, delta_values, base_sizes)
+    return _per_station_flow_np(delta_stations, delta_values, base_sizes)
+
+
+@maybe_jit(cache=False)
+def _count_transmitting_jit(transmitters):  # pragma: no cover - numba leg only
+    m = 0
+    for k in range(transmitters.shape[0]):
+        if transmitters[k] >= 0:
+            m += 1
+    return m
+
+
+def _count_transmitting_np(transmitters: np.ndarray) -> int:
+    return int(np.count_nonzero(transmitters >= 0))
+
+
+def count_transmitting(transmitters: np.ndarray) -> int:
+    """Number of heard rounds in a lowered segment's transmitter array."""
+    if HAVE_NUMBA:
+        return int(_count_transmitting_jit(transmitters))
+    return _count_transmitting_np(transmitters)

@@ -115,9 +115,35 @@ class InjectionPlan:
     _injection_rounds: "list[int] | None" = field(
         default=None, repr=False, compare=False
     )
+    # Structural fingerprint captured when the first cached view is
+    # built.  The caches are derived from the mutable list fields, so a
+    # plan that is mutated or re-chunked after its first export would
+    # silently serve stale CSR arrays; every cached read re-checks the
+    # O(1) fingerprint and raises instead.
+    _seal: "tuple | None" = field(default=None, repr=False, compare=False)
 
     def __len__(self) -> int:
         return len(self.sources)
+
+    def _fingerprint(self) -> tuple:
+        return (
+            self.start,
+            self.stop,
+            len(self.offsets),
+            len(self.sources),
+            len(self.destinations),
+            self.offsets[-1] if self.offsets else None,
+        )
+
+    def _check_seal(self) -> None:
+        if self._seal is None:
+            self._seal = self._fingerprint()
+        elif self._seal != self._fingerprint():
+            raise RuntimeError(
+                "InjectionPlan was mutated after its first array export; "
+                "the cached CSR views would be stale.  Build a new plan "
+                "instead of re-chunking one that engines already consumed."
+            )
 
     def as_arrays(self) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
         """The plan as structured arrays ``(offsets, sources, destinations)``.
@@ -125,8 +151,12 @@ class InjectionPlan:
         CSR layout: the injections of round ``start + r`` are rows
         ``offsets[r]:offsets[r + 1]`` of the flat source/destination
         arrays.  Built once and cached; all three are int64 so engine
-        code can index and compare them without dtype surprises.
+        code can index and compare them without dtype surprises.  The
+        plan is structurally sealed by the first export: mutating its
+        window or pair lists afterwards makes this raise ``RuntimeError``
+        rather than serve stale arrays.
         """
+        self._check_seal()
         if self._arrays is None:
             self._arrays = (
                 np.asarray(self.offsets, dtype=np.int64),
@@ -140,8 +170,10 @@ class InjectionPlan:
 
         This is the index the kernel and block engines binary-search when
         probing how far a quiescent span extends.  Cached after the first
-        call.
+        call; like :meth:`as_arrays` it raises if the plan was mutated
+        after the cache was built.
         """
+        self._check_seal()
         if self._injection_rounds is None:
             offsets = self.as_arrays()[0]
             self._injection_rounds = (

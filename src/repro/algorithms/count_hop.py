@@ -42,6 +42,7 @@ from __future__ import annotations
 from ..channel.feedback import Feedback
 from ..channel.message import Message
 from ..core.algorithm import AlgorithmProperties, RoutingAlgorithm
+from ..core.blocks import RoundBlockDriver
 from ..core.controller import TickedQueueingController
 from ..core.registry import register_algorithm
 from ..core.schedule import WakeOracle
@@ -313,6 +314,147 @@ class _CountHopController(TickedQueueingController):
                 self.my_offset = 0
 
 
+class _CountHopBlockDriver(RoundBlockDriver):
+    """Restricted compiled-round driver for Count-Hop.
+
+    Count-Hop is a beaconing algorithm — the coordinator transmits an
+    Assign control message whether or not any packets exist — so the
+    driver waives the silence invariant
+    (``relies_on_silence_invariant = False``) and the engine calls the
+    named transmitter's ``act`` unconditionally.
+
+    The driver is *restricted*: it compiles only the substages whose
+    transmitter sequence is fixed by the published stage schedule.
+
+    * **Warm-up** (``[0, n)``): every station off, trivially compiled.
+    * **Assign**: the coordinator beacons in every non-self slot —
+      deterministic, compiled.
+    * **Deliver**: senders follow the slot plan fixed at the end of the
+      Report substage — deterministic within the stage, compiled.
+      Assign and Deliver are contiguous, so they compile together as a
+      single block per stage.
+    * **Report** is *adaptive*: whether slot ``r`` transmits depends on
+      station ``r``'s private queue count, so these blocks are declined
+      (with a reason string surfaced through ``--negotiation``) and run
+      through the kernel fallback instead — never an error.
+
+    ``propose_stop`` aligns block boundaries with substage boundaries so
+    a declined Report substage never drags the compilable Assign/Deliver
+    rounds of the same chunk down with it.
+    """
+
+    relies_on_silence_invariant = False
+
+    def __init__(self, controllers: "list[_CountHopController]") -> None:
+        super().__init__(len(controllers))
+        self._controllers = controllers
+        self._clock = controllers[0].clock
+
+    # -- phase geometry --------------------------------------------------------
+    def _substage_at(self, start: int) -> tuple[str, int]:
+        """Substage containing ``start`` and its first round past the end.
+
+        Pure projection: the clock is only ticked up to ``start - 1``
+        when the engine plans a block, so ``start`` may sit one stage
+        ahead of the clock's current one (never more — blocks tick every
+        executed round).
+        """
+        clock = self._clock
+        n = self.n
+        if start < n:
+            return "warmup", n
+        stage_start = clock.stage_start
+        total = clock.total
+        if not clock._started:
+            stage_start, total = n, None
+        if total is not None and start >= stage_start + 2 * n + total:
+            stage_start += 2 * n + total
+            total = None
+        rel = start - stage_start
+        if rel < n:
+            return "report", stage_start + n
+        if rel < 2 * n:
+            # Assign and Deliver are both deterministic and contiguous,
+            # so they compile as ONE block: the span runs to the stage
+            # end (``total`` is already fixed — the Report substage set
+            # it before Assign began), halving the per-block setup cost
+            # against cutting at every substage boundary.
+            return "assign", stage_start + 2 * n + (total or 0)
+        return "deliver", stage_start + 2 * n + (total or 0)
+
+    def propose_stop(self, start: int, stop: int) -> int:
+        _, end = self._substage_at(start)
+        return end if end < stop else stop
+
+    def begin_block(self, start: int, stop: int) -> bool:
+        substage, _ = self._substage_at(start)
+        if substage == "report":
+            self.decline_reason = (
+                "count-hop: Report substage is adaptive "
+                "(transmissions depend on private queue counts)"
+            )
+            return False
+        return True
+
+    # -- per-round protocol ----------------------------------------------------
+    def transmitter(self, t: int) -> int:
+        clock = self._clock
+        if t < clock.n:
+            return -1
+        substage, slot = clock.substage(t)
+        receiver = clock.receiver
+        if substage == "report":
+            if (
+                slot not in (COORDINATOR, receiver)
+                and self._controllers[slot].my_count > 0
+            ):
+                return slot
+            return -1
+        if substage == "assign":
+            return COORDINATOR if slot != COORDINATOR else -1
+        plan = clock._deliver_plan
+        if plan is None:
+            plan = clock._build_deliver_plan()
+        sender = plan[slot] if 0 <= slot < len(plan) else None
+        return -1 if sender is None else sender
+
+    def silent_round(self, t: int) -> None:
+        clock = self._clock
+        if t < clock.n:
+            return
+        substage, slot = clock.substage(t)
+        if substage == "report":
+            coordinator = self._controllers[COORDINATOR]
+            coordinator._reported_counts.setdefault(slot, 0)
+            if slot == clock.n - 1 and clock.total is None:
+                clock.total = coordinator._coordinator_total()
+                coordinator.my_offset = 0
+
+    def heard_round(self, t: int, sender: int, message: Message) -> tuple[int, ...]:
+        clock = self._clock
+        substage, slot = clock.substage(t)
+        controllers = self._controllers
+        if substage == "report":
+            coordinator = controllers[COORDINATOR]
+            count = message.control.get("count")
+            if count is not None:
+                coordinator._reported_counts[sender] = int(count)
+            if slot == clock.n - 1 and clock.total is None:
+                clock.total = coordinator._coordinator_total()
+                coordinator.my_offset = 0
+            return ()
+        if substage == "assign":
+            target = message.intended_receiver
+            if target is not None and target != COORDINATOR:
+                controllers[target].my_offset = int(message.control["offset"])
+            return ()
+        sender_ctrl = controllers[sender]
+        if sender_ctrl._in_flight is not None:
+            sender_ctrl.queue.remove(sender_ctrl._in_flight)
+            sender_ctrl._in_flight = None
+        return (sender,)
+
+
 @register_algorithm("count-hop")
 class CountHop(RoutingAlgorithm):
     """The Count-Hop algorithm of Section 4.1 (energy cap 2, universal)."""
@@ -323,6 +465,9 @@ class CountHop(RoutingAlgorithm):
         clock = _CountHopClock(self.n)
         controllers = [_CountHopController(i, self.n, clock) for i in range(self.n)]
         clock.attach(controllers)
+        driver = _CountHopBlockDriver(controllers)
+        for ctrl in controllers:
+            ctrl.block_driver = driver
         return controllers
 
     def properties(self) -> AlgorithmProperties:

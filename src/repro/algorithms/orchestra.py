@@ -43,6 +43,7 @@ from ..channel.feedback import Feedback
 from ..channel.message import Message
 from ..channel.packet import Packet
 from ..core.algorithm import AlgorithmProperties, RoutingAlgorithm
+from ..core.blocks import RoundBlockDriver
 from ..core.controller import TickedQueueingController
 from ..core.registry import register_algorithm
 from ..core.schedule import WakeOracle
@@ -219,6 +220,63 @@ class _OrchestraController(TickedQueueingController):
                 self.clock.big_announced = True
 
 
+class _OrchestraBlockDriver(RoundBlockDriver):
+    """Restricted compiled-round driver for Orchestra.
+
+    Orchestra is the purest beaconing algorithm in the suite: the
+    conductor transmits its teach/big control message in **every** round
+    of its season, packets or not, so there are no silent rounds and the
+    silence invariant is meaningless — the driver sets
+    ``relies_on_silence_invariant = False`` and the engine calls the
+    conductor's ``act`` unconditionally.
+
+    Unlike Count-Hop, Orchestra has no adaptive phase to decline: the
+    round's sole transmitter is always the season's conductor (agreed by
+    every station through the shared baton-list clock), and the season
+    transitions — including the big-conductor move-to-front — are driven
+    by the clock tick the engine already issues once per round.  Every
+    block compiles.
+    """
+
+    relies_on_silence_invariant = False
+
+    def __init__(self, controllers: "list[_OrchestraController]") -> None:
+        super().__init__(len(controllers))
+        self._controllers = controllers
+        self._clock = controllers[0].clock
+
+    # -- per-round protocol ----------------------------------------------------
+    def transmitter(self, t: int) -> int:
+        return self._clock.conductor
+
+    def silent_round(self, t: int) -> None:
+        # Unreachable in practice: the conductor beacons every round.
+        pass
+
+    def heard_round(self, t: int, sender: int, message: Message) -> tuple[int, ...]:
+        clock = self._clock
+        controllers = self._controllers
+        changed: tuple[int, ...] = ()
+        conductor_ctrl = controllers[sender]
+        if conductor_ctrl._in_flight is not None:
+            conductor_ctrl.queue.remove(conductor_ctrl._in_flight)
+            conductor_ctrl._in_flight = None
+            changed = (sender,)
+        control = message.control
+        # Every awake listener mirrors the big-status toggle into the
+        # shared clock (the conductor itself does so in after_feedback
+        # with the identical value), and the round's learner stores the
+        # taught receive schedule for the conductor's next season.
+        if control.get("big"):
+            clock.big_announced = True
+        learner = control.get("learner")
+        if learner is not None and learner != sender:
+            controllers[learner]._next_receive[sender] = frozenset(
+                int(x) for x in control.get("teach", ())
+            )
+        return changed
+
+
 @register_algorithm("orchestra")
 class Orchestra(RoutingAlgorithm):
     """The Orchestra algorithm of Section 3.1 (energy cap 3, throughput 1)."""
@@ -229,6 +287,9 @@ class Orchestra(RoutingAlgorithm):
         clock = _OrchestraClock(self.n)
         controllers = [_OrchestraController(i, self.n, clock) for i in range(self.n)]
         clock.attach(controllers)
+        driver = _OrchestraBlockDriver(controllers)
+        for ctrl in controllers:
+            ctrl.block_driver = driver
         return controllers
 
     def properties(self) -> AlgorithmProperties:

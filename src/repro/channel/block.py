@@ -22,11 +22,34 @@ RRW/OF-RRW, MBTF) make almost all of that provably redundant:
 Negotiation: the engine compiles blocks when the run is on the kernel's
 static-schedule or ticked wake tier with planned injections, incremental
 heard-only queue metrics, the silence invariant on every controller, and
-one shared driver attached to all controllers.  Anything missing — or a
-driver declining an individual block — degrades that block (never the
+one shared driver attached to all controllers.  Restricted drivers for
+beaconing algorithms (Count-Hop, Orchestra) set
+``relies_on_silence_invariant = False``, which waives the
+silence-invariant conjunction: the engine then calls the named
+transmitter's ``act`` unconditionally (beacons are sent with empty
+queues) and the driver aligns block boundaries with its phase structure
+via ``propose_stop``, declining the adaptive phases per block with a
+reason string surfaced in the negotiation report.  Anything missing — or
+a driver declining an individual block — degrades that block (never the
 run, never an error) to the inherited kernel loop, which remains
-bit-identical and resumable mid-chunk.  Results are bit-identical to both
-other engines; the equivalence property suites enforce it.
+bit-identical and resumable mid-chunk.
+
+On top of the per-round driver protocol sits the *segment-lowering*
+tier: a driver that can prove its outcome sequence in closed form
+exports whole spans as :class:`~repro.core.blocks.LoweredSegment` arrays
+and the engine flushes outcome counts, the total-queue series,
+per-station maxima, energy, injections and deliveries with the
+vectorised kernels in :mod:`repro._accel` — no per-round Python at all.
+The span's injections are no obstacle: they come from the adversary's
+plan, so the driver simulates the arrivals too (referencing the
+to-be-created packets by plan index) and only cuts the segment when an
+injection actually invalidates its closed form — e.g. a restricted
+driver whose phase schedule was fixed from queue state.  The engine
+materialises the span's packets (in plan order, preserving packet-id
+assignment) only *after* accepting a segment, so a rejected segment
+(None, or a failed energy-cap pre-check) leaves no trace and the same
+rounds re-run through the per-round path.  Results are bit-identical to
+both other engines; the equivalence property suites enforce it.
 """
 
 from __future__ import annotations
@@ -36,6 +59,7 @@ from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
+from .._accel import count_transmitting, per_station_flow, segment_round_totals
 from .energy import EnergyCapViolation
 from .engine import EngineConfig, check_message
 from .feedback import ChannelOutcome
@@ -50,6 +74,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..metrics.collector import MetricsCollector
 
 __all__ = ["BlockEngine"]
+
+#: Rounds to wait before re-asking a driver to lower after it returned
+#: None.  Lowering probes are cheap but not free (a bisect plus the
+#: driver's own eligibility scan), so a driver stuck in a non-lowerable
+#: regime is only re-polled every few rounds.
+_LOWER_PROBE_BACKOFF = 16
 
 
 class BlockEngine(KernelEngine):
@@ -77,15 +107,24 @@ class BlockEngine(KernelEngine):
         ):
             driver = None
         self._driver: "RoundBlockDriver | None" = driver
+        # Restricted drivers for beaconing algorithms waive the
+        # silence-invariant conjunction; the engine then may not skip
+        # ``act`` for empty-queue transmitters (beacons carry no packet).
+        self._act_unconditional = driver is not None and not getattr(
+            driver, "relies_on_silence_invariant", True
+        )
         self._block_capable = (
             driver is not None
             and self._planned_injections
             and self._incremental_metrics
             and self._heard_only_polls
             and (self._period_awake is not None or self._wake_oracle is not None)
-            and all(
-                getattr(ctrl, "silence_invariant", False)
-                for ctrl in self.controllers
+            and (
+                self._act_unconditional
+                or all(
+                    getattr(ctrl, "silence_invariant", False)
+                    for ctrl in self.controllers
+                )
             )
         )
         # Static tier: awake membership as one bool matrix over the period
@@ -101,6 +140,29 @@ class BlockEngine(KernelEngine):
         self.blocks_compiled = 0
         #: Blocks degraded to the inherited kernel loop (introspection).
         self.blocks_fallback = 0
+        #: Why blocks were declined: reason string -> count (introspection).
+        self.block_decline_reasons: dict[str, int] = {}
+        #: Segments executed through the array-lowered path (introspection).
+        self.lowered_segments = 0
+        #: Rounds executed through the array-lowered path (introspection).
+        self.lowered_rounds = 0
+        #: Public toggle for the segment-lowering tier.  The benchmark
+        #: harness flips it off to time the per-round block loop against
+        #: the lowered path on otherwise identical runs; it is an
+        #: execution knob, not negotiated state, so results stay
+        #: bit-identical either way.
+        self.lowering_enabled = True
+        #: Shortest segment worth accepting from ``lower_segment``.  A
+        #: lowered segment pays a fixed commit cost (queue rebuilds,
+        #: array classification) that the per-round savings must
+        #: amortise; short silent spans — e.g. k-Cycle between activity
+        #: bursts, where the token walk cuts every few dozen rounds —
+        #: run faster through the per-round protocol, so proofs below
+        #: this span are discarded like a failed cap pre-check (nothing
+        #: was materialised, so a discard leaves no trace).  Execution
+        #: knob like :attr:`lowering_enabled`: results are bit-identical
+        #: for every value.
+        self.lower_min_span = 32
 
     # -- negotiated capabilities ----------------------------------------------
     @property
@@ -113,6 +175,10 @@ class BlockEngine(KernelEngine):
         data["block_compilation"] = self.uses_block_compilation
         data["blocks_compiled"] = self.blocks_compiled
         data["blocks_fallback"] = self.blocks_fallback
+        data["block_decline_reasons"] = dict(self.block_decline_reasons)
+        data["segment_lowering"] = self._block_capable and self.lowering_enabled
+        data["lowered_segments"] = self.lowered_segments
+        data["lowered_rounds"] = self.lowered_rounds
         return data
 
     # -- main loop ------------------------------------------------------------
@@ -140,6 +206,14 @@ class BlockEngine(KernelEngine):
                 # remainder so compiled and fallback paths consume the
                 # same chunk boundaries.
                 stop = min(plan.stop, end)
+            # Restricted drivers align blocks with their phase structure
+            # so a declined adaptive phase becomes its own (short)
+            # fallback block instead of dragging a compilable neighbour
+            # down with it.
+            proposed = driver.propose_stop(start, stop)
+            if start < proposed < stop:
+                stop = proposed
+            driver.decline_reason = None
             if driver.begin_block(start, stop):
                 self.blocks_compiled += 1
                 try:
@@ -148,6 +222,10 @@ class BlockEngine(KernelEngine):
                     driver.end_block(self.round_no)
             else:
                 self.blocks_fallback += 1
+                reason = driver.decline_reason or "declined without a reason"
+                self.block_decline_reasons[reason] = (
+                    self.block_decline_reasons.get(reason, 0) + 1
+                )
                 super().run(stop - start)
 
     def _run_block(self, start: int, stop: int) -> None:
@@ -203,8 +281,21 @@ class BlockEngine(KernelEngine):
         silent_round = driver.silent_round
         heard_round = driver.heard_round
         advance_span = driver.advance_span
+        lower_segment = driver.lower_segment
+        act_unconditional = self._act_unconditional
+        # The lowered path bypasses per-message validation, so checked
+        # configurations (plain-packet or control-bit budgets) keep the
+        # per-round loop, where check_message runs for every message.
+        lowering = self.lowering_enabled and not checked_messages
+        lower_min_span = self.lower_min_span
+        next_probe = start
         n_silence = n_heard = 0
         rounds_done = 0
+        # Per-call energy accumulators, folded into the monitor once in
+        # the ``finally`` — recomputing sum/max over the monitor's whole
+        # history per block would be quadratic across many short blocks.
+        run_station_rounds = 0
+        run_peak_awake = 0
         counts_list: list[int] | None = None
         energized = 0
         if period is not None and self._period_counts is not None and stop > start:
@@ -262,6 +353,107 @@ class BlockEngine(KernelEngine):
                             t = span_end
                             continue
 
+                # 0b. Segment lowering: ask the driver to prove a span —
+                #     planned injections included — in closed form and
+                #     execute it with the vectorised kernels.  Rejections
+                #     (None, or a failed cap pre-check) back off to the
+                #     per-round protocol below and re-probe later; no
+                #     packets are materialised before acceptance, so a
+                #     rejection leaves no trace.
+                if lowering and t >= next_probe:
+                    seg = lower_segment(t, stop, plan)
+                    if seg is None:
+                        next_probe = t + _LOWER_PROBE_BACKOFF
+                    elif seg.start != t or not t < seg.stop <= stop:
+                        raise ValueError(
+                            f"driver lowered [{seg.start}, {seg.stop}) "
+                            f"for requested span [{t}, {stop})"
+                        )
+                    elif seg.stop - t < lower_min_span:
+                        # Too short to amortise the commit cost: run the
+                        # proved span per-round and re-probe at its end.
+                        next_probe = seg.stop
+                    else:
+                        seg_counts = seg.awake_counts
+                        if period is not None:
+                            # Static tier: cap-safe batch counts required
+                            # (without them the per-round path owns the
+                            # cap accounting and must raise at the exact
+                            # violating round).
+                            cap_safe = counts_list is not None
+                        else:
+                            cap_safe = seg_counts is not None and (
+                                cap is None
+                                or not seg_counts.shape[0]
+                                or int(seg_counts.max()) <= cap
+                            )
+                        if not cap_safe:
+                            next_probe = seg.stop
+                        else:
+                            span = seg.stop - t
+                            values = seg.delta_values
+                            heard = count_transmitting(seg.transmitters)
+                            n_heard += heard
+                            n_silence += span - heard
+                            totals = segment_round_totals(
+                                seg.delta_offsets, values, total_queue
+                            )
+                            collector.record_round_totals(totals.tolist())
+                            if values.shape[0]:
+                                base = np.asarray(queue_sizes, dtype=np.int64)
+                                sizes, peaks = per_station_flow(
+                                    seg.delta_stations, values, base
+                                )
+                                for i in np.unique(seg.delta_stations).tolist():
+                                    queue_sizes[i] = int(sizes[i])
+                                    if peaks[i] > per_station_max[i]:
+                                        per_station_max[i] = int(peaks[i])
+                                total_queue = int(totals[-1])
+                            if counts_list is not None:
+                                energized += span
+                            else:
+                                span_ints = seg_counts.tolist()
+                                observe_span(span_ints)
+                                energy_series.extend(span_ints)
+                            # Materialise the span's planned injections in
+                            # plan order — identical packet-id assignment
+                            # to the per-round path — then resolve the
+                            # plan-index delivery references against them.
+                            j0 = plan_offsets[t - plan_base]
+                            j1 = plan_offsets[seg.stop - plan_base]
+                            packets: list = []
+                            if j1 > j0:
+                                plan_nonzero = plan.injection_rounds()
+                                pos = bisect_left(plan_nonzero, t)
+                                while (
+                                    pos < len(plan_nonzero)
+                                    and plan_nonzero[pos] < seg.stop
+                                ):
+                                    r = plan_nonzero[pos]
+                                    rel = r - plan_base
+                                    for j in range(
+                                        plan_offsets[rel], plan_offsets[rel + 1]
+                                    ):
+                                        packet = factory_make(
+                                            destination=plan_destinations[j],
+                                            injected_at=r,
+                                            origin=plan_sources[j],
+                                        )
+                                        record_injection(packet, r)
+                                        packets.append(packet)
+                                    pos += 1
+                            for rnd, delivered in seg.deliveries:
+                                if type(delivered) is int:
+                                    delivered = packets[delivered - j0]
+                                record_delivery(delivered, delivered.destination, rnd)
+                            seg.commit(packets)
+                            rounds_done += span
+                            self.lowered_segments += 1
+                            self.lowered_rounds += span
+                            t = seg.stop
+                            next_probe = t
+                            continue
+
                 # 1. Adversarial injections (plan slices; block capability
                 #    implies a planning adversary).
                 rel = t - plan_base
@@ -288,6 +480,9 @@ class BlockEngine(KernelEngine):
                     else:
                         awake_count = len(period[t % period_len])
                         energy_per_round.append(awake_count)
+                        run_station_rounds += awake_count
+                        if awake_count > run_peak_awake:
+                            run_peak_awake = awake_count
                         if cap is not None and awake_count > cap:
                             energy.violations += 1
                             if enforce_cap:
@@ -297,6 +492,9 @@ class BlockEngine(KernelEngine):
                     awake = oracle_awake(t)
                     awake_count = len(awake)
                     energy_per_round.append(awake_count)
+                    run_station_rounds += awake_count
+                    if awake_count > run_peak_awake:
+                        run_peak_awake = awake_count
                     if cap is not None and awake_count > cap:
                         energy.violations += 1
                         if enforce_cap:
@@ -306,10 +504,14 @@ class BlockEngine(KernelEngine):
                 #      token holder may transmit, and an empty holder
                 #      provably withholds — unless an injection landed
                 #      this round (queue_sizes is polled post-round, so
-                #      it cannot yet see this round's injections).
+                #      it cannot yet see this round's injections), or the
+                #      driver waived the silence invariant (beaconing
+                #      algorithms transmit with empty queues).
                 s = transmitter(t)
                 message: Message | None = None
-                if s >= 0 and (queue_sizes[s] > 0 or injected is not None):
+                if s >= 0 and (
+                    act_unconditional or queue_sizes[s] > 0 or injected is not None
+                ):
                     message = act[s](t)
 
                 # 5+6. Delivery bookkeeping and feedback effects, applied
@@ -368,12 +570,22 @@ class BlockEngine(KernelEngine):
             if self._plan_state is not None and self.round_no >= self._plan_state.stop:
                 self._plan_state = None
             if counts_list is not None:
-                energy_per_round.extend(counts_list[:energized])
+                flushed = counts_list[:energized]
+                energy_per_round.extend(flushed)
+                run_station_rounds += sum(flushed)
+                if flushed:
+                    peak = max(flushed)
+                    if peak > run_peak_awake:
+                        run_peak_awake = peak
                 collector.record_energy_series(counts_list[:rounds_done])
             collector.rounds_observed += rounds_done
             counts = collector.outcome_counts
             for outcome, count in ((silence, n_silence), (heard_outcome, n_heard)):
                 if count:
                     counts[outcome] = counts.get(outcome, 0) + count
-            energy.total_station_rounds = sum(energy_per_round)
-            energy.max_awake = max(energy_per_round, default=0)
+            # The span paths (quiescent elision, lowered segments) fold
+            # their counts in through EnergyMonitor.observe_span; this
+            # covers the per-round appends and the static-tier flush.
+            energy.total_station_rounds += run_station_rounds
+            if run_peak_awake > energy.max_awake:
+                energy.max_awake = run_peak_awake

@@ -180,17 +180,14 @@ class KernelEngine:
                 )
                 self._scheduled_view = True
         if self._period_awake is not None:
-            # Precompute the per-period awake-count series.  When the cap
-            # can never be exceeded (or there is none) the per-round
-            # energy bookkeeping is fully vectorised: no count, no check,
-            # no append in the loop — the series is flushed in one batch.
-            counts = np.fromiter(
-                (len(s) for s in self._period_awake),
-                dtype=np.int64,
-                count=len(self._period_awake),
-            )
+            # The per-period awake-count series (cached on the schedule).
+            # When the cap can never be exceeded (or there is none) the
+            # per-round energy bookkeeping is fully vectorised: no count,
+            # no check, no append in the loop — the series is flushed in
+            # one batch.
+            counts = schedule.periodic_awake_counts()
             cap = self.energy.cap
-            if cap is None or int(counts.max()) <= cap:
+            if counts is not None and (cap is None or int(counts.max()) <= cap):
                 self._period_counts = counts
 
         # -- negotiation: ticked wake protocol ---------------------------------
@@ -395,6 +392,12 @@ class KernelEngine:
         collision = ChannelOutcome.COLLISION
         n_silence = n_heard = n_collision = 0
         rounds_done = 0
+        # Per-call energy accumulators, folded into the monitor once in
+        # the ``finally`` — recomputing sum/max over the monitor's whole
+        # history per call would be quadratic across many resumed runs
+        # (e.g. as the block engine's per-block fallback).
+        run_station_rounds = 0
+        run_peak_awake = 0
         # Vectorised energy bookkeeping (schedule fast path, cap-safe):
         # the whole run's awake counts are materialised once from the
         # per-period numpy series and flushed in the finally block.
@@ -537,6 +540,9 @@ class KernelEngine:
                     else:
                         awake_count = len(awake)
                         energy_per_round.append(awake_count)
+                        run_station_rounds += awake_count
+                        if awake_count > run_peak_awake:
+                            run_peak_awake = awake_count
                         if cap is not None and awake_count > cap:
                             energy.violations += 1
                             if enforce_cap:
@@ -551,6 +557,9 @@ class KernelEngine:
                         )
                     awake_count = len(awake)
                     energy_per_round.append(awake_count)
+                    run_station_rounds += awake_count
+                    if awake_count > run_peak_awake:
+                        run_peak_awake = awake_count
                     if cap is not None and awake_count > cap:
                         energy.violations += 1
                         if enforce_cap:
@@ -692,7 +701,13 @@ class KernelEngine:
                 # monitor up to the last round that reached step 2, the
                 # collector only up to the last completed round — exactly
                 # what the per-round appends would have recorded.
-                energy_per_round.extend(counts_list[:energized])
+                flushed = counts_list[:energized]
+                energy_per_round.extend(flushed)
+                run_station_rounds += sum(flushed)
+                if flushed:
+                    peak = max(flushed)
+                    if peak > run_peak_awake:
+                        run_peak_awake = peak
                 collector.record_energy_series(counts_list[:rounds_done])
             collector.rounds_observed += rounds_done
             counts = collector.outcome_counts
@@ -703,5 +718,9 @@ class KernelEngine:
             ):
                 if count:
                     counts[outcome] = counts.get(outcome, 0) + count
-            energy.total_station_rounds = sum(energy_per_round)
-            energy.max_awake = max(energy_per_round, default=0)
+            # The quiescent-span path folds its counts in through
+            # EnergyMonitor.observe_span; this covers the per-round
+            # appends and the static-tier flush.
+            energy.total_station_rounds += run_station_rounds
+            if run_peak_awake > energy.max_awake:
+                energy.max_awake = run_peak_awake

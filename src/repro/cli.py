@@ -188,7 +188,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print("  (reference engine: no capability negotiation)")
         else:
             for key, value in result.negotiation.items():
-                print(f"  {key}: {value}")
+                if key == "block_decline_reasons" and value:
+                    # Per-driver decline reasons: one line per reason so
+                    # the *why* of each kernel fallback is readable, not
+                    # just the fallback count.
+                    print(f"  {key}:")
+                    for reason, count in sorted(value.items()):
+                        print(f"    {count}x {reason}")
+                else:
+                    print(f"  {key}: {value}")
     print(RunSummary.header())
     print(result.summary.format_row())
     return 0 if result.stable else 2

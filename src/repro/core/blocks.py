@@ -31,24 +31,133 @@ Contract (all rounds ``t`` are absolute round numbers):
   stations whose queue length may have changed (a superset is fine; the
   engine re-polls exactly those, so an omission silently corrupts queue
   metrics).
+* Drivers that can prove a sub-span's outcome sequence in closed form may
+  additionally *lower* it: :meth:`~RoundBlockDriver.lower_segment`
+  exports the span as a :class:`LoweredSegment` (transmitter ids,
+  per-round queue-delta CSR, deliveries, a ``commit`` callback) and the
+  engine replays it with vectorised kernels from :mod:`repro._accel`
+  instead of round-at-a-time Python.  Returning ``None`` is always safe —
+  the engine falls back to the per-round protocol and probes again later.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING
+import dataclasses
+from typing import TYPE_CHECKING, Callable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from .feedback import Message
+    import numpy as np
 
-__all__ = ["RoundBlockDriver"]
+    from ..adversary.base import InjectionPlan
+    from .feedback import Message
+    from .packet import Packet
+
+__all__ = ["LoweredSegment", "RoundBlockDriver"]
+
+
+@dataclasses.dataclass(slots=True)
+class LoweredSegment:
+    """Array-lowered execution of rounds ``[start, stop)``.
+
+    A driver that can prove its outcome sequence for a sub-span is
+    closed-form (token position, withdrawal order, a fixed phase
+    schedule — *including* the span's planned injections, which are
+    known ahead of time from the injection plan) exports the whole span
+    as arrays; the engine then flushes outcomes, queue series, energy,
+    injections and deliveries with vectorised kernels instead of
+    running the per-round driver protocol.
+
+    Invariants the engine relies on (and cheaply checks):
+
+    * ``transmitters`` has one entry per round: the heard sender's
+      station id, or -1 for a silent round.  Collisions cannot be
+      expressed — a driver that cannot rule them out must not lower.
+    * The queue-delta CSR (``delta_offsets`` into parallel
+      ``delta_stations``/``delta_values``) carries per-station
+      queue-length changes per round, **net per station per round**: at
+      most one entry per (round, station), because the engine folds the
+      CSR into end-of-round totals and per-station running maxima, and
+      the per-round path only ever observes end-of-round sizes (an
+      arrive-then-transmit round must not surface its intra-round
+      spike).
+    * ``deliveries`` lists ``(absolute_round, packet_or_plan_index)``
+      in round order for every heard packet whose destination is awake;
+      a plain ``int`` entry refers to a packet the span itself injects,
+      by absolute index into the injection plan's ``sources`` — the
+      engine materialises those packets (in plan order, preserving
+      packet-id assignment) only after accepting the segment and
+      resolves the indices.  Lowered segments must only be produced
+      when the driver can prove awakeness of every delivery destination
+      (always-on schedules, or clock-published receiver sets).
+    * ``awake_counts`` is required on the ticked tier (one entry per
+      round, each respecting the energy cap); static-schedule drivers
+      leave it ``None``.
+    * ``commit(packets)`` applies all controller/replica state
+      mutations of the span in one step; ``packets`` are the span's
+      materialised injections ordered by plan index (commit replays the
+      arrivals into the right queues alongside removals and aging).
+      ``lower_segment`` itself must be pure apart from idempotent clock
+      ticks at ``start`` — the engine may discard a segment and re-run
+      the same rounds through the per-round path.
+    """
+
+    start: int
+    stop: int
+    transmitters: "np.ndarray"
+    delta_stations: "np.ndarray"
+    delta_values: "np.ndarray"
+    delta_offsets: "np.ndarray"
+    deliveries: "list[tuple[int, Packet | int]]"
+    commit: "Callable[[list[Packet]], None]"
+    awake_counts: "np.ndarray | None" = None
 
 
 class RoundBlockDriver(abc.ABC):
     """Per-algorithm compiled-round driver (see module docstring)."""
 
+    #: Drivers for silence-invariant protocols (the default) rely on the
+    #: engine skipping ``act`` for empty-queue holders.  Restricted
+    #: drivers for beaconing algorithms (Count-Hop, Orchestra) set this
+    #: False; the engine then calls the named transmitter's ``act``
+    #: unconditionally and waives the all-controllers
+    #: ``silence_invariant`` eligibility conjunction.
+    relies_on_silence_invariant = True
+
     def __init__(self, n: int) -> None:
         self.n = n
+        #: Human-readable reason for the most recent declined block
+        #: (surfaced through the negotiation report); reset by the
+        #: engine before each ``begin_block``.
+        self.decline_reason: str | None = None
+
+    def propose_stop(self, start: int, stop: int) -> int:
+        """Propose a block boundary in ``(start, stop]``.
+
+        Restricted drivers align blocks with their phase structure so a
+        declined adaptive phase does not drag a compilable neighbour
+        down with it.  The default keeps the engine's boundary.
+        """
+        return stop
+
+    def lower_segment(
+        self, start: int, stop: int, plan: "InjectionPlan"
+    ) -> "LoweredSegment | None":
+        """Lower ``[start, stop)`` to arrays, or None to run per-round.
+
+        ``plan`` is the injection plan covering the span (``plan.start <=
+        start`` and ``stop <= plan.stop``): the span's injections are
+        known ahead of time, so drivers that can absorb arrivals simulate
+        them in closed form (referencing the to-be-created packets by
+        plan index, see :class:`LoweredSegment`), and drivers that cannot
+        cut the segment before the next planned injection round.
+
+        Implementations may cut early (return a segment with
+        ``segment.stop < stop``) but must cover at least one round and
+        never exceed ``stop``.  Must be pure until ``commit`` (see
+        :class:`LoweredSegment`); returning None is always safe.
+        """
+        return None
 
     # -- block lifecycle ------------------------------------------------------
     def begin_block(self, start: int, stop: int) -> bool:

@@ -117,6 +117,28 @@ class PacketQueue:
             _bump(self._old_for, packet.destination, -1)
         return packet
 
+    def replace(self, old_packets: list[Packet], new_packets: list[Packet]) -> None:
+        """Wholesale queue replacement (lowered-segment commits).
+
+        A lowered segment knows the queue's exact post-span contents, so
+        its commit swaps them in directly instead of replaying the span's
+        pushes, promotions and removals one call at a time; the
+        per-destination counters are rebuilt in one pass over the
+        survivors — O(backlog) rather than O(span traffic).
+        """
+        self._old = deque(old_packets)
+        self._new = deque(new_packets)
+        old_for: dict[int, int] = {}
+        for packet in old_packets:
+            destination = packet.destination
+            old_for[destination] = old_for.get(destination, 0) + 1
+        new_for: dict[int, int] = {}
+        for packet in new_packets:
+            destination = packet.destination
+            new_for[destination] = new_for.get(destination, 0) + 1
+        self._old_for = old_for
+        self._new_for = new_for
+
     def remove(self, packet: Packet) -> bool:
         """Remove a specific packet (by identity); returns True if found."""
         for store, counts in ((self._old, self._old_for), (self._new, self._new_for)):

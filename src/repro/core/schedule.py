@@ -189,6 +189,27 @@ class ObliviousSchedule(abc.ABC):
                 row[list(awake)] += 1
         return prefix
 
+    def periodic_awake_counts(self) -> "np.ndarray | None":
+        """Per-round awake counts over one period, if periodic.
+
+        Entry ``p`` of the returned int64 array is
+        ``len(periodic_awake_sets()[p])``; aperiodic schedules return
+        ``None``.  Cached on the instance — the kernel engine's
+        vectorised-energy tier and the block engine's lowered segments
+        both consume it, so the period scan runs once per schedule
+        instead of once per engine construction.
+        """
+        counts = getattr(self, "_awake_counts_period", None)
+        if counts is None:
+            period = self.periodic_awake_sets()
+            if period is None:
+                return None
+            counts = np.fromiter(
+                (len(s) for s in period), dtype=np.int64, count=len(period)
+            )
+            self._awake_counts_period = counts
+        return counts
+
     def awake_matrix(self, start: int, stop: int) -> "np.ndarray | None":
         """Boolean awake matrix for rounds ``[start, stop)``, if periodic.
 

@@ -149,6 +149,17 @@ class MetricsCollector:
         """
         self.total_queue_series.extend([total_queue] * rounds)
 
+    def record_round_totals(self, totals: "list[int]") -> None:
+        """Batch-append end-of-round total queue sizes (lowered segments).
+
+        The block engine's segment-lowering path computes a whole span's
+        running totals with one vectorised kernel and flushes them here;
+        like :meth:`record_queue_span` this leaves ``rounds_observed``
+        and the per-station maxima (updated from the segment's own
+        per-station flow kernel) to the caller.
+        """
+        self.total_queue_series.extend(totals)
+
     # -- derived statistics ----------------------------------------------------
     @property
     def pending_count(self) -> int:

@@ -22,10 +22,14 @@ energy cap is ``n`` — the point of the paper is to do better.
 
 from __future__ import annotations
 
+from bisect import bisect_left
+
+import numpy as np
+
 from ..channel.feedback import ChannelOutcome, Feedback
 from ..channel.message import Message
 from ..core.algorithm import AlgorithmProperties, RoutingAlgorithm
-from ..core.blocks import RoundBlockDriver
+from ..core.blocks import LoweredSegment, RoundBlockDriver
 from ..core.controller import QueueingController
 from ..core.registry import register_algorithm
 from ..core.schedule import AlwaysOnSchedule, ObliviousSchedule
@@ -147,6 +151,215 @@ class _RRWBlockDriver(RoundBlockDriver):
             sender_ctrl.queue.remove(sender_ctrl._in_flight)
             sender_ctrl._in_flight = None
         return (sender,)
+
+    def lower_segment(self, start: int, stop: int, plan) -> LoweredSegment | None:
+        """Drain-cycle simulation: the whole span in closed form.
+
+        The outcome sequence is fully determined by the token position,
+        the per-station eligible-packet lists and the span's *planned*
+        arrivals: the holder drains its eligible packets one per round, a
+        silent round advances the token, a completed phase (OF-RRW)
+        promotes the queued-meanwhile packets, and each planned arrival
+        joins its station's lists exactly where the per-round injection
+        step would put it.  Arrived-in-span packets are referenced by
+        plan index; the simulation walks snapshots only — no controller
+        state is touched until ``commit``.  Every station is always on,
+        so every heard packet is delivered.
+        """
+        controllers = self._controllers
+        canonical = self._canonical
+        n = self.n
+        old_first = self._old_first
+        pos = canonical.token_pos
+        adv = canonical.advancements
+        pending: list[list] = []
+        later: list[list] = []
+        live = 0
+        for ctrl in controllers:
+            queue = ctrl.queue
+            old = queue.old_packets()
+            new = queue.new_packets()
+            live += len(old) + len(new)
+            if old_first:
+                pending.append(old)
+                later.append(new)
+            else:
+                old.extend(new)
+                pending.append(old)
+                later.append([])
+        offsets = plan.offsets
+        plan_base = plan.start
+        sources = plan.sources
+        ai = offsets[start - plan_base]
+        live += offsets[stop - plan_base] - ai
+        if live == 0:
+            # All-silent span: queues empty and no arrivals planned.
+            # (Reachable only when the engine's quiescent-span elision is
+            # off; the token advance has a closed form of its own.)
+            span = stop - start
+
+            def commit_silent(packets: list) -> None:
+                canonical.advance_silence(span)
+
+            return LoweredSegment(
+                start=start,
+                stop=stop,
+                transmitters=np.full(span, -1, dtype=np.int64),
+                delta_stations=np.empty(0, dtype=np.int64),
+                delta_values=np.empty(0, dtype=np.int64),
+                delta_offsets=np.zeros(span + 1, dtype=np.int64),
+                deliveries=[],
+                commit=commit_silent,
+            )
+        inj_rounds = plan.injection_rounds()
+        ip = bisect_left(inj_rounds, start)
+        n_inj = len(inj_rounds)
+        next_arrival = inj_rounds[ip] if ip < n_inj and inj_rounds[ip] < stop else stop
+        consumed = [0] * n
+        dirty = [False] * n  # stations whose queue contents change in-span
+        transmitters: list[int] = []
+        deliveries: list[tuple[int, object]] = []
+        delta_stations: list[int] = []
+        delta_values: list[int] = []
+        delta_offsets: list[int] = [0]
+        phases = 0
+        t = start
+        cut = stop
+        holder = pos  # members are 0..n-1 in station order
+        t_append = transmitters.append
+        o_append = delta_offsets.append
+        s_append = delta_stations.append
+        v_append = delta_values.append
+        d_append = deliveries.append
+        # The holder's cursor is kept in locals between token moves (the
+        # hot drain loop reads it every round).
+        hold_list = pending[holder]
+        hold_i = consumed[holder]
+        hold_len = len(hold_list)
+        while t < stop:
+            if live == 0:
+                # Drained with no arrivals left: the tail is all silent —
+                # cut here so the engine's elision takes it in one step.
+                cut = t
+                break
+            if t == next_arrival:
+                row_start = len(delta_stations)
+                hi = offsets[t - plan_base + 1]
+                while ai < hi:
+                    s = sources[ai]
+                    if old_first:
+                        later[s].append(ai)
+                    else:
+                        pending[s].append(ai)
+                        if s == holder:
+                            hold_len += 1
+                    dirty[s] = True
+                    for k in range(row_start, len(delta_stations)):
+                        if delta_stations[k] == s:
+                            delta_values[k] += 1
+                            break
+                    else:
+                        s_append(s)
+                        v_append(1)
+                    ai += 1
+                ip += 1
+                next_arrival = (
+                    inj_rounds[ip] if ip < n_inj and inj_rounds[ip] < stop else stop
+                )
+                if hold_i < hold_len:
+                    d_append((t, hold_list[hold_i]))
+                    hold_i += 1
+                    live -= 1
+                    t_append(holder)
+                    # Net the consumption against a same-round arrival at
+                    # the holder: one entry per (round, station).
+                    for k in range(row_start, len(delta_stations)):
+                        if delta_stations[k] == holder:
+                            delta_values[k] -= 1
+                            break
+                    else:
+                        s_append(holder)
+                        v_append(-1)
+                    o_append(len(delta_stations))
+                    t += 1
+                    continue
+            elif hold_i < hold_len:
+                d_append((t, hold_list[hold_i]))
+                hold_i += 1
+                live -= 1
+                t_append(holder)
+                s_append(holder)
+                v_append(-1)
+                o_append(len(delta_stations))
+                t += 1
+                continue
+            t_append(-1)
+            if hold_i:
+                consumed[holder] = hold_i
+                dirty[holder] = True
+            pos += 1
+            if pos == n:
+                pos = 0
+            holder = pos
+            adv += 1
+            if adv >= n:
+                adv = 0
+                phases += 1
+                if old_first:
+                    for station in range(n):
+                        if later[station]:
+                            pending[station].extend(later[station])
+                            later[station] = []
+                            dirty[station] = True
+            hold_list = pending[holder]
+            hold_i = consumed[holder]
+            hold_len = len(hold_list)
+            o_append(len(delta_stations))
+            t += 1
+        if hold_i:
+            consumed[holder] = hold_i
+            dirty[holder] = True
+
+        j0 = offsets[start - plan_base]
+
+        def commit(packets: list) -> None:
+            # The simulation already played the span's pushes, phase-end
+            # promotions and front-pop consumptions against the snapshot
+            # lists, so each dirty station's post-span queue is known
+            # outright: ``pending`` past the consumption cursor is the
+            # old store (plain RRW ages on every inject, so everything
+            # surviving is old), and OF-RRW's unpromoted ``later`` tail
+            # is the new store.  Swap them in wholesale.
+            for s in range(n):
+                if not dirty[s]:
+                    continue
+                old_packets = [
+                    packets[e - j0] if type(e) is int else e
+                    for e in pending[s][consumed[s] :]
+                ]
+                tail = later[s]
+                if tail:
+                    new_packets = [
+                        packets[e - j0] if type(e) is int else e for e in tail
+                    ]
+                else:
+                    new_packets = []
+                controllers[s].queue.replace(old_packets, new_packets)
+            canonical.token_pos = pos
+            canonical.advancements = adv
+            canonical.phase_no += phases
+            canonical.holder = pos
+
+        return LoweredSegment(
+            start=start,
+            stop=cut,
+            transmitters=np.asarray(transmitters, dtype=np.int64),
+            delta_stations=np.asarray(delta_stations, dtype=np.int64),
+            delta_values=np.asarray(delta_values, dtype=np.int64),
+            delta_offsets=np.asarray(delta_offsets, dtype=np.int64),
+            deliveries=deliveries,
+            commit=commit,
+        )
 
 
 class _RRWBase(RoutingAlgorithm):

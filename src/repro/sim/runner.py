@@ -88,6 +88,7 @@ def run_simulation(
     full_history: bool = False,
     plan_chunk: int | None = None,
     quiescence_skip: bool = True,
+    lowering: bool = True,
 ) -> RunResult:
     """Simulate ``rounds`` rounds of ``algorithm`` against ``adversary``.
 
@@ -133,6 +134,13 @@ def run_simulation(
         Another execution-strategy knob — results are bit-identical
         either way; ``False`` recovers the strictly per-round kernel for
         comparison benchmarks.
+    lowering:
+        Enable the block engine's segment-lowering tier (default):
+        drivers prove closed-form spans inside compiled blocks, which
+        then execute as array kernels.  Execution-strategy knob like the
+        others — results are bit-identical either way; ``False``
+        recovers the strictly per-round block loop for comparison
+        benchmarks.  Ignored by the kernel and reference engines.
     """
     if rounds < 1:
         raise ValueError("rounds must be positive")
@@ -164,6 +172,8 @@ def run_simulation(
             config=config,
             schedule=algorithm.oblivious_schedule(),
         )
+        if kind == "block":
+            eng.lowering_enabled = lowering
     else:
         eng = RoundEngine(controllers, adversary, collector=collector, config=config)
     eng.run(rounds)

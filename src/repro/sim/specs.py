@@ -222,7 +222,7 @@ def _json_ready(params: Mapping[str, Any], what: str) -> dict:
 #: field but are excluded from :meth:`RunSpec.identity_dict` and with it
 #: from :meth:`RunSpec.canonical_json`/:meth:`RunSpec.spec_hash`, so a
 #: cached result is valid whichever strategy computed it.
-EXECUTION_FIELDS = ("engine", "plan_chunk", "quiescence_skip")
+EXECUTION_FIELDS = ("engine", "plan_chunk", "quiescence_skip", "lowering")
 
 
 @dataclass(frozen=True, eq=False)
@@ -262,6 +262,14 @@ class RunSpec:
     #: hash; ``False`` recovers the strictly per-round kernel for
     #: comparison benchmarks.
     quiescence_skip: bool = True
+    #: Block engine segment-lowering tier (drivers prove closed-form
+    #: spans that execute as array kernels).  Execution strategy like the
+    #: knobs above — results are bit-identical either way
+    #: (property-tested) — so it round-trips through :meth:`to_dict`
+    #: while staying outside the spec's identity and hash; ``False``
+    #: recovers the strictly per-round block loop for comparison
+    #: benchmarks.  Ignored by the kernel and reference engines.
+    lowering: bool = True
 
     def __post_init__(self) -> None:
         if self.rounds < 1:
@@ -333,6 +341,7 @@ class RunSpec:
         data["engine"] = self.engine
         data["plan_chunk"] = self.plan_chunk
         data["quiescence_skip"] = self.quiescence_skip
+        data["lowering"] = self.lowering
         return data
 
     @classmethod
@@ -361,6 +370,7 @@ class RunSpec:
             engine=str(data.get("engine", "auto")),
             plan_chunk=data.get("plan_chunk"),
             quiescence_skip=bool(data.get("quiescence_skip", True)),
+            lowering=bool(data.get("lowering", True)),
         )
 
     @classmethod
@@ -482,6 +492,7 @@ def execute_spec(spec: RunSpec | Mapping[str, Any]) -> RunResult:
         engine=spec.engine,
         plan_chunk=spec.plan_chunk,
         quiescence_skip=spec.quiescence_skip,
+        lowering=spec.lowering,
     )
 
 

@@ -30,10 +30,16 @@ from repro.sim.specs import make_adversary
 #: Algorithms whose build_controllers attaches a shared block driver.
 BLOCK_CAPABLE = ["k-cycle", "k-clique", "k-subsets", "rrw", "of-rrw", "mbtf"]
 
-#: Algorithms without a block driver: whole-run kernel fallback.
-BLOCK_HOLDOUTS = [
+#: Beaconing algorithms with *restricted* drivers: they waive the
+#: silence invariant, compile their deterministic phases and decline the
+#: adaptive ones per block (Count-Hop's Report substage).
+BLOCK_RESTRICTED = [
     ("count-hop", {"n": 6}),
     ("orchestra", {"n": 6}),
+]
+
+#: Algorithms without a block driver: whole-run kernel fallback.
+BLOCK_HOLDOUTS = [
     ("adjust-window", {"n": 4}),
 ]
 
@@ -100,6 +106,59 @@ def test_block_capable_algorithms_match_kernel_and_reference(
     assert block.negotiation["block_compilation"], algorithm
     assert block.negotiation["blocks_compiled"] > 0
     assert block.negotiation["blocks_fallback"] == 0
+    for fast in (block, kernel):
+        assert fast.summary.as_dict() == reference.summary.as_dict()
+        assert _collector_state(fast.collector) == _collector_state(
+            reference.collector
+        )
+        assert fast.energy.total_station_rounds == reference.energy.total_station_rounds
+        assert fast.energy.max_awake == reference.energy.max_awake
+
+
+@pytest.mark.parametrize("algorithm, params", BLOCK_RESTRICTED)
+@pytest.mark.parametrize(
+    "adversary, adversary_params",
+    [
+        ("round-robin", {"rho": 0.4, "beta": 2.0}),
+        ("random", {"rho": 0.35, "beta": 2.0, "seed": 23}),
+        ("bursty", {"rho": 0.3, "beta": 6.0, "idle_rounds": 37}),
+    ],
+)
+def test_restricted_drivers_match_kernel_and_reference(
+    algorithm, params, adversary, adversary_params
+):
+    """Count-Hop and Orchestra compile their deterministic phases via
+    restricted drivers (silence invariant waived, acts unconditional);
+    the mix of compiled and declined blocks crosses their stage/season
+    boundaries and must stay bit-identical to the other engines."""
+    common = dict(
+        algorithm=algorithm,
+        algorithm_params=params,
+        adversary=adversary,
+        adversary_params=adversary_params,
+        rounds=600,
+        enforce_energy_cap=False,
+        plan_chunk=97,
+    )
+    block = execute_spec(RunSpec(engine="block", **common))
+    kernel = execute_spec(RunSpec(engine="kernel", **common))
+    common.pop("plan_chunk")
+    reference = execute_spec(RunSpec(engine="reference", **common))
+
+    neg = block.negotiation
+    assert neg["block_compilation"], algorithm
+    assert neg["blocks_compiled"] > 0
+    if algorithm == "count-hop":
+        # The adaptive Report substage is declined per block, with the
+        # reason string surfaced through the negotiation report.
+        assert neg["blocks_fallback"] > 0
+        assert any(
+            "Report substage" in reason for reason in neg["block_decline_reasons"]
+        )
+    else:
+        # Orchestra has no adaptive phase: every block compiles.
+        assert neg["blocks_fallback"] == 0
+        assert neg["block_decline_reasons"] == {}
     for fast in (block, kernel):
         assert fast.summary.as_dict() == reference.summary.as_dict()
         assert _collector_state(fast.collector) == _collector_state(
@@ -283,6 +342,181 @@ def test_block_engine_requires_shared_driver():
     assert not engine.uses_block_compilation
     engine.run(50)  # still runs, via the kernel loop
     assert engine.blocks_compiled == 0
+
+
+# ---------------------------------------------------------------------------
+# Segment lowering: array-lowered spans inside compiled blocks
+# ---------------------------------------------------------------------------
+
+#: (algorithm, params, adversary, adversary_params) grids on which the
+#: drivers provably lower spans (dense arrival absorption for the
+#: token-ring family, silent-span lowering for the schedule-driven
+#: family) — each case must produce lowered_rounds > 0, so a regression
+#: that silently stops lowering fails loudly here.
+LOWERING_CASES = [
+    ("rrw", {"n": 16}, "bursty", {"rho": 0.5, "beta": 8.0, "idle_rounds": 200}),
+    ("rrw", {"n": 32}, "random", {"rho": 0.9, "beta": 2.0, "seed": 9}),
+    ("of-rrw", {"n": 32}, "random", {"rho": 0.9, "beta": 2.0, "seed": 9}),
+    ("of-rrw", {"n": 8}, "spray", {"rho": 0.25, "beta": 4.0}),
+    ("mbtf", {"n": 32}, "random", {"rho": 0.95, "beta": 2.0, "seed": 9}),
+    ("mbtf", {"n": 16}, "bursty", {"rho": 0.6, "beta": 8.0, "idle_rounds": 200}),
+    (
+        "k-cycle",
+        {"n": 16, "k": 4},
+        "bursty",
+        {"rho": 0.05, "beta": 4.0, "idle_rounds": 150},
+    ),
+    (
+        "k-clique",
+        {"n": 16, "k": 6},
+        "bursty",
+        {"rho": 0.03, "beta": 4.0, "idle_rounds": 150},
+    ),
+    ("k-subsets", {"n": 8, "k": 3}, "random", {"rho": 0.05, "beta": 2.0, "seed": 9}),
+]
+
+
+def _lowering_common(algorithm, params, adversary, adversary_params):
+    return dict(
+        algorithm=algorithm,
+        algorithm_params=params,
+        adversary=adversary,
+        adversary_params=adversary_params,
+    )
+
+
+def _build_lowered(common):
+    """A block engine accepting every proved segment, however short.
+
+    The correctness tests deliberately exercise the segment-cut edges
+    (single-round proofs, cuts right before activity) that the
+    perf-oriented default :attr:`~BlockEngine.lower_min_span` would
+    discard; pinning the knob to 1 keeps them on the lowered path."""
+    engine = _build_engine(common, BlockEngine)
+    engine.lower_min_span = 1
+    return engine
+
+
+@pytest.mark.parametrize(
+    "algorithm, params, adversary, adversary_params", LOWERING_CASES
+)
+def test_lowered_segments_match_per_round_blocks_and_reference(
+    algorithm, params, adversary, adversary_params
+):
+    """lowered ≡ block ≡ reference: the array-lowered path must be an
+    execution detail, invisible in every collected statistic.  The dense
+    cases put injections mid-segment (the lowering absorbs them from the
+    plan); the bursty cases interleave quiescent-span elision with
+    lowered segments inside the same blocks."""
+    common = _lowering_common(algorithm, params, adversary, adversary_params)
+    lowered = _build_lowered(common)
+    per_round = _build_engine(common, BlockEngine)
+    per_round.lowering_enabled = False
+    lowered.run(1500)
+    per_round.run(1500)
+    assert lowered.lowered_segments > 0, (algorithm, adversary)
+    assert lowered.lowered_rounds > 0
+    assert per_round.lowered_segments == 0
+    assert _collector_state(lowered.collector) == _collector_state(
+        per_round.collector
+    )
+    assert lowered.energy.report() == per_round.energy.report()
+
+    reference = execute_spec(
+        RunSpec(
+            engine="reference", rounds=1500, enforce_energy_cap=False, **common
+        )
+    )
+    assert _collector_state(lowered.collector) == _collector_state(
+        reference.collector
+    )
+
+
+def test_lowering_interleaves_with_span_elision():
+    """A bursty run alternates quiescent spans (elided) with busy drain
+    spans (lowered); both fast paths must engage in the same run."""
+    common = _lowering_common(
+        "rrw", {"n": 16}, "bursty", {"rho": 0.5, "beta": 8.0, "idle_rounds": 200}
+    )
+    engine = _build_lowered(common)
+    engine.run(2000)
+    assert engine.quiescent_rounds_elided > 0
+    assert engine.lowered_rounds > 0
+
+
+def test_dense_lowering_absorbs_mid_segment_injections():
+    """At rho ~0.9 nearly every round injects: segments can only exist
+    because the driver absorbs planned arrivals, so high coverage here
+    proves the mid-segment injection path, not just drain spans."""
+    common = _lowering_common(
+        "rrw", {"n": 32}, "random", {"rho": 0.9, "beta": 2.0, "seed": 9}
+    )
+    engine = _build_lowered(common)
+    engine.run(1500)
+    assert engine.collector.injected_count > 500
+    assert engine.lowered_rounds > 1000
+
+
+@pytest.mark.parametrize("rng_version", [1, 2])
+def test_lowered_equivalence_on_both_rng_versions(rng_version):
+    """The seeded adversaries' RNG protocol (per-round draws vs batched
+    plan-time draws) must not affect lowered-vs-reference equivalence."""
+    for algorithm, params in [("rrw", {"n": 16}), ("k-subsets", {"n": 6, "k": 2})]:
+        common = _lowering_common(
+            algorithm,
+            params,
+            "random",
+            {"rho": 0.4, "beta": 2.0, "seed": 31, "rng_version": rng_version},
+        )
+        engine = _build_lowered(common)
+        engine.run(800)
+        reference = execute_spec(
+            RunSpec(
+                engine="reference", rounds=800, enforce_energy_cap=False, **common
+            )
+        )
+        assert _collector_state(engine.collector) == _collector_state(
+            reference.collector
+        ), (algorithm, rng_version)
+
+
+def test_lowering_toggle_is_reported_in_negotiation():
+    common = _lowering_common(
+        "rrw", {"n": 16}, "random", {"rho": 0.5, "beta": 2.0, "seed": 3}
+    )
+    engine = _build_engine(common, BlockEngine)
+    engine.run(300)
+    neg = engine.negotiation()
+    assert neg["segment_lowering"] is True
+    assert neg["lowered_segments"] == engine.lowered_segments
+    assert neg["lowered_rounds"] == engine.lowered_rounds
+    off = _build_engine(common, BlockEngine)
+    off.lowering_enabled = False
+    off.run(300)
+    assert off.negotiation()["segment_lowering"] is False
+    assert off.negotiation()["lowered_rounds"] == 0
+
+
+def test_lower_min_span_discards_short_proofs_without_changing_results():
+    """The minimum-span knob is a pure execution strategy: a prohibitive
+    span discards every proof (segments never engage) and the default
+    discards only short ones (mid-block re-probes), yet all three
+    settings must collect identical statistics."""
+    common = _lowering_common(
+        "rrw", {"n": 16}, "bursty", {"rho": 0.5, "beta": 8.0, "idle_rounds": 200}
+    )
+    eager = _build_lowered(common)
+    default = _build_engine(common, BlockEngine)
+    picky = _build_engine(common, BlockEngine)
+    picky.lower_min_span = 10_000
+    for engine in (eager, default, picky):
+        engine.run(1500)
+    assert eager.lowered_segments > 0
+    assert picky.lowered_segments == 0
+    state = _collector_state(eager.collector)
+    assert _collector_state(default.collector) == state
+    assert _collector_state(picky.collector) == state
+    assert eager.energy.report() == picky.energy.report()
 
 
 # ---------------------------------------------------------------------------

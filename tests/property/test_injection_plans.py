@@ -224,6 +224,40 @@ def test_plan_array_export_matches_per_round_pairs(family):
     assert plan.injection_rounds() is plan.injection_rounds()
 
 
+def test_plan_cached_exports_raise_after_mutation():
+    """The CSR caches are derived from the mutable list fields: a plan
+    that is mutated or re-chunked after its first export must raise
+    instead of silently serving stale arrays."""
+    from repro.adversary import InjectionPlan
+
+    plan = InjectionPlan.from_counts(0, 3, [1, 0, 2], [0, 1, 2], [1, 2, 0])
+    plan.as_arrays()
+    plan.injection_rounds()
+
+    # Appending pairs (re-chunking in place) invalidates the export.
+    plan.sources.append(1)
+    plan.destinations.append(0)
+    plan.offsets[-1] += 1
+    with pytest.raises(RuntimeError, match="mutated after"):
+        plan.as_arrays()
+    with pytest.raises(RuntimeError, match="mutated after"):
+        plan.injection_rounds()
+
+    # Shifting the window is equally structural.
+    plan2 = InjectionPlan.from_counts(0, 2, [1, 1], [0, 1], [1, 2])
+    plan2.injection_rounds()
+    plan2.start += 1
+    plan2.stop += 1
+    with pytest.raises(RuntimeError, match="mutated after"):
+        plan2.injection_rounds()
+
+    # An untouched plan keeps serving its cached views.
+    plan3 = InjectionPlan.from_counts(0, 2, [1, 1], [0, 1], [1, 2])
+    first = plan3.as_arrays()
+    assert plan3.as_arrays() is first
+    assert plan3.injection_rounds() == [0, 1]
+
+
 def test_plan_validate_rejects_malformed_plans():
     from repro.adversary import InjectionPlan
 

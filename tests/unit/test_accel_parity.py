@@ -1,0 +1,130 @@
+"""Bit-parity of the _accel kernels' jit and numpy implementations.
+
+Every kernel in :mod:`repro._accel` ships two implementations: a scalar
+loop (``_<name>_jit`` — njit-compiled on the numba CI leg, plain Python
+otherwise) and a vectorised numpy expression (``_<name>_np``).  The block
+engine's lowered-segment results must not depend on which leg runs, so
+this suite pins the two against each other over randomised segment
+inputs — including empty rounds, empty segments, and mixed-sign deltas
+(the injection-absorbing lowering contract produces positive *and*
+negative per-station entries).
+"""
+
+import numpy as np
+import pytest
+
+from repro import _accel
+
+
+def _random_delta_csr(rng, rounds, n):
+    """A random queue-delta CSR: per-round entries, net per station."""
+    stations = []
+    values = []
+    offsets = [0]
+    for _ in range(rounds):
+        touched = rng.choice(
+            n, size=rng.integers(0, min(n, 4) + 1), replace=False
+        )
+        for s in touched:
+            stations.append(int(s))
+            values.append(int(rng.integers(-3, 4)))
+        offsets.append(len(stations))
+    return (
+        np.asarray(offsets, dtype=np.int64),
+        np.asarray(stations, dtype=np.int64),
+        np.asarray(values, dtype=np.int64),
+    )
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_injection_round_indices_parity(seed):
+    rng = np.random.default_rng(seed)
+    rounds = int(rng.integers(0, 200))
+    counts = rng.integers(0, 3, size=rounds)
+    offsets = np.concatenate(
+        (np.zeros(1, dtype=np.int64), np.cumsum(counts, dtype=np.int64))
+    )
+    jit = _accel._injection_round_indices_jit(offsets)
+    ref = _accel._injection_round_indices_np(offsets)
+    assert jit.dtype == ref.dtype == np.int64
+    assert jit.tolist() == ref.tolist()
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_segment_round_totals_parity(seed):
+    rng = np.random.default_rng(100 + seed)
+    rounds = int(rng.integers(1, 120))
+    offsets, _, values = _random_delta_csr(rng, rounds, n=9)
+    initial = int(rng.integers(0, 50))
+    jit = _accel._segment_round_totals_jit(offsets, values, np.int64(initial))
+    ref = _accel._segment_round_totals_np(offsets, values, initial)
+    assert jit.shape == ref.shape == (rounds,)
+    assert jit.tolist() == ref.tolist()
+
+
+def test_segment_round_totals_empty_segment():
+    offsets = np.zeros(1, dtype=np.int64)
+    values = np.zeros(0, dtype=np.int64)
+    assert _accel._segment_round_totals_jit(offsets, values, np.int64(7)).tolist() == []
+    assert _accel._segment_round_totals_np(offsets, values, 7).tolist() == []
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_per_station_flow_parity(seed):
+    rng = np.random.default_rng(200 + seed)
+    n = int(rng.integers(2, 12))
+    rounds = int(rng.integers(1, 120))
+    _, stations, values = _random_delta_csr(rng, rounds, n)
+    base = rng.integers(0, 20, size=n).astype(np.int64)
+    jit_sizes, jit_peaks = _accel._per_station_flow_jit(
+        stations, values, base.copy()
+    )
+    np_sizes, np_peaks = _accel._per_station_flow_np(
+        stations, values, base.copy()
+    )
+    assert jit_sizes.tolist() == np_sizes.tolist()
+    assert jit_peaks.tolist() == np_peaks.tolist()
+    # Peaks never undershoot the base sizes.
+    assert (np_peaks >= base).all()
+
+
+def test_per_station_flow_empty_deltas():
+    base = np.asarray([3, 0, 5], dtype=np.int64)
+    empty = np.zeros(0, dtype=np.int64)
+    for impl in (_accel._per_station_flow_jit, _accel._per_station_flow_np):
+        sizes, peaks = impl(empty, empty, base.copy())
+        assert sizes.tolist() == base.tolist()
+        assert peaks.tolist() == base.tolist()
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_count_transmitting_parity(seed):
+    rng = np.random.default_rng(300 + seed)
+    rounds = int(rng.integers(0, 300))
+    transmitters = rng.integers(-1, 6, size=rounds).astype(np.int64)
+    jit = int(_accel._count_transmitting_jit(transmitters))
+    ref = _accel._count_transmitting_np(transmitters)
+    assert jit == ref == int((transmitters >= 0).sum())
+
+
+def test_public_wrappers_agree_with_both_legs():
+    """The public entry points dispatch on HAVE_NUMBA; whatever leg they
+    picked must agree with both underlying implementations."""
+    rng = np.random.default_rng(7)
+    offsets, stations, values = _random_delta_csr(rng, rounds=40, n=6)
+    base = rng.integers(0, 10, size=6).astype(np.int64)
+
+    assert (
+        _accel.injection_round_indices(offsets).tolist()
+        == _accel._injection_round_indices_np(offsets).tolist()
+    )
+    assert (
+        _accel.segment_round_totals(offsets, values, 5).tolist()
+        == _accel._segment_round_totals_np(offsets, values, 5).tolist()
+    )
+    sizes, peaks = _accel.per_station_flow(stations, values, base.copy())
+    ref_sizes, ref_peaks = _accel._per_station_flow_np(stations, values, base.copy())
+    assert sizes.tolist() == ref_sizes.tolist()
+    assert peaks.tolist() == ref_peaks.tolist()
+    transmitters = np.asarray([-1, 2, -1, 0, 5], dtype=np.int64)
+    assert _accel.count_transmitting(transmitters) == 3

@@ -53,6 +53,30 @@ class TestCommands:
         )
         assert code == 2
 
+    def test_run_negotiation_reports_decline_reasons(self, capsys):
+        """--negotiation surfaces *why* blocks were declined, one line
+        per driver reason, not just the fallback count."""
+        code = main(
+            [
+                "run",
+                "--algorithm", "count-hop",
+                "--n", "6",
+                "--rho", "0.4",
+                "--rounds", "1500",
+                "--negotiation",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "block_decline_reasons:" in out
+        assert "Report substage is adaptive" in out
+        # Reasons are prefixed with their occurrence count.
+        assert any(
+            line.strip()[0].isdigit() and "x " in line
+            for line in out.splitlines()
+            if "Report substage" in line
+        )
+
     def test_run_oblivious_algorithm_requires_k(self):
         with pytest.raises(SystemExit):
             main(["run", "--algorithm", "k-cycle", "--n", "9", "--rounds", "100"])

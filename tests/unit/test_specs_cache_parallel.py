@@ -51,27 +51,32 @@ class TestRunSpec:
         # The historical bug: to_dict() omitted the execution knobs while
         # from_dict() read them, so a spec crossing a process boundary
         # silently reverted to engine="auto" / default chunking.
-        spec = _spec(engine="reference", plan_chunk=7, quiescence_skip=False)
+        spec = _spec(
+            engine="reference", plan_chunk=7, quiescence_skip=False, lowering=False
+        )
         rebuilt = RunSpec.from_dict(spec.to_dict())
         assert rebuilt.engine == "reference"
         assert rebuilt.plan_chunk == 7
         assert rebuilt.quiescence_skip is False
+        assert rebuilt.lowering is False
 
     @given(
         engine=st.sampled_from(ENGINE_KINDS),
         plan_chunk=st.one_of(st.none(), st.integers(min_value=1, max_value=5000)),
         quiescence_skip=st.booleans(),
+        lowering=st.booleans(),
         rounds=st.integers(min_value=1, max_value=10_000),
         energy_cap=st.one_of(st.none(), st.integers(min_value=1, max_value=8)),
         label=st.one_of(st.none(), st.text(max_size=12)),
     )
     def test_round_trip_is_lossless_for_every_field(
-        self, engine, plan_chunk, quiescence_skip, rounds, energy_cap, label
+        self, engine, plan_chunk, quiescence_skip, lowering, rounds, energy_cap, label
     ):
         spec = _spec(
             engine=engine,
             plan_chunk=plan_chunk,
             quiescence_skip=quiescence_skip,
+            lowering=lowering,
             rounds=rounds,
             energy_cap=energy_cap,
             label=label,
