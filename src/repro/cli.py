@@ -23,7 +23,16 @@ from typing import Sequence
 from .adversary.stochastic import SeededAdversary
 from .core import available_algorithms
 from .metrics.summary import RunSummary
-from .sim import ProgressTicker, ResultCache, run_simulation, spec_fragment, sweep
+from .sim import (
+    ExecutionPolicy,
+    ParallelExecutor,
+    ProgressTicker,
+    ResultCache,
+    SweepManifest,
+    run_simulation,
+    spec_fragment,
+    sweep,
+)
 from .sim.runner import ENGINE_KINDS
 from .sim.reporting import sweep_table
 from .sim.specs import (
@@ -148,6 +157,25 @@ def build_parser() -> argparse.ArgumentParser:
                          help="engine selector (default: auto)")
     sweep_p.add_argument("--reference-engine", action="store_true",
                          help="shorthand for --engine reference")
+    sweep_p.add_argument("--max-retries", type=int, default=None, metavar="N",
+                         help="fault-tolerant mode: retry each failed point up "
+                         "to N times (deterministic exponential backoff), then "
+                         "quarantine it as a FAILED row instead of aborting "
+                         "the sweep; exit status 3 flags quarantined points")
+    sweep_p.add_argument("--spec-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="fault-tolerant mode: kill and retry any point "
+                         "running longer than SECONDS (the worker pool is "
+                         "respawned; implies supervised execution)")
+    sweep_p.add_argument("--manifest", default=None, metavar="PATH",
+                         help="write an incrementally-updated checkpoint "
+                         "manifest (spec hash -> done/failed/pending, attempt "
+                         "counts, fault events) to PATH")
+    sweep_p.add_argument("--resume", action="store_true",
+                         help="resume from the --manifest checkpoint: points "
+                         "it records as failed are skipped without burning a "
+                         "new retry budget (done points come back as cache "
+                         "hits when --cache/--cache-dir is set)")
     return parser
 
 
@@ -218,19 +246,56 @@ def _cmd_table1(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     rates = [float(x) for x in args.rates.split(",") if x]
     seed = _effective_seed(args.adversary, args.seed)
-    series = sweep(
-        args.algorithm,
-        "rho",
-        rates,
-        lambda rho: _algorithm_fragment(args.algorithm, args.n, args.k),
-        lambda rho: _adversary_fragment(args.adversary, rho, args.beta, seed),
-        args.rounds,
-        workers=args.workers,
+
+    if args.resume and not args.manifest:
+        raise SystemExit("--resume requires --manifest PATH")
+    policy = None
+    if args.max_retries is not None or args.spec_timeout is not None:
+        policy_kwargs: dict = {}
+        if args.max_retries is not None:
+            policy_kwargs["max_retries"] = args.max_retries
+        if args.spec_timeout is not None:
+            policy_kwargs["spec_timeout"] = args.spec_timeout
+        try:
+            policy = ExecutionPolicy(**policy_kwargs)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from exc
+    manifest = SweepManifest(args.manifest, resume=args.resume) if args.manifest else None
+
+    supervised = policy is not None or manifest is not None
+    with ParallelExecutor(
+        args.workers,
         cache=_cache_from_args(args),
-        engine=_engine_from_args(args),
-        progress=ProgressTicker("sweep points") if args.progress else None,
-    )
+        policy=policy,
+        manifest=manifest,
+    ) as executor:
+        ticker = None
+        if args.progress:
+            # Supervised sweeps append live retry/quarantine/timeout
+            # counters to the ticker line.
+            stats = executor.stats.summary if supervised else None
+            ticker = ProgressTicker("sweep points", stats=stats)
+        series = sweep(
+            args.algorithm,
+            "rho",
+            rates,
+            lambda rho: _algorithm_fragment(args.algorithm, args.n, args.k),
+            lambda rho: _adversary_fragment(args.adversary, rho, args.beta, seed),
+            args.rounds,
+            executor=executor,
+            engine=_engine_from_args(args),
+            progress=ticker,
+        )
     print(sweep_table(series))
+    failed = series.failed_points()
+    if failed:
+        print(
+            f"warning: {len(failed)} point(s) quarantined after exhausting "
+            "retries; see the FAILED rows above"
+            + (f" and the manifest at {args.manifest}" if args.manifest else ""),
+            file=sys.stderr,
+        )
+        return 3
     return 0
 
 

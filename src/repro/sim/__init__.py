@@ -3,12 +3,21 @@
 The orchestration layer is spec-first: declarative :class:`RunSpec`
 descriptions of runs can be executed serially, fanned out over a process
 pool by :class:`ParallelExecutor`, and cached on disk by
-:class:`ResultCache`.
+:class:`ResultCache`.  The supervised layer on top makes that stack
+fault-tolerant: a seeded :class:`FaultPlan` injects deterministic,
+replayable failures (worker kills, transient exceptions, cache
+corruption, stalls), an :class:`ExecutionPolicy` retries/quarantines
+them, and a :class:`SweepManifest` checkpoints sweep status for resume.
 """
 
-from .cache import ResultCache, default_cache_dir
+from .cache import CacheCorruptionError, ClearStats, ResultCache, default_cache_dir
+from .faults import FailedResult, FaultPlan, InjectedFault, TransientFault
+from .manifest import SweepManifest
 from .parallel import (
+    ExecutionPolicy,
+    ExecutorStats,
     ParallelExecutor,
+    WorkerCrashError,
     default_chunk_size,
     default_worker_count,
     run_specs,
@@ -27,13 +36,23 @@ from .specs import (
 from .sweep import SweepPoint, SweepSeries, sweep
 
 __all__ = [
+    "CacheCorruptionError",
+    "ClearStats",
+    "ExecutionPolicy",
+    "ExecutorStats",
+    "FailedResult",
+    "FaultPlan",
+    "InjectedFault",
     "ParallelExecutor",
     "ProgressTicker",
     "ResultCache",
     "RunResult",
     "RunSpec",
+    "SweepManifest",
     "SweepPoint",
     "SweepSeries",
+    "TransientFault",
+    "WorkerCrashError",
     "available_adversaries",
     "default_cache_dir",
     "default_chunk_size",

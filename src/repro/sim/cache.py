@@ -7,6 +7,22 @@ stores one pickled payload per spec hash plus a small JSON sidecar (the
 spec and its headline summary) so cached results remain inspectable with
 ordinary shell tools.
 
+Robustness contract (the distributed-sweep substrate relies on it):
+
+* **Checksums** — every payload is written with a SHA-256 header line;
+  reads verify it, so a truncated or bit-flipped payload is *detected*
+  (:class:`~repro.sim.faults.CacheCorruptionError`), not unpickled into
+  garbage.  Pre-checksum payloads (no header) are still readable.
+* **Atomic writes** — payloads and sidecars land via write-then-rename;
+  a crash mid-write leaves a swept ``*.tmp``, never a half entry.
+* **Quarantine** — an entry that fails verification is moved into the
+  ``corrupt/`` subdirectory (payload + sidecar, preserved for forensics)
+  and the read falls through to a recompute: :meth:`get` returns None,
+  it never raises.
+* **Fault injection** — a seeded :class:`~repro.sim.faults.FaultPlan`
+  can deterministically truncate payloads at read time, so the whole
+  detect → quarantine → recompute path is replayable in tests.
+
 The default location is ``~/.cache/repro-sim`` and can be overridden with
 the ``REPRO_CACHE_DIR`` environment variable or per-cache with an explicit
 root path.
@@ -14,22 +30,35 @@ root path.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import pickle
 import tempfile
 from pathlib import Path
 
+from .faults import CacheCorruptionError, FaultPlan
 from .runner import RunResult
 from .specs import EXECUTION_FIELDS, RunSpec
 
-__all__ = ["CACHE_VERSION", "ResultCache", "default_cache_dir"]
+__all__ = [
+    "CACHE_VERSION",
+    "CacheCorruptionError",
+    "ClearStats",
+    "ResultCache",
+    "default_cache_dir",
+]
 
 # Version 2: the seeded adversaries' default RNG protocol flipped to the
 # batched stream (rng_version=2).  Entries cached under version 1 may hold
 # results for specs whose dicts predate explicit rng_version recording, so
-# they cannot be trusted against the re-normalised spec hashes.
+# they cannot be trusted against the re-normalised spec hashes.  (The
+# checksum header added later is a *file-format* wrapper, detected per
+# file, and did not invalidate version-2 entries.)
 CACHE_VERSION = 2
+
+#: Length of the payload checksum header: 64 hex chars + ``\n``.
+_CHECKSUM_HEADER_LEN = 65
 
 
 def default_cache_dir() -> Path:
@@ -40,20 +69,70 @@ def default_cache_dir() -> Path:
     return Path.home() / ".cache" / "repro-sim"
 
 
+class ClearStats(int):
+    """Return value of :meth:`ResultCache.clear`.
+
+    An ``int`` (the number of live entries removed, back-compatible with
+    older callers) carrying the full sweep breakdown: quarantined entries
+    removed from ``corrupt/`` and stale ``*.tmp`` files swept.
+    """
+
+    entries: int
+    quarantined: int
+    tmp_swept: int
+
+    def __new__(cls, entries: int, quarantined: int, tmp_swept: int) -> "ClearStats":
+        self = super().__new__(cls, entries)
+        self.entries = entries
+        self.quarantined = quarantined
+        self.tmp_swept = tmp_swept
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ClearStats(entries={self.entries}, quarantined={self.quarantined}, "
+            f"tmp_swept={self.tmp_swept})"
+        )
+
+
 class ResultCache:
     """Persistent spec-hash → :class:`RunResult` store.
 
     Corrupt, unreadable or version-mismatched entries are treated as
     misses, never as errors: the cache must always be safe to delete.
+    Entries that fail *verification* (checksum mismatch, truncated or
+    unpicklable payload) are additionally quarantined into ``corrupt/``
+    so repeated sweeps do not re-read known-bad bytes and the evidence
+    survives for inspection.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (default :func:`default_cache_dir`).
+    fault_plan:
+        Optional deterministic fault injector: reads whose
+        ``corrupts_read(spec_hash, read_no)`` coin fires have their
+        payload truncated on disk first, exercising the real quarantine
+        path.
     """
 
-    def __init__(self, root: str | Path | None = None) -> None:
+    def __init__(
+        self, root: str | Path | None = None, *, fault_plan: FaultPlan | None = None
+    ) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
         self.root.mkdir(parents=True, exist_ok=True)
+        self.fault_plan = fault_plan
         self.hits = 0
         self.misses = 0
+        #: Entries moved to ``corrupt/`` by this cache instance.
+        self.quarantined = 0
+        self._read_counts: dict[str, int] = {}
 
     # -- key layout ----------------------------------------------------------
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / "corrupt"
+
     def _payload_path(self, spec: RunSpec) -> Path:
         return self.root / f"{spec.spec_hash()}.pkl"
 
@@ -75,16 +154,79 @@ class ResultCache:
             return None
         return {k: v for k, v in stored.items() if k not in EXECUTION_FIELDS}
 
-    def get(self, spec: RunSpec) -> RunResult | None:
-        """Return the cached result for ``spec``, or None on a miss."""
-        path = self._payload_path(spec)
+    @staticmethod
+    def _load_payload(path: Path) -> object:
+        """Read and verify one payload file.
+
+        Raises :class:`FileNotFoundError` on a plain miss and
+        :class:`CacheCorruptionError` on anything that means the bytes
+        on disk cannot be trusted: checksum mismatch, truncation, or an
+        unpicklable body.  (Unpickling raises a zoo of types —
+        UnpicklingError, EOFError, ValueError, AttributeError, ... — all
+        of which are corruption from the caller's point of view.)
+        """
+        with path.open("rb") as fh:
+            raw = fh.read()
+        body = raw
+        header = raw[:_CHECKSUM_HEADER_LEN]
+        if len(header) == _CHECKSUM_HEADER_LEN and header.endswith(b"\n"):
+            digest = header[:-1]
+            try:
+                digest_text = digest.decode("ascii")
+                is_checksum = len(digest_text) == 64 and all(
+                    c in "0123456789abcdef" for c in digest_text
+                )
+            except UnicodeDecodeError:
+                is_checksum = False
+            if is_checksum:
+                body = raw[_CHECKSUM_HEADER_LEN:]
+                actual = hashlib.sha256(body).hexdigest()
+                if actual != digest_text:
+                    raise CacheCorruptionError(
+                        f"payload checksum mismatch in {path.name}: "
+                        f"header {digest_text[:12]}..., body {actual[:12]}..."
+                    )
         try:
-            with path.open("rb") as fh:
-                payload = pickle.load(fh)
-        except Exception:
-            # Corrupt/truncated pickles raise a zoo of types (UnpicklingError,
-            # EOFError, ValueError, AttributeError, ...); all of them mean
-            # "recompute", never "crash".
+            return pickle.loads(body)
+        except Exception as exc:
+            raise CacheCorruptionError(
+                f"unreadable payload in {path.name}: {type(exc).__name__}: {exc}"
+            ) from exc
+
+    def _quarantine(self, spec: RunSpec) -> None:
+        """Move a failed-verification entry into ``corrupt/``."""
+        self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+        for path in (self._payload_path(spec), self._sidecar_path(spec)):
+            if path.exists():
+                os.replace(path, self.quarantine_dir / path.name)
+        self.quarantined += 1
+
+    def _maybe_inject_corruption(self, spec: RunSpec, path: Path) -> None:
+        """Deterministically truncate the payload when the fault coin fires."""
+        if self.fault_plan is None or not path.exists():
+            return
+        key = spec.spec_hash()
+        read_no = self._read_counts.get(key, 0)
+        self._read_counts[key] = read_no + 1
+        if self.fault_plan.corrupts_read(key, read_no):
+            data = path.read_bytes()
+            path.write_bytes(data[: max(1, len(data) // 2)])
+
+    def get(self, spec: RunSpec) -> RunResult | None:
+        """Return the cached result for ``spec``, or None on a miss.
+
+        Never raises: a payload that fails verification is quarantined
+        into ``corrupt/`` and reads as a miss, so the caller recomputes.
+        """
+        path = self._payload_path(spec)
+        self._maybe_inject_corruption(spec, path)
+        try:
+            payload = self._load_payload(path)
+        except CacheCorruptionError:
+            self._quarantine(spec)
+            self.misses += 1
+            return None
+        except OSError:
             self.misses += 1
             return None
         if (
@@ -105,7 +247,8 @@ class ResultCache:
         payload is what :meth:`get` keys a hit on, so after a crash
         between the two writes the entry reads as a clean miss (an
         orphan sidecar is inert) rather than as a payload whose sidecar
-        is missing or stale.
+        is missing or stale.  The payload itself carries a SHA-256
+        header over its pickled body so later reads can verify it.
         """
         sidecar = json.dumps(
             {
@@ -117,12 +260,15 @@ class ResultCache:
             sort_keys=True,
         )
         self._atomic_write(self._sidecar_path(spec), sidecar.encode("utf-8"))
-        payload = {
-            "version": CACHE_VERSION,
-            "spec": spec.to_dict(),
-            "result": result,
-        }
-        self._atomic_write(self._payload_path(spec), pickle.dumps(payload))
+        body = pickle.dumps(
+            {
+                "version": CACHE_VERSION,
+                "spec": spec.to_dict(),
+                "result": result,
+            }
+        )
+        header = hashlib.sha256(body).hexdigest().encode("ascii") + b"\n"
+        self._atomic_write(self._payload_path(spec), header + body)
 
     def _atomic_write(self, path: Path, data: bytes) -> None:
         fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
@@ -144,21 +290,41 @@ class ResultCache:
     def __contains__(self, spec: RunSpec) -> bool:
         return self._payload_path(spec).exists()
 
-    def clear(self) -> int:
-        """Delete every cache entry; return the number of entries removed.
+    def quarantined_entries(self) -> int:
+        """Distinct spec hashes currently held in ``corrupt/``."""
+        if not self.quarantine_dir.is_dir():
+            return 0
+        return len({p.stem for p in self.quarantine_dir.iterdir() if p.is_file()})
+
+    def clear(self) -> ClearStats:
+        """Delete every cache entry; return a :class:`ClearStats` count.
 
         An *entry* is one spec hash, counted once whether its payload,
         its sidecar or both were present — so an orphan sidecar left by
         an interrupted :meth:`put` is counted too, not silently removed.
         Stale ``*.tmp`` files from writes that never reached
         ``os.replace`` are swept as well (they have no entry semantics
-        and are not counted).
+        and are not counted in the int value).  Quarantined entries in
+        ``corrupt/`` are removed and reported via
+        :attr:`ClearStats.quarantined`.
         """
         entries: set[str] = set()
         for pattern in ("*.pkl", "*.json"):
             for path in self.root.glob(pattern):
                 path.unlink(missing_ok=True)
                 entries.add(path.stem)
+        tmp_swept = 0
         for path in self.root.glob("*.tmp"):
             path.unlink(missing_ok=True)
-        return len(entries)
+            tmp_swept += 1
+        quarantined: set[str] = set()
+        if self.quarantine_dir.is_dir():
+            for path in list(self.quarantine_dir.iterdir()):
+                if path.is_file():
+                    quarantined.add(path.stem)
+                    path.unlink(missing_ok=True)
+            try:
+                self.quarantine_dir.rmdir()
+            except OSError:
+                pass
+        return ClearStats(len(entries), len(quarantined), tmp_swept)

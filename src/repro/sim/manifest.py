@@ -1,0 +1,164 @@
+"""Sweep-level checkpointing: a spec-hash → status manifest on disk.
+
+A long sweep should be resumable after a crash and inspectable while it
+runs.  :class:`SweepManifest` records one entry per spec — status
+(``pending``/``done``/``failed``), attempt count, fault events and the
+human label — and rewrites its JSON file atomically after every status
+change, so the file on disk is always a consistent snapshot.
+
+The manifest records *statuses*, not results: finished ``RunResult``
+payloads live in the content-addressed :class:`~repro.sim.cache.ResultCache`
+under the same spec hashes.  Resuming therefore composes the two —
+``done`` specs come back as cache hits, ``failed`` specs are skipped
+(their recorded :class:`~repro.sim.faults.FailedResult` is reconstructed
+without burning new attempts), and ``pending`` specs execute as usual.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from .faults import FailedResult
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .specs import RunSpec
+
+__all__ = ["MANIFEST_VERSION", "SweepManifest"]
+
+MANIFEST_VERSION = 1
+
+STATUSES = ("pending", "done", "failed")
+
+
+class SweepManifest:
+    """Incrementally-written spec-hash → status checkpoint of one sweep.
+
+    Parameters
+    ----------
+    path:
+        JSON file backing the manifest; created on first write.
+    resume:
+        When True and ``path`` exists, prior entries are loaded and
+        :attr:`resumed` is set — the supervised executor then skips specs
+        the previous run quarantined instead of re-burning their retry
+        budget.  When False an existing file is replaced.
+    """
+
+    def __init__(self, path: str | Path, *, resume: bool = False) -> None:
+        self.path = Path(path)
+        self.entries: dict[str, dict] = {}
+        self.resumed = False
+        if resume and self.path.exists():
+            self._load()
+            self.resumed = True
+
+    # -- persistence ----------------------------------------------------------
+    def _load(self) -> None:
+        try:
+            data = json.loads(self.path.read_text("utf-8"))
+        except (OSError, ValueError) as exc:
+            raise ValueError(f"unreadable sweep manifest {self.path}: {exc}") from exc
+        if not isinstance(data, dict) or data.get("version") != MANIFEST_VERSION:
+            raise ValueError(
+                f"sweep manifest {self.path} has unsupported version "
+                f"{data.get('version') if isinstance(data, dict) else data!r}"
+            )
+        entries = data.get("entries")
+        self.entries = dict(entries) if isinstance(entries, dict) else {}
+
+    def save(self) -> None:
+        """Atomically rewrite the manifest file (write-then-rename)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(
+            {"version": MANIFEST_VERSION, "entries": self.entries},
+            indent=2,
+            sort_keys=True,
+        )
+        fd, tmp = tempfile.mkstemp(dir=self.path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(payload)
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -- recording ------------------------------------------------------------
+    def _entry(self, spec: "RunSpec") -> dict:
+        key = spec.spec_hash()
+        entry = self.entries.setdefault(
+            key, {"status": "pending", "attempts": 0, "fault_events": []}
+        )
+        entry["label"] = spec.label or f"{spec.algorithm} vs {spec.adversary}"
+        return entry
+
+    def record_pending(self, spec: "RunSpec") -> None:
+        """Mark a spec as queued; never downgrades a done/failed entry."""
+        entry = self._entry(spec)
+        if entry["status"] == "pending":
+            self.save()
+
+    def record_attempt(self, spec: "RunSpec", attempts: int, event: str) -> None:
+        """Record a failed attempt (retry or fault) without changing status."""
+        entry = self._entry(spec)
+        entry["attempts"] = attempts
+        entry["fault_events"].append(event)
+        self.save()
+
+    def record_done(self, spec: "RunSpec", attempts: int = 0) -> None:
+        entry = self._entry(spec)
+        entry["status"] = "done"
+        entry["attempts"] = max(attempts, entry.get("attempts", 0))
+        entry.pop("error", None)
+        self.save()
+
+    def record_failed(self, spec: "RunSpec", failure: FailedResult) -> None:
+        entry = self._entry(spec)
+        entry["status"] = "failed"
+        entry["attempts"] = failure.attempts
+        entry["error"] = f"{failure.error_type}: {failure.error}"
+        entry["fault_events"] = list(failure.fault_events)
+        self.save()
+
+    # -- queries --------------------------------------------------------------
+    def prior(self, spec: "RunSpec") -> dict | None:
+        """The loaded entry for ``spec``, or None if never recorded."""
+        return self.entries.get(spec.spec_hash())
+
+    def prior_failure(self, spec: "RunSpec") -> FailedResult | None:
+        """Reconstruct the recorded quarantine of ``spec``, if any.
+
+        Only meaningful on a resumed manifest: the supervised executor
+        turns it straight into a :class:`FailedResult` instead of
+        re-executing a spec the previous run already gave up on.
+        """
+        entry = self.entries.get(spec.spec_hash())
+        if entry is None or entry.get("status") != "failed":
+            return None
+        error = str(entry.get("error") or "unknown failure")
+        error_type, _, message = error.partition(": ")
+        return FailedResult(
+            spec=spec,
+            error=message or error,
+            error_type=error_type if message else "Exception",
+            attempts=int(entry.get("attempts", 0)),
+            fault_events=list(entry.get("fault_events") or []),
+        )
+
+    def counts(self) -> dict[str, int]:
+        """``{status: count}`` over every recorded entry (all keys present)."""
+        out = {status: 0 for status in STATUSES}
+        for entry in self.entries.values():
+            status = entry.get("status", "pending")
+            out[status if status in out else "pending"] += 1
+        return out
+
+    def __len__(self) -> int:
+        return len(self.entries)

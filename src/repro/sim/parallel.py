@@ -28,22 +28,49 @@ Design constraints:
 * **Progress** — any ``progress(done, total)`` callable (e.g.
   :class:`~repro.sim.progress.ProgressTicker`) is invoked as results
   arrive, cache hits included.
+* **Supervision** — with an :class:`ExecutionPolicy` (or a
+  :class:`~repro.sim.manifest.SweepManifest`) attached, the executor runs
+  a supervised loop instead of the bare dispatch: failed attempts retry
+  with deterministic exponential backoff, specs exceeding their deadline
+  are timed out (the pool is terminated and respawned), dead pools are
+  respawned with in-flight work requeued, poison specs are quarantined
+  as structured :class:`~repro.sim.faults.FailedResult` entries after the
+  retry budget instead of aborting the batch, and a pool that keeps
+  dying degrades gracefully to in-process serial execution.  Fault
+  injection (:class:`~repro.sim.faults.FaultPlan`) rides the same loop,
+  and the per-spec results are bit-identical to an unsupervised run
+  (property-tested by ``tests/property/test_fault_tolerance.py``).
 """
 
 from __future__ import annotations
 
+import dataclasses
 import math
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor, as_completed
+import time
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    as_completed,
+    wait as futures_wait,
+)
+from dataclasses import dataclass
 from typing import Callable, Iterable, Mapping, Sequence
 
 from .cache import ResultCache
+from .faults import FailedResult, FaultPlan, mark_worker_process
+from .manifest import SweepManifest
 from .runner import RunResult
 from .specs import RunSpec, execute_spec, execute_spec_batch
 
 __all__ = [
+    "ExecutionPolicy",
+    "ExecutorStats",
     "ParallelExecutor",
+    "WorkerCrashError",
     "default_chunk_size",
     "default_worker_count",
     "dispatch_specs",
@@ -52,6 +79,14 @@ __all__ = [
 
 #: Progress callback signature: ``progress(done, total)``.
 ProgressCallback = Callable[[int, int], None]
+
+
+class WorkerCrashError(RuntimeError):
+    """A worker process died (or the whole pool broke) mid-dispatch."""
+
+
+class SpecTimeoutError(RuntimeError):
+    """A dispatch ran past its supervised deadline and was killed."""
 
 
 def default_worker_count() -> int:
@@ -67,6 +102,99 @@ def default_chunk_size(pending: int, workers: int) -> int:
     holds many short runs.
     """
     return max(1, min(32, math.ceil(pending / (workers * 4))))
+
+
+@dataclass
+class ExecutionPolicy:
+    """How the supervised executor treats failures.
+
+    Parameters
+    ----------
+    max_retries:
+        Failed attempts a spec may burn beyond its first before it is
+        quarantined as a :class:`FailedResult` (``0`` = quarantine on
+        the first failure; the batch itself never aborts).
+    spec_timeout:
+        Wall-clock seconds a dispatched spec may run before the pool is
+        terminated and the spec retried (``None`` = no deadline).
+        Enforced at dispatch granularity: a chunk of *k* specs gets
+        ``k * spec_timeout``; retries always dispatch singly, so a
+        repeat offender gets exactly ``spec_timeout``.
+    backoff_base / backoff_cap:
+        Deterministic exponential backoff before retry *n*:
+        ``min(backoff_cap, backoff_base * 2**(n-1))`` seconds — no
+        jitter, so supervised schedules replay exactly.
+    fault_plan:
+        Optional deterministic :class:`FaultPlan`; each dispatch is
+        stamped with the plan and the spec's attempt number, and the
+        supervisor uses the same plan to *attribute* pool deaths to the
+        spec whose kill coin fired.
+    serial_degrade_after:
+        After this many pool breakages (crashes or timeouts) in one
+        batch, the executor stops respawning pools and finishes the
+        batch in-process (kill faults degrade to transients there).
+    """
+
+    max_retries: int = 2
+    spec_timeout: float | None = None
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    fault_plan: FaultPlan | None = None
+    serial_degrade_after: int = 3
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.spec_timeout is not None and self.spec_timeout <= 0:
+            raise ValueError("spec_timeout must be positive (or None)")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ValueError("backoff must be non-negative")
+        if self.serial_degrade_after < 1:
+            raise ValueError("serial_degrade_after must be at least 1")
+
+    def backoff_delay(self, attempt: int) -> float:
+        """Deterministic delay before retry number ``attempt`` (1-based)."""
+        if attempt <= 0 or self.backoff_base <= 0:
+            return 0.0
+        return min(self.backoff_cap, self.backoff_base * (2 ** (attempt - 1)))
+
+
+@dataclass
+class ExecutorStats:
+    """Counters accumulated by the supervised loop (read by the ticker)."""
+
+    retries: int = 0
+    quarantined: int = 0
+    timeouts: int = 0
+    pool_respawns: int = 0
+    resumed_failures: int = 0
+    serial_degraded: bool = False
+
+    def summary(self) -> str:
+        """Short human summary, empty when nothing noteworthy happened."""
+        parts = []
+        if self.retries:
+            parts.append(f"{self.retries} retries")
+        if self.quarantined:
+            parts.append(f"{self.quarantined} quarantined")
+        if self.resumed_failures:
+            parts.append(f"{self.resumed_failures} resumed-failed")
+        if self.timeouts:
+            parts.append(f"{self.timeouts} timeouts")
+        if self.pool_respawns:
+            parts.append(f"{self.pool_respawns} respawns")
+        if self.serial_degraded:
+            parts.append("serial degrade")
+        return ", ".join(parts)
+
+
+@dataclass
+class _Dispatch:
+    """One queued/in-flight unit of supervised work."""
+
+    indices: list[int]
+    ready_at: float = 0.0
+    deadline: float | None = None
 
 
 def _coerce_specs(specs: Iterable[RunSpec | Mapping]) -> list[RunSpec]:
@@ -101,10 +229,22 @@ class ParallelExecutor:
     progress:
         Optional ``progress(done, total)`` callback invoked for every
         batch this executor runs (a per-``run`` callback can override it).
+    policy:
+        Optional :class:`ExecutionPolicy`.  When set (or when a manifest
+        is attached) batches run through the supervised loop: bounded
+        retries with deterministic backoff, per-spec timeouts, pool
+        respawn, poison-spec quarantine and serial degradation.  Without
+        it the executor keeps the original fail-fast semantics (the
+        first worker exception propagates).
+    manifest:
+        Optional :class:`SweepManifest` checkpoint, updated incrementally
+        as specs finish, fail or retry; a *resumed* manifest short-cuts
+        specs the previous run quarantined.
 
     The executor may be used as a context manager; the worker pool is
     created lazily on the first parallel batch and reused across ``run``
-    calls until :meth:`close`.
+    calls until :meth:`close`.  :attr:`stats` accumulates supervised
+    counters across those calls.
     """
 
     def __init__(
@@ -115,6 +255,8 @@ class ParallelExecutor:
         mp_context: str = "spawn",
         chunk_size: int | None = None,
         progress: ProgressCallback | None = None,
+        policy: ExecutionPolicy | None = None,
+        manifest: SweepManifest | None = None,
     ) -> None:
         if workers is None:
             workers = default_worker_count()
@@ -126,6 +268,9 @@ class ParallelExecutor:
         self.cache = cache
         self.chunk_size = chunk_size
         self.progress = progress
+        self.policy = policy
+        self.manifest = manifest
+        self.stats = ExecutorStats()
         self._mp_context = mp_context
         self._pool: ProcessPoolExecutor | None = None
 
@@ -135,6 +280,7 @@ class ParallelExecutor:
             self._pool = ProcessPoolExecutor(
                 max_workers=self.workers,
                 mp_context=multiprocessing.get_context(self._mp_context),
+                initializer=mark_worker_process,
             )
         return self._pool
 
@@ -143,6 +289,25 @@ class ParallelExecutor:
         if self._pool is not None:
             self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
+
+    def _teardown_pool(self, *, terminate: bool) -> None:
+        """Drop the pool so the next dispatch respawns it.
+
+        ``terminate=True`` hard-kills worker processes first — the only
+        way to reclaim a worker stuck past its deadline (there is no
+        cooperative cancel for running pool tasks).
+        """
+        pool = self._pool
+        if pool is None:
+            return
+        if terminate:
+            for proc in list(getattr(pool, "_processes", {}).values()):
+                try:
+                    proc.terminate()
+                except Exception:
+                    pass
+        pool.shutdown(wait=False, cancel_futures=True)
+        self._pool = None
 
     def __enter__(self) -> "ParallelExecutor":
         return self
@@ -156,10 +321,17 @@ class ParallelExecutor:
         specs: Sequence[RunSpec | Mapping],
         *,
         progress: ProgressCallback | None = None,
-    ) -> list[RunResult]:
-        """Execute every spec and return results in input order."""
+    ) -> list[RunResult | FailedResult]:
+        """Execute every spec and return results in input order.
+
+        Unsupervised (no policy/manifest): the first worker exception
+        propagates and aborts the batch.  Supervised: exceptions are
+        retried and, past the budget, quarantined — every slot of the
+        returned list is then either a :class:`RunResult` or a
+        :class:`FailedResult`, and the batch always completes.
+        """
         batch = _coerce_specs(specs)
-        results: list[RunResult | None] = [None] * len(batch)
+        results: list[RunResult | FailedResult | None] = [None] * len(batch)
         progress = progress if progress is not None else self.progress
         total = len(batch)
 
@@ -172,6 +344,11 @@ class ParallelExecutor:
                 pending.append(i)
 
         done = total - len(pending)
+        if self.policy is not None or self.manifest is not None:
+            run = _SupervisedRun(self, batch, results, progress, done, total)
+            run.execute(pending)
+            return results  # type: ignore[return-value]
+
         if progress is not None and (done or not pending):
             progress(done, total)
         if not pending:
@@ -211,9 +388,331 @@ class ParallelExecutor:
         return self.run([spec])[0]
 
     def _finish(self, spec: RunSpec, result: RunResult) -> RunResult:
-        if self.cache is not None:
+        if self.cache is not None and isinstance(result, RunResult):
             self.cache.put(spec, result)
         return result
+
+
+class _SupervisedRun:
+    """State of one supervised batch: attempts, events, requeue logic.
+
+    The contract the fault-tolerance property suite pins: whatever faults
+    fire, every result slot ends up holding either the bit-identical
+    :class:`RunResult` a fault-free run computes, or — only once the
+    retry budget is truly exhausted — a structured :class:`FailedResult`.
+    """
+
+    def __init__(
+        self,
+        executor: ParallelExecutor,
+        batch: list[RunSpec],
+        results: list,
+        progress: ProgressCallback | None,
+        done: int,
+        total: int,
+    ) -> None:
+        self.executor = executor
+        self.policy = executor.policy or ExecutionPolicy()
+        self.manifest = executor.manifest
+        self.stats = executor.stats
+        self.batch = batch
+        self.results = results
+        self.progress = progress
+        self.done = done
+        self.total = total
+        self.attempts: dict[int, int] = {}
+        self.events: dict[int, list[str]] = {}
+
+    # -- bookkeeping ----------------------------------------------------------
+    def _tick(self) -> None:
+        if self.progress is not None:
+            self.progress(self.done, self.total)
+
+    def _stamped(self, i: int) -> RunSpec:
+        plan = self.policy.fault_plan
+        if plan is None or not plan.active:
+            return self.batch[i]
+        return dataclasses.replace(
+            self.batch[i], fault_plan=plan.stamp(self.attempts.get(i, 0))
+        )
+
+    def _finish(self, i: int, result: RunResult) -> None:
+        self.results[i] = result
+        if self.executor.cache is not None:
+            self.executor.cache.put(self.batch[i], result)
+        if self.manifest is not None:
+            self.manifest.record_done(self.batch[i], attempts=self.attempts.get(i, 0))
+        self.done += 1
+        self._tick()
+
+    def _quarantine(self, i: int, exc: BaseException) -> None:
+        failure = FailedResult(
+            spec=self.batch[i],
+            error=str(exc),
+            error_type=type(exc).__name__,
+            attempts=self.attempts.get(i, 0),
+            fault_events=list(self.events.get(i, [])),
+        )
+        self.results[i] = failure
+        self.stats.quarantined += 1
+        if self.manifest is not None:
+            self.manifest.record_failed(self.batch[i], failure)
+        self.done += 1
+        self._tick()
+
+    def _register_failure(self, i: int, exc: BaseException) -> bool:
+        """Count a failed attempt; quarantine past the budget.
+
+        Returns True when the spec should be retried.
+        """
+        attempt = self.attempts.get(i, 0)
+        self.attempts[i] = attempt + 1
+        event = f"attempt {attempt}: {type(exc).__name__}: {exc}"
+        self.events.setdefault(i, []).append(event)
+        if self.manifest is not None:
+            self.manifest.record_attempt(self.batch[i], self.attempts[i], event)
+        if self.attempts[i] > self.policy.max_retries:
+            self._quarantine(i, exc)
+            return False
+        self.stats.retries += 1
+        return True
+
+    # -- entry point ----------------------------------------------------------
+    def execute(self, pending: list[int]) -> None:
+        manifest = self.manifest
+        if manifest is not None:
+            # Checkpoint cache hits, short-cut previously quarantined
+            # specs (resume), and mark the remainder pending.
+            for i, result in enumerate(self.results):
+                if isinstance(result, RunResult):
+                    manifest.record_done(self.batch[i], attempts=0)
+            if manifest.resumed:
+                still: list[int] = []
+                for i in pending:
+                    prior = manifest.prior_failure(self.batch[i])
+                    if prior is not None:
+                        self.results[i] = prior
+                        self.stats.resumed_failures += 1
+                        self.done += 1
+                    else:
+                        still.append(i)
+                pending = still
+            for i in pending:
+                manifest.record_pending(self.batch[i])
+        if self.done or not pending:
+            self._tick()
+        if not pending:
+            return
+        if self.executor.workers == 1:
+            self._execute_serial(pending)
+        else:
+            self._execute_parallel(pending)
+
+    # -- serial supervised path ------------------------------------------------
+    def _execute_serial(self, pending: Sequence[int]) -> None:
+        for i in pending:
+            self._execute_one_serial(i)
+
+    def _execute_one_serial(self, i: int) -> None:
+        while True:
+            try:
+                result = execute_spec(self._stamped(i))
+            except Exception as exc:
+                if not self._register_failure(i, exc):
+                    return
+                delay = self.policy.backoff_delay(self.attempts[i])
+                if delay:
+                    time.sleep(delay)
+                continue
+            self._finish(i, result)
+            return
+
+    # -- parallel supervised path ----------------------------------------------
+    def _execute_parallel(self, pending: list[int]) -> None:
+        executor = self.executor
+        policy = self.policy
+        size = executor.chunk_size or default_chunk_size(len(pending), executor.workers)
+        queue: deque[_Dispatch] = deque(
+            _Dispatch(indices=pending[j : j + size])
+            for j in range(0, len(pending), size)
+        )
+        window: dict = {}
+        breakages = 0
+
+        while queue or window:
+            if breakages >= policy.serial_degrade_after:
+                # The pool keeps dying: stop paying respawn costs and
+                # finish in-process (kill faults degrade to transients).
+                self.stats.serial_degraded = True
+                executor._teardown_pool(terminate=True)
+                leftover = sorted(
+                    {i for d in [*window.values(), *queue] for i in d.indices}
+                )
+                window.clear()
+                queue.clear()
+                self._execute_serial(leftover)
+                return
+
+            now = time.monotonic()
+            while queue and len(window) < executor.workers:
+                dispatch = self._pop_ready(queue, now)
+                if dispatch is None:
+                    break
+                specs = [self._stamped(i) for i in dispatch.indices]
+                future = executor._ensure_pool().submit(execute_spec_batch, specs)
+                if policy.spec_timeout is not None:
+                    dispatch.deadline = (
+                        time.monotonic() + policy.spec_timeout * len(dispatch.indices)
+                    )
+                window[future] = dispatch
+
+            if not window:
+                # Everything runnable is backing off; sleep to the next
+                # ready time instead of spinning.
+                next_ready = min(d.ready_at for d in queue)
+                time.sleep(max(0.0, next_ready - time.monotonic()))
+                continue
+
+            done_set, _ = futures_wait(
+                set(window),
+                timeout=self._wait_timeout(window, queue),
+                return_when=FIRST_COMPLETED,
+            )
+
+            broken = False
+            crashed: list[_Dispatch] = []
+            for future in done_set:
+                dispatch = window.pop(future)
+                try:
+                    chunk_results = future.result()
+                except BrokenExecutor:
+                    broken = True
+                    crashed.append(dispatch)
+                except Exception as exc:
+                    self._dispatch_failed(dispatch, exc, queue)
+                else:
+                    for i, result in zip(dispatch.indices, chunk_results):
+                        self._finish(i, result)
+
+            if broken:
+                breakages += 1
+                self.stats.pool_respawns += 1
+                executor._teardown_pool(terminate=True)
+                in_flight = crashed + list(window.values())
+                window.clear()
+                self._requeue_after_pool_death(in_flight, queue)
+                continue
+
+            if policy.spec_timeout is not None:
+                now = time.monotonic()
+                expired = [
+                    future
+                    for future, dispatch in window.items()
+                    if dispatch.deadline is not None and now > dispatch.deadline
+                ]
+                if expired:
+                    breakages += 1
+                    self.stats.pool_respawns += 1
+                    executor._teardown_pool(terminate=True)
+                    for future in expired:
+                        dispatch = window.pop(future)
+                        self.stats.timeouts += len(dispatch.indices)
+                        for i in dispatch.indices:
+                            exc = SpecTimeoutError(
+                                f"exceeded the {policy.spec_timeout}s deadline"
+                            )
+                            if self._register_failure(i, exc):
+                                queue.append(
+                                    _Dispatch(
+                                        [i],
+                                        ready_at=time.monotonic()
+                                        + policy.backoff_delay(self.attempts[i]),
+                                    )
+                                )
+                    # Collateral: the pool died under the other in-flight
+                    # dispatches too; requeue them without burning an
+                    # attempt (the fault was not theirs).
+                    for dispatch in window.values():
+                        queue.append(_Dispatch(list(dispatch.indices)))
+                    window.clear()
+
+    def _pop_ready(self, queue: deque, now: float) -> _Dispatch | None:
+        for _ in range(len(queue)):
+            dispatch = queue.popleft()
+            if dispatch.ready_at <= now:
+                return dispatch
+            queue.append(dispatch)
+        return None
+
+    def _wait_timeout(self, window: dict, queue: deque) -> float | None:
+        """How long to block in wait(): until the next deadline or backoff
+        expiry, or indefinitely when neither is armed."""
+        now = time.monotonic()
+        candidates = [
+            d.deadline - now for d in window.values() if d.deadline is not None
+        ]
+        if queue and len(window) < self.executor.workers:
+            candidates.append(min(d.ready_at for d in queue) - now)
+        if not candidates:
+            return None
+        return max(0.01, min(candidates))
+
+    def _dispatch_failed(
+        self, dispatch: _Dispatch, exc: BaseException, queue: deque
+    ) -> None:
+        """An ordinary exception came back from a dispatch.
+
+        A multi-spec chunk fails as a unit (``execute_spec_batch`` raises
+        at the first bad spec), so it is split and re-dispatched singly —
+        attempts unchanged — to attribute the failure; a single-spec
+        dispatch is the attribution, and burns an attempt.
+        """
+        if len(dispatch.indices) > 1:
+            for i in dispatch.indices:
+                queue.append(_Dispatch([i]))
+            return
+        i = dispatch.indices[0]
+        if self._register_failure(i, exc):
+            queue.append(
+                _Dispatch(
+                    [i],
+                    ready_at=time.monotonic()
+                    + self.policy.backoff_delay(self.attempts[i]),
+                )
+            )
+
+    def _requeue_after_pool_death(
+        self, in_flight: list[_Dispatch], queue: deque
+    ) -> None:
+        """Requeue everything that was in flight when the pool broke.
+
+        With a fault plan armed, the supervisor replays the same coins
+        the workers did and *attributes* the crash: specs whose kill
+        coin fired burn an attempt, everything else requeues free.
+        Without a plan (a real crash) attribution is impossible, so every
+        in-flight spec conservatively burns an attempt.
+        """
+        plan = self.policy.fault_plan
+        for dispatch in in_flight:
+            for i in dispatch.indices:
+                attributed = True
+                if plan is not None and plan.active:
+                    kind = plan.worker_fault(
+                        self.batch[i].spec_hash(), self.attempts.get(i, 0)
+                    )
+                    attributed = kind == "kill"
+                if attributed:
+                    exc = WorkerCrashError("worker process died mid-dispatch")
+                    if self._register_failure(i, exc):
+                        queue.append(
+                            _Dispatch(
+                                [i],
+                                ready_at=time.monotonic()
+                                + self.policy.backoff_delay(self.attempts[i]),
+                            )
+                        )
+                else:
+                    queue.append(_Dispatch([i]))
 
 
 def run_specs(
@@ -223,9 +722,13 @@ def run_specs(
     cache: ResultCache | None = None,
     chunk_size: int | None = None,
     progress: ProgressCallback | None = None,
-) -> list[RunResult]:
+    policy: ExecutionPolicy | None = None,
+    manifest: SweepManifest | None = None,
+) -> list[RunResult | FailedResult]:
     """One-shot convenience wrapper: execute ``specs`` and tear the pool down."""
-    with ParallelExecutor(workers, cache=cache, chunk_size=chunk_size) as executor:
+    with ParallelExecutor(
+        workers, cache=cache, chunk_size=chunk_size, policy=policy, manifest=manifest
+    ) as executor:
         return executor.run(specs, progress=progress)
 
 
@@ -236,18 +739,27 @@ def dispatch_specs(
     executor: ParallelExecutor | None = None,
     cache: ResultCache | None = None,
     progress: ProgressCallback | None = None,
-) -> list[RunResult]:
+    policy: ExecutionPolicy | None = None,
+    manifest: SweepManifest | None = None,
+) -> list[RunResult | FailedResult]:
     """Run a spec batch on a caller-provided executor, or a one-shot pool.
 
     The shared dispatch step behind every fragment-based entry point
     (``sweep``, ``worst_case_over``): an explicit ``executor`` wins (its
-    own workers/cache/chunking apply); otherwise a pool is spun up and
-    torn down around this one batch.  ``progress`` is forwarded either
-    way.
+    own workers/cache/chunking/policy apply); otherwise a pool is spun up
+    and torn down around this one batch.  ``progress`` is forwarded
+    either way.
     """
     if executor is not None:
         return executor.run(specs, progress=progress)
-    return run_specs(specs, workers=workers, cache=cache, progress=progress)
+    return run_specs(
+        specs,
+        workers=workers,
+        cache=cache,
+        progress=progress,
+        policy=policy,
+        manifest=manifest,
+    )
 
 
 def require_serial_factories(context: str, workers: int, executor) -> None:

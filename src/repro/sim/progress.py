@@ -10,7 +10,7 @@ sparse one-per-line updates when stderr is redirected (CI logs).
 from __future__ import annotations
 
 import sys
-from typing import IO
+from typing import IO, Callable
 
 __all__ = ["ProgressTicker"]
 
@@ -28,6 +28,11 @@ class ProgressTicker:
         On non-interactive streams, only emit a line every time progress
         advances by at least this fraction of the batch (and always for
         the final result), keeping CI logs readable.
+    stats:
+        Optional zero-argument callable returning a short status string
+        (e.g. ``ExecutorStats.summary`` of a supervised executor); when
+        it returns non-empty text — retry/quarantine/timeout counts — it
+        is appended to every emitted line in brackets.
     """
 
     def __init__(
@@ -35,16 +40,24 @@ class ProgressTicker:
         label: str = "runs",
         stream: IO[str] | None = None,
         min_fraction: float = 0.1,
+        stats: Callable[[], str] | None = None,
     ) -> None:
         self.label = label
         self.stream = stream if stream is not None else sys.stderr
         self.min_fraction = min_fraction
+        self.stats = stats
         self._last_emitted = -1
+
+    def _suffix(self) -> str:
+        if self.stats is None:
+            return ""
+        text = self.stats()
+        return f"  [{text}]" if text else ""
 
     def __call__(self, done: int, total: int) -> None:
         interactive = bool(getattr(self.stream, "isatty", lambda: False)())
         if interactive:
-            self.stream.write(f"\r{self.label}: {done}/{total}")
+            self.stream.write(f"\r{self.label}: {done}/{total}{self._suffix()}")
             if done >= total:
                 self.stream.write("\n")
             self.stream.flush()
@@ -56,6 +69,6 @@ class ProgressTicker:
             self._last_emitted = -1
         step = max(1, int(total * self.min_fraction))
         if done >= total or self._last_emitted < 0 or done - self._last_emitted >= step:
-            self.stream.write(f"{self.label}: {done}/{total}\n")
+            self.stream.write(f"{self.label}: {done}/{total}{self._suffix()}\n")
             self.stream.flush()
             self._last_emitted = done if done < total else -1

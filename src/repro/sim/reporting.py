@@ -36,6 +36,9 @@ def sweep_table(series: SweepSeries) -> str:
     )
     lines = [f"series: {series.name}", header, "-" * len(header)]
     for point in series.points:
+        if point.failed:
+            lines.append(f"{point.value:>10.4g}  {point.result.describe()}")
+            continue
         lines.append(
             f"{point.value:>10.4g}  {point.latency:>10d}  {point.max_queue:>10d}  "
             f"{point.energy_per_round:>8.2f}  {'stable' if point.stable else 'UNSTABLE'}"

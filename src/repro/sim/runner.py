@@ -63,6 +63,12 @@ class RunResult:
     negotiation: dict | None = None
 
     @property
+    def failed(self) -> bool:
+        """Discriminator mirrored by :class:`~repro.sim.faults.FailedResult`
+        (True there): supervised batches may mix both types."""
+        return False
+
+    @property
     def max_queue(self) -> int:
         return self.summary.max_queue
 
@@ -202,6 +208,7 @@ def worst_case_over(
     executor=None,
     cache=None,
     engine: str = "auto",
+    policy=None,
 ) -> tuple[RunResult, list[RunResult]]:
     """Run one fresh algorithm instance against each adversary in a family.
 
@@ -214,7 +221,13 @@ def worst_case_over(
     Factories may return live objects or declarative
     :func:`~repro.sim.specs.spec_fragment` dicts; with fragments the family
     fans out over the parallel executor (``workers`` processes, optional
-    on-disk ``cache``), and ``workers=1`` is the serial fallback.
+    on-disk ``cache``), and ``workers=1`` is the serial fallback.  An
+    :class:`~repro.sim.parallel.ExecutionPolicy` (or a supervised
+    ``executor``) makes the family fault-tolerant; quarantined
+    :class:`~repro.sim.faults.FailedResult` entries stay in the returned
+    list but are deterministically skipped — with a warning — when
+    picking the worst run (a quarantined spec must never silently *be*
+    the worst case).
     """
     from .specs import RunSpec, materialize_adversary, materialize_algorithm
 
@@ -232,7 +245,9 @@ def worst_case_over(
         ]
         from .parallel import dispatch_specs
 
-        results = dispatch_specs(specs, workers=workers, executor=executor, cache=cache)
+        results = dispatch_specs(
+            specs, workers=workers, executor=executor, cache=cache, policy=policy
+        )
     else:
         from .parallel import require_serial_factories
 
@@ -248,5 +263,26 @@ def worst_case_over(
                     engine=engine,
                 )
             )
-    worst = max(results, key=lambda r: (r.latency, r.max_queue, r.adversary))
+    completed = [r for r in results if not r.failed]
+    skipped = [r for r in results if r.failed]
+    if skipped:
+        import warnings
+
+        # Sorted hashes make the warning text deterministic regardless of
+        # completion order; the skip itself is deterministic because the
+        # max() below only ever sees successfully completed runs.
+        detail = ", ".join(
+            sorted(f"{r.label} ({r.error_type})" for r in skipped)
+        )
+        warnings.warn(
+            f"worst_case_over: skipping {len(skipped)} quarantined run(s): {detail}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    if not completed:
+        raise RuntimeError(
+            "worst_case_over: every run in the family was quarantined; "
+            "no worst case can be reported"
+        )
+    worst = max(completed, key=lambda r: (r.latency, r.max_queue, r.adversary))
     return worst, results

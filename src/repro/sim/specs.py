@@ -222,7 +222,7 @@ def _json_ready(params: Mapping[str, Any], what: str) -> dict:
 #: field but are excluded from :meth:`RunSpec.identity_dict` and with it
 #: from :meth:`RunSpec.canonical_json`/:meth:`RunSpec.spec_hash`, so a
 #: cached result is valid whichever strategy computed it.
-EXECUTION_FIELDS = ("engine", "plan_chunk", "quiescence_skip", "lowering")
+EXECUTION_FIELDS = ("engine", "plan_chunk", "quiescence_skip", "lowering", "fault_plan")
 
 
 @dataclass(frozen=True, eq=False)
@@ -270,6 +270,14 @@ class RunSpec:
     #: recovers the strictly per-round block loop for comparison
     #: benchmarks.  Ignored by the kernel and reference engines.
     lowering: bool = True
+    #: Deterministic fault-injection stamp (a
+    #: :meth:`repro.sim.faults.FaultPlan.stamp` dict, or None): replayed
+    #: at the top of :func:`execute_spec` wherever the spec executes.
+    #: Execution strategy like the knobs above — injected faults change
+    #: how many *attempts* a run takes, never what it computes
+    #: (property-tested) — so it round-trips through :meth:`to_dict`
+    #: while staying outside the spec's identity and hash.
+    fault_plan: dict | None = None
 
     def __post_init__(self) -> None:
         if self.rounds < 1:
@@ -280,6 +288,10 @@ class RunSpec:
             )
         if self.plan_chunk is not None and self.plan_chunk < 1:
             raise ValueError("plan_chunk must be at least 1 round")
+        if self.fault_plan is not None:
+            if not isinstance(self.fault_plan, Mapping):
+                raise TypeError("fault_plan must be a FaultPlan.stamp() dict or None")
+            object.__setattr__(self, "fault_plan", dict(self.fault_plan))
         # Fail fast on unknown keys, at the construction site rather than
         # later inside a worker process.
         adversary_entry(self.adversary)
@@ -342,6 +354,7 @@ class RunSpec:
         data["plan_chunk"] = self.plan_chunk
         data["quiescence_skip"] = self.quiescence_skip
         data["lowering"] = self.lowering
+        data["fault_plan"] = dict(self.fault_plan) if self.fault_plan else None
         return data
 
     @classmethod
@@ -371,6 +384,7 @@ class RunSpec:
             plan_chunk=data.get("plan_chunk"),
             quiescence_skip=bool(data.get("quiescence_skip", True)),
             lowering=bool(data.get("lowering", True)),
+            fault_plan=data.get("fault_plan"),
         )
 
     @classmethod
@@ -479,6 +493,14 @@ def execute_spec(spec: RunSpec | Mapping[str, Any]) -> RunResult:
     """
     if not isinstance(spec, RunSpec):
         spec = RunSpec.from_dict(spec)
+    if spec.fault_plan:
+        # Replay the supervisor's fault stamp before any work happens:
+        # the decision is a pure function of (seed, kind, hash, attempt),
+        # so the executing process — worker or in-process — injects
+        # exactly the fault the supervisor predicted.
+        from .faults import FaultPlan
+
+        FaultPlan.apply_stamp(spec.fault_plan, spec.spec_hash())
     algorithm = spec.build_algorithm()
     adversary = spec.build_adversary(algorithm)
     return run_simulation(

@@ -22,10 +22,19 @@ __all__ = ["SweepPoint", "SweepSeries", "sweep"]
 
 @dataclass(slots=True)
 class SweepPoint:
-    """One point of a sweep: the swept value and the run it produced."""
+    """One point of a sweep: the swept value and the run it produced.
+
+    Under a fault-tolerant sweep ``result`` may be a quarantined
+    :class:`~repro.sim.faults.FailedResult`; check :attr:`failed` before
+    reading the run metrics.
+    """
 
     value: float
     result: RunResult
+
+    @property
+    def failed(self) -> bool:
+        return self.result.failed
 
     @property
     def latency(self) -> int:
@@ -67,19 +76,44 @@ class SweepSeries:
     def energies(self) -> list[float]:
         return [p.energy_per_round for p in self.points]
 
+    def failed_points(self) -> list[SweepPoint]:
+        """Quarantined points (empty for a fault-free sweep)."""
+        return [p for p in self.points if p.failed]
+
     def as_rows(self) -> list[dict]:
-        """Rows suitable for CSV export / text rendering."""
-        return [
-            {
-                "series": self.name,
-                self.parameter: p.value,
-                "latency": p.latency,
-                "max_queue": p.max_queue,
-                "energy_per_round": round(p.energy_per_round, 3),
-                "stable": p.stable,
-            }
-            for p in self.points
-        ]
+        """Rows suitable for CSV export / text rendering.
+
+        Quarantined points render as structured failure rows (metrics
+        None, ``failed`` message filled in) rather than crashing or being
+        silently dropped.
+        """
+        rows = []
+        for p in self.points:
+            if p.failed:
+                rows.append(
+                    {
+                        "series": self.name,
+                        self.parameter: p.value,
+                        "latency": None,
+                        "max_queue": None,
+                        "energy_per_round": None,
+                        "stable": False,
+                        "failed": p.result.describe(),
+                    }
+                )
+            else:
+                rows.append(
+                    {
+                        "series": self.name,
+                        self.parameter: p.value,
+                        "latency": p.latency,
+                        "max_queue": p.max_queue,
+                        "energy_per_round": round(p.energy_per_round, 3),
+                        "stable": p.stable,
+                        "failed": None,
+                    }
+                )
+        return rows
 
 
 def sweep(
@@ -98,6 +132,8 @@ def sweep(
     cache=None,
     engine: str = "auto",
     progress=None,
+    policy=None,
+    manifest=None,
 ) -> SweepSeries:
     """Run one simulation per swept value and collect the results.
 
@@ -111,6 +147,13 @@ def sweep(
     (``workers`` processes, optional on-disk ``cache``); ``workers=1`` is
     the serial fallback and produces bit-identical results.  Live objects
     cannot cross process boundaries, so they require ``workers=1``.
+
+    An :class:`~repro.sim.parallel.ExecutionPolicy` (``policy``) makes
+    the sweep fault-tolerant — worker crashes, transient exceptions and
+    timeouts retry with deterministic backoff, and poison specs land as
+    quarantined points instead of aborting the series — and a
+    :class:`~repro.sim.manifest.SweepManifest` (``manifest``) checkpoints
+    per-spec status incrementally so an interrupted sweep resumes.
     """
     series = SweepSeries(name=name, parameter=parameter)
     jobs = []
@@ -141,7 +184,13 @@ def sweep(
         from .parallel import dispatch_specs
 
         results = dispatch_specs(
-            specs, workers=workers, executor=executor, cache=cache, progress=progress
+            specs,
+            workers=workers,
+            executor=executor,
+            cache=cache,
+            progress=progress,
+            policy=policy,
+            manifest=manifest,
         )
         for (value, _, _, _), result in zip(jobs, results):
             series.points.append(SweepPoint(value=value, result=result))
@@ -150,6 +199,11 @@ def sweep(
     from .parallel import require_serial_factories
 
     require_serial_factories("sweep", workers, executor)
+    if policy is not None or manifest is not None:
+        raise ValueError(
+            "fault-tolerant sweep needs declarative factories: return "
+            "spec_fragment(...) dicts instead of live objects"
+        )
     for value, algorithm, adversary, run_rounds in jobs:
         algorithm = materialize_algorithm(algorithm)
         result = run_simulation(

@@ -1,5 +1,7 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -125,6 +127,86 @@ class TestCommands:
         assert len(list(tmp_path.glob("*.pkl"))) == 1
         assert main(argv) == 0
         assert capsys.readouterr().out == first
+
+    def test_sweep_fault_tolerant_flags_match_plain_run(self, capsys, tmp_path):
+        base = [
+            "sweep",
+            "--algorithm", "count-hop",
+            "--n", "4",
+            "--rates", "0.2,0.5",
+            "--rounds", "500",
+        ]
+        assert main(base) == 0
+        plain = capsys.readouterr().out
+        manifest_path = tmp_path / "manifest.json"
+        assert main(
+            base
+            + [
+                "--max-retries", "2",
+                "--spec-timeout", "120",
+                "--manifest", str(manifest_path),
+            ]
+        ) == 0
+        assert capsys.readouterr().out == plain  # supervision changes nothing
+        manifest = json.loads(manifest_path.read_text())
+        assert len(manifest["entries"]) == 2
+        assert all(e["status"] == "done" for e in manifest["entries"].values())
+
+    def test_sweep_resume_requires_manifest(self):
+        with pytest.raises(SystemExit, match="--resume requires --manifest"):
+            main(
+                [
+                    "sweep",
+                    "--algorithm", "count-hop",
+                    "--n", "4",
+                    "--rates", "0.2",
+                    "--resume",
+                ]
+            )
+
+    def test_sweep_resume_skips_quarantined_points(self, capsys, tmp_path):
+        manifest_path = tmp_path / "manifest.json"
+        argv = [
+            "sweep",
+            "--algorithm", "count-hop",
+            "--n", "4",
+            "--rates", "0.3",
+            "--rounds", "400",
+            "--adversary", "single-target",
+            "--max-retries", "0",
+            "--manifest", str(manifest_path),
+        ]
+        # Pre-record the sweep's only point as failed, as an interrupted
+        # fault-tolerant run would have; --resume must surface it as a
+        # FAILED row (exit 3) without re-executing.
+        from repro.cli import _adversary_fragment, _algorithm_fragment
+        from repro.sim import FailedResult, SweepManifest
+        from repro.sim.specs import RunSpec
+
+        spec = RunSpec.from_fragments(
+            _algorithm_fragment("count-hop", 4, None),
+            _adversary_fragment("single-target", 0.3, 2.0, None),
+            400,
+            label="count-hop[rho=0.3]",
+        )
+        manifest = SweepManifest(manifest_path)
+        manifest.record_failed(
+            spec,
+            FailedResult(
+                spec=spec, error="boom", error_type="TransientFault", attempts=1
+            ),
+        )
+        assert main(argv + ["--resume"]) == 3
+        captured = capsys.readouterr()
+        assert "FAILED after 1 attempt(s): TransientFault: boom" in captured.out
+        assert "1 point(s) quarantined" in captured.err
+
+    def test_sweep_help_documents_fault_flags(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--help"])
+        out = capsys.readouterr().out
+        for flag in ("--max-retries", "--spec-timeout", "--manifest", "--resume"):
+            assert flag in out
 
     def test_run_seed_changes_stochastic_traffic(self, capsys):
         def run_with_seed(seed):

@@ -1,0 +1,254 @@
+"""Unit tests for the fault-injection layer and the sweep manifest."""
+
+import json
+
+import pytest
+
+from repro.sim import (
+    FailedResult,
+    FaultPlan,
+    SweepManifest,
+    TransientFault,
+)
+from repro.sim.faults import (
+    WORKER_FAULT_KINDS,
+    in_worker_process,
+)
+from repro.sim.manifest import MANIFEST_VERSION
+from repro.sim.specs import RunSpec
+
+
+def _spec(rho=0.4, label=None) -> RunSpec:
+    return RunSpec(
+        algorithm="count-hop",
+        algorithm_params={"n": 4},
+        adversary="single-target",
+        adversary_params={"rho": rho, "beta": 1.0},
+        rounds=200,
+        label=label,
+    )
+
+
+class TestFaultPlanCoin:
+    def test_decision_is_a_pure_function(self):
+        plan = FaultPlan(seed=7, transient_rate=0.5, fault_budget=100)
+        decisions = [plan.decide("transient", "abc123", a) for a in range(50)]
+        replayed = [plan.decide("transient", "abc123", a) for a in range(50)]
+        assert decisions == replayed
+        # A fresh, equal plan replays the same schedule too (no hidden state).
+        again = FaultPlan(seed=7, transient_rate=0.5, fault_budget=100)
+        assert [again.decide("transient", "abc123", a) for a in range(50)] == decisions
+
+    def test_seed_changes_the_schedule(self):
+        hashes = [f"hash{i}" for i in range(200)]
+        a = FaultPlan(seed=1, transient_rate=0.5, fault_budget=10)
+        b = FaultPlan(seed=2, transient_rate=0.5, fault_budget=10)
+        fires_a = [a.decide("transient", h, 0) for h in hashes]
+        fires_b = [b.decide("transient", h, 0) for h in hashes]
+        assert fires_a != fires_b
+        # And the rate is roughly honoured (coin is uniform on [0, 1)).
+        assert 40 < sum(fires_a) < 160
+
+    def test_rate_zero_never_fires_rate_one_always_fires(self):
+        silent = FaultPlan(seed=3, fault_budget=10)
+        loud = FaultPlan(seed=3, transient_rate=1.0, fault_budget=10)
+        for attempt in range(10):
+            assert not silent.decide("transient", "h", attempt)
+            assert loud.decide("transient", "h", attempt)
+
+    def test_fault_budget_bounds_faulted_attempts(self):
+        plan = FaultPlan(seed=5, transient_rate=1.0, fault_budget=2)
+        assert plan.decide("transient", "h", 0)
+        assert plan.decide("transient", "h", 1)
+        assert not plan.decide("transient", "h", 2)
+        assert not plan.decide("transient", "h", 99)
+
+    def test_kinds_draw_independent_coins(self):
+        plan = FaultPlan(
+            seed=9, kill_rate=0.5, transient_rate=0.5, fault_budget=1
+        )
+        hashes = [f"h{i}" for i in range(200)]
+        kills = [plan.decide("kill", h, 0) for h in hashes]
+        transients = [plan.decide("transient", h, 0) for h in hashes]
+        assert kills != transients
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(kill_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(transient_rate=-0.1)
+        with pytest.raises(ValueError):
+            FaultPlan(fault_budget=-1)
+        with pytest.raises(ValueError):
+            FaultPlan(stall_seconds=-1.0)
+
+    def test_active(self):
+        assert not FaultPlan().active
+        assert FaultPlan(transient_rate=0.1).active
+        assert FaultPlan(corrupt_rate=0.1).active
+
+
+class TestFaultPlanWorkerSide:
+    def test_worker_fault_first_kind_wins(self):
+        plan = FaultPlan(
+            seed=1, kill_rate=1.0, stall_rate=1.0, transient_rate=1.0, fault_budget=1
+        )
+        assert plan.worker_fault("h", 0) == WORKER_FAULT_KINDS[0] == "kill"
+        assert plan.worker_fault("h", 1) is None  # past the budget
+
+    def test_kill_degrades_to_transient_in_process(self):
+        # This test process is the orchestrator, not a pool worker, so an
+        # injected kill must *not* os._exit it.
+        assert not in_worker_process()
+        plan = FaultPlan(seed=1, kill_rate=1.0, fault_budget=1)
+        with pytest.raises(TransientFault, match="degraded to a transient"):
+            plan.apply_in_worker("h", 0)
+
+    def test_transient_raises_and_stall_returns(self):
+        plan = FaultPlan(seed=1, transient_rate=1.0, fault_budget=1)
+        with pytest.raises(TransientFault, match="injected transient"):
+            plan.apply_in_worker("h", 0)
+        stall = FaultPlan(seed=1, stall_rate=1.0, stall_seconds=0.0, fault_budget=1)
+        stall.apply_in_worker("h", 0)  # sleeps 0s, then the run proceeds
+
+    def test_budgeted_attempt_is_clean(self):
+        plan = FaultPlan(
+            seed=1, kill_rate=1.0, stall_rate=1.0, transient_rate=1.0, fault_budget=1
+        )
+        plan.apply_in_worker("h", 1)  # no fault: attempt >= budget
+
+
+class TestFaultPlanSerialisation:
+    def test_round_trip(self):
+        plan = FaultPlan(
+            seed=42,
+            kill_rate=0.1,
+            stall_rate=0.2,
+            transient_rate=0.3,
+            corrupt_rate=0.4,
+            stall_seconds=0.5,
+            fault_budget=3,
+        )
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_stamp_carries_the_attempt(self):
+        plan = FaultPlan(seed=42, transient_rate=0.3)
+        stamp = plan.stamp(3)
+        assert stamp["attempt"] == 3
+        assert FaultPlan.from_dict(stamp) == plan
+
+    def test_apply_stamp_replays_the_worker_fault(self):
+        plan = FaultPlan(seed=1, transient_rate=1.0, fault_budget=2)
+        with pytest.raises(TransientFault):
+            FaultPlan.apply_stamp(plan.stamp(0), "h")
+        FaultPlan.apply_stamp(plan.stamp(5), "h")  # budgeted: clean
+
+
+class TestFailedResult:
+    def test_describe_and_label(self):
+        spec = _spec(label="poison")
+        failure = FailedResult(
+            spec=spec,
+            error="boom",
+            error_type="ValueError",
+            attempts=3,
+            fault_events=["attempt 0: ValueError: boom"],
+        )
+        assert failure.failed is True
+        assert failure.spec_hash == spec.spec_hash()
+        assert failure.label == "poison"
+        assert failure.describe() == "FAILED after 3 attempt(s): ValueError: boom"
+
+    def test_label_falls_back_to_matchup(self):
+        failure = FailedResult(
+            spec=_spec(), error="x", error_type="E", attempts=1
+        )
+        assert failure.label == "count-hop vs single-target"
+
+
+class TestSweepManifest:
+    def test_record_and_reload(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        manifest = SweepManifest(path)
+        done_spec, failed_spec, pending_spec = (
+            _spec(0.1, "a"), _spec(0.3, "b"), _spec(0.5, "c")
+        )
+        manifest.record_pending(pending_spec)
+        manifest.record_done(done_spec, attempts=1)
+        manifest.record_failed(
+            failed_spec,
+            FailedResult(
+                spec=failed_spec,
+                error="gave up",
+                error_type="TransientFault",
+                attempts=3,
+                fault_events=["attempt 0: TransientFault: gave up"],
+            ),
+        )
+        assert manifest.counts() == {"pending": 1, "done": 1, "failed": 1}
+        assert len(manifest) == 3
+
+        # The file on disk is a consistent snapshot after every record.
+        data = json.loads(path.read_text("utf-8"))
+        assert data["version"] == MANIFEST_VERSION
+        assert len(data["entries"]) == 3
+
+        resumed = SweepManifest(path, resume=True)
+        assert resumed.resumed
+        assert resumed.counts() == manifest.counts()
+        assert resumed.prior(done_spec)["status"] == "done"
+
+    def test_prior_failure_reconstruction(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        manifest = SweepManifest(path)
+        spec = _spec(0.3, "b")
+        manifest.record_failed(
+            spec,
+            FailedResult(
+                spec=spec,
+                error="gave up",
+                error_type="TransientFault",
+                attempts=3,
+                fault_events=["e1", "e2"],
+            ),
+        )
+        resumed = SweepManifest(path, resume=True)
+        failure = resumed.prior_failure(spec)
+        assert isinstance(failure, FailedResult)
+        assert failure.error == "gave up"
+        assert failure.error_type == "TransientFault"
+        assert failure.attempts == 3
+        assert failure.fault_events == ["e1", "e2"]
+        assert resumed.prior_failure(_spec(0.9)) is None
+
+    def test_done_clears_a_prior_error_and_keeps_attempts(self, tmp_path):
+        manifest = SweepManifest(tmp_path / "m.json")
+        spec = _spec()
+        manifest.record_attempt(spec, 2, "attempt 1: E: x")
+        manifest.record_done(spec)
+        entry = manifest.prior(spec)
+        assert entry["status"] == "done"
+        assert entry["attempts"] == 2  # history preserved
+        assert "error" not in entry
+
+    def test_without_resume_an_existing_file_is_replaced(self, tmp_path):
+        path = tmp_path / "m.json"
+        old = SweepManifest(path)
+        old.record_done(_spec(0.1))
+        fresh = SweepManifest(path)  # resume=False
+        assert not fresh.resumed
+        assert len(fresh) == 0
+        fresh.record_done(_spec(0.2))
+        assert len(SweepManifest(path, resume=True)) == 1
+
+    def test_unsupported_version_raises(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps({"version": 999, "entries": {}}))
+        with pytest.raises(ValueError, match="unsupported version"):
+            SweepManifest(path, resume=True)
+
+    def test_garbage_file_raises(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text("not json {")
+        with pytest.raises(ValueError, match="unreadable"):
+            SweepManifest(path, resume=True)

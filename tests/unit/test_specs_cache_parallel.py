@@ -123,6 +123,21 @@ class TestRunSpec:
         assert base.spec_hash() == _spec(plan_chunk=7).spec_hash()
         assert base == _spec(plan_chunk=7)
 
+    def test_fault_plan_is_an_execution_knob(self):
+        # A fault-plan stamp rides to workers via to_dict() but must never
+        # change a spec's identity: injected faults cannot move cache keys
+        # or manifest entries.
+        from repro.sim import FaultPlan
+
+        stamp = FaultPlan(seed=3, transient_rate=0.5).stamp(2)
+        base = _spec()
+        stamped = _spec(fault_plan=stamp)
+        assert stamped.spec_hash() == base.spec_hash()
+        assert "fault_plan" not in base.identity_dict()
+        rebuilt = RunSpec.from_dict(stamped.to_dict())
+        assert rebuilt.fault_plan == stamp
+        assert RunSpec.from_dict(base.to_dict()).fault_plan is None
+
     def test_plan_chunk_validated(self):
         with pytest.raises(ValueError, match="plan_chunk"):
             _spec(plan_chunk=0)
@@ -281,6 +296,62 @@ class TestResultCache:
         cache._payload_path(spec).write_bytes(_pickle.dumps(payload))
         hit = cache.get(spec)
         assert hit is not None and hit.summary == result.summary
+
+    def test_checksum_mismatch_raises_corruption_error(self, tmp_path):
+        from repro.sim import CacheCorruptionError
+
+        cache = ResultCache(tmp_path)
+        spec = _spec()
+        cache.put(spec, execute_spec(spec))
+        path = cache._payload_path(spec)
+        raw = path.read_bytes()
+        # Flip one byte of the body under an intact checksum header.
+        path.write_bytes(raw[:-1] + bytes([raw[-1] ^ 0xFF]))
+        with pytest.raises(CacheCorruptionError, match="checksum mismatch"):
+            ResultCache._load_payload(path)
+
+    def test_truncated_payload_quarantines_and_recomputes(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _spec()
+        cache.put(spec, execute_spec(spec))
+        path = cache._payload_path(spec)
+        path.write_bytes(path.read_bytes()[:80])  # keep the header, cut the body
+        # get() never raises: the bad entry moves to corrupt/ and reads as
+        # a miss, so the caller recomputes.
+        assert cache.get(spec) is None
+        assert cache.quarantined == 1 and cache.misses == 1
+        assert (cache.quarantine_dir / path.name).exists()
+        assert not path.exists()
+        assert cache.quarantined_entries() == 1
+
+    def test_clear_reports_quarantined_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _spec()
+        cache.put(spec, execute_spec(spec))
+        cache._payload_path(spec).write_bytes(b"\x00" * 80)
+        assert cache.get(spec) is None  # quarantines payload + sidecar
+        cache.put(spec, execute_spec(spec))  # fresh live entry
+        stats = cache.clear()
+        assert stats == 1  # int compat: live entries only
+        assert stats.entries == 1
+        assert stats.quarantined == 1
+        assert stats.tmp_swept == 0
+        assert list(tmp_path.iterdir()) == []  # corrupt/ removed too
+
+    def test_injected_corruption_is_deterministic(self, tmp_path):
+        from repro.sim import FaultPlan
+
+        plan = FaultPlan(seed=11, corrupt_rate=1.0, fault_budget=1)
+        spec = _spec()
+        result = execute_spec(spec)
+
+        cache = ResultCache(tmp_path, fault_plan=plan)
+        cache.put(spec, result)
+        assert cache.get(spec) is None  # read 0: coin fires, truncated
+        cache.put(spec, result)
+        hit = cache.get(spec)  # read 1: past the budget, clean
+        assert hit is not None and hit.summary == result.summary
+        assert cache.quarantined == 1
 
     def test_executor_consults_cache(self, tmp_path):
         cache = ResultCache(tmp_path)
