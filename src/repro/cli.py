@@ -12,6 +12,19 @@ look should use the Python API directly.  ``--workers N`` fans independent
 runs out over N spawn-safe worker processes with results bit-identical to
 the serial path, and ``--cache-dir`` reuses finished runs across
 invocations (defaults to ``~/.cache/repro-sim`` when ``--cache`` is set).
+
+The distributed trio turns the harness into a service::
+
+    python -m repro serve  --queue-dir Q --cache-dir C --port 8750
+    python -m repro worker --queue-dir Q &   # any number, any machine
+    python -m repro submit --server http://host:8750 --algorithm rrw --n 8 ...
+
+``serve`` shards submitted batches into a lease-based work queue,
+``worker`` processes claim/execute/heartbeat them (crash-safe: expired
+leases are stolen and finished idempotently against the shared cache),
+and ``submit`` posts a sweep and streams progress until the results are
+in.  ``sweep --shard i/k`` is the manual alternative: a deterministic
+spec-hash partition for splitting one sweep across machines by hand.
 """
 
 from __future__ import annotations
@@ -25,14 +38,18 @@ from .core import available_algorithms
 from .metrics.summary import RunSummary
 from .sim import (
     ExecutionPolicy,
+    FaultPlan,
     ParallelExecutor,
     ProgressTicker,
     ResultCache,
+    RunSpec,
     SweepManifest,
     run_simulation,
+    run_worker,
     spec_fragment,
     sweep,
 )
+from .sim.faults import mark_worker_process
 from .sim.runner import ENGINE_KINDS
 from .sim.reporting import sweep_table
 from .sim.specs import (
@@ -94,6 +111,34 @@ def _cache_from_args(args: argparse.Namespace) -> ResultCache | None:
     if getattr(args, "cache", False):
         return ResultCache()
     return None
+
+
+def _parse_shard(text: str) -> tuple[int, int]:
+    """Parse ``i/k`` into a (index, total) shard selector."""
+    try:
+        index_text, total_text = text.split("/", 1)
+        index, total = int(index_text), int(total_text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"invalid shard {text!r}: expected i/k (e.g. 0/4)"
+        ) from exc
+    if total < 1 or not 0 <= index < total:
+        raise argparse.ArgumentTypeError(
+            f"invalid shard {text!r}: need 0 <= i < k"
+        )
+    return index, total
+
+
+def _fault_plan_from_args(args: argparse.Namespace) -> FaultPlan | None:
+    """Build the worker's injection plan; None when every rate is zero."""
+    plan = FaultPlan(
+        seed=args.fault_seed,
+        kill_rate=args.fault_kill_rate,
+        transient_rate=args.fault_transient_rate,
+        lease_death_rate=args.fault_lease_rate,
+        fault_budget=args.fault_budget,
+    )
+    return plan if plan.active else None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -176,6 +221,100 @@ def build_parser() -> argparse.ArgumentParser:
                          "it records as failed are skipped without burning a "
                          "new retry budget (done points come back as cache "
                          "hits when --cache/--cache-dir is set)")
+    sweep_p.add_argument("--shard", type=_parse_shard, default=None, metavar="i/k",
+                         help="run only the points whose canonical spec hash "
+                         "falls in shard i of k — a deterministic partition, "
+                         "so k machines running shards 0/k..k-1/k against a "
+                         "shared --cache-dir cover exactly the full sweep")
+
+    worker_p = sub.add_parser(
+        "worker",
+        help="claim and execute shards from a distributed sweep queue",
+    )
+    worker_p.add_argument("--queue-dir", required=True,
+                          help="work queue directory (shared with repro serve)")
+    worker_p.add_argument("--cache-dir", default=None,
+                          help="shared result cache (default: the queue's "
+                          "recorded cache dir)")
+    worker_p.add_argument("--owner", default=None,
+                          help="lease owner name (default: worker-<pid>)")
+    worker_p.add_argument("--poll", type=float, default=0.2,
+                          help="seconds between claim attempts when idle")
+    worker_p.add_argument("--max-idle", type=float, default=None,
+                          help="exit after this many idle seconds "
+                          "(default: wait forever)")
+    worker_p.add_argument("--exit-when-drained", action="store_true",
+                          help="exit as soon as no shard is pending or leased")
+    worker_p.add_argument("--wait-for-queue", type=float, default=0.0,
+                          metavar="SECONDS",
+                          help="wait up to SECONDS for the queue to be created "
+                          "before opening it")
+    worker_p.add_argument("--max-retries", type=int, default=2,
+                          help="per-spec retry budget inside this worker")
+    worker_p.add_argument("--fault-seed", type=int, default=0,
+                          help="fault-injection seed (testing)")
+    worker_p.add_argument("--fault-kill-rate", type=float, default=0.0,
+                          help="injected probability this worker hard-exits "
+                          "mid-spec (testing; the shard's lease expires and "
+                          "is stolen)")
+    worker_p.add_argument("--fault-lease-rate", type=float, default=0.0,
+                          help="injected probability this worker abandons a "
+                          "claimed shard without heartbeating (testing)")
+    worker_p.add_argument("--fault-transient-rate", type=float, default=0.0,
+                          help="injected probability of a retryable exception "
+                          "per attempt (testing)")
+    worker_p.add_argument("--fault-budget", type=int, default=1,
+                          help="max faulted attempts per spec across the "
+                          "whole fleet")
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="HTTP front end: accept spec batches, shard them into the queue, "
+        "stream progress",
+    )
+    serve_p.add_argument("--queue-dir", required=True,
+                         help="work queue directory (shared with repro worker)")
+    serve_p.add_argument("--cache-dir", default=None,
+                         help="shared result cache "
+                         "(default: ~/.cache/repro-sim or $REPRO_CACHE_DIR)")
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=8750,
+                         help="listen port (0 = ephemeral, printed on boot)")
+    serve_p.add_argument("--lease-ttl", type=float, default=15.0,
+                         help="seconds before an unrenewed worker lease may "
+                         "be stolen")
+    serve_p.add_argument("--shard-size", type=int, default=4,
+                         help="specs per work-queue shard")
+    serve_p.add_argument("--fallback-after", type=float, default=2.0,
+                         help="seconds of stalled progress with no live lease "
+                         "before the server executes shards itself")
+
+    submit_p = sub.add_parser(
+        "submit",
+        help="submit a sweep to a repro serve instance and wait for results",
+    )
+    submit_p.add_argument("--server", required=True,
+                          help="base URL of the repro serve instance")
+    submit_p.add_argument("--algorithm", required=True,
+                          choices=available_algorithms())
+    submit_p.add_argument("--n", type=int, required=True)
+    submit_p.add_argument("--k", type=int, default=None)
+    submit_p.add_argument("--rates", default="0.1,0.3,0.5,0.7,0.9",
+                          help="comma-separated injection rates")
+    submit_p.add_argument("--beta", type=float, default=2.0)
+    submit_p.add_argument("--rounds", type=int, default=8_000)
+    submit_p.add_argument("--adversary", default="spray",
+                          choices=rate_adversaries())
+    submit_p.add_argument("--seed", type=int, default=None,
+                          help="RNG seed for stochastic adversaries")
+    submit_p.add_argument("--engine", default=None, choices=ENGINE_KINDS,
+                          help="engine selector (default: auto)")
+    submit_p.add_argument("--shard-size", type=int, default=None,
+                          help="override the server's specs-per-shard")
+    submit_p.add_argument("--timeout", type=float, default=300.0,
+                          help="seconds to wait for the job to complete")
+    submit_p.add_argument("--progress", action="store_true",
+                          help="stderr line per streamed progress snapshot")
     return parser
 
 
@@ -285,6 +424,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             executor=executor,
             engine=_engine_from_args(args),
             progress=ticker,
+            shard=args.shard,
         )
     print(sweep_table(series))
     failed = series.failed_points()
@@ -293,6 +433,106 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             f"warning: {len(failed)} point(s) quarantined after exhausting "
             "retries; see the FAILED rows above"
             + (f" and the manifest at {args.manifest}" if args.manifest else ""),
+            file=sys.stderr,
+        )
+        return 3
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    try:
+        fault_plan = _fault_plan_from_args(args)
+        policy = ExecutionPolicy(max_retries=args.max_retries)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+    # Injected kill coins must take down the whole worker process (a real
+    # crash, so the lease expires and the shard is stolen) — exactly what
+    # they do to pool workers in a local supervised sweep.
+    mark_worker_process()
+    stats = run_worker(
+        args.queue_dir,
+        cache_dir=args.cache_dir,
+        owner=args.owner,
+        policy=policy,
+        fault_plan=fault_plan,
+        poll=args.poll,
+        max_idle=args.max_idle,
+        exit_when_drained=args.exit_when_drained,
+        wait_for_queue=args.wait_for_queue,
+    )
+    print(f"worker done: {stats.summary()}", file=sys.stderr)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .sim import SweepService, make_server
+
+    service = SweepService(
+        args.queue_dir,
+        args.cache_dir,
+        lease_ttl=args.lease_ttl,
+        shard_size=args.shard_size,
+        fallback_after=args.fallback_after,
+    )
+    server = make_server(service, args.host, args.port)
+    host, port = server.server_address[:2]
+    print(f"repro serve listening on http://{host}:{port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.close()
+        server.server_close()
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .sim.service import fetch_results, submit_batch, wait_for_job
+
+    rates = [float(x) for x in args.rates.split(",") if x]
+    seed = _effective_seed(args.adversary, args.seed)
+    specs = [
+        RunSpec.from_fragments(
+            _algorithm_fragment(args.algorithm, args.n, args.k),
+            _adversary_fragment(args.adversary, rho, args.beta, seed),
+            args.rounds,
+            label=f"{args.algorithm}[rho={rho}]",
+            engine=_engine_from_args(args),
+        ).to_dict()
+        for rho in rates
+    ]
+
+    def on_progress(snap: dict) -> None:
+        if args.progress:
+            print(
+                f"job {snap['job']}: {snap['done']}/{snap['total']} done, "
+                f"{snap['failed']} failed",
+                file=sys.stderr,
+            )
+
+    try:
+        job = submit_batch(args.server, specs, shard_size=args.shard_size)
+        wait_for_job(
+            args.server, job["job"], timeout=args.timeout, on_progress=on_progress
+        )
+        results = fetch_results(args.server, job["job"])
+    except (OSError, TimeoutError, ValueError, KeyError) as exc:
+        raise SystemExit(f"submit failed: {exc}") from exc
+
+    print(RunSummary.header())
+    failed = 0
+    for record in results:
+        if record["status"] == "done":
+            print(RunSummary(**record["summary"]).format_row())
+        else:
+            failed += 1
+            detail = record.get("error", "result missing")
+            print(f"{record['label']}: FAILED ({detail})")
+    if failed:
+        print(
+            f"warning: {failed} point(s) failed on the service; "
+            "see the FAILED rows above",
             file=sys.stderr,
         )
         return 3
@@ -310,6 +550,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_table1(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "worker":
+        return _cmd_worker(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
     raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
 
 

@@ -8,6 +8,14 @@ fault-tolerant: a seeded :class:`FaultPlan` injects deterministic,
 replayable failures (worker kills, transient exceptions, cache
 corruption, stalls), an :class:`ExecutionPolicy` retries/quarantines
 them, and a :class:`SweepManifest` checkpoints sweep status for resume.
+
+The distributed layer turns that harness into a service: a filesystem
+:class:`WorkQueue` shards spec batches into lease-based work items
+(atomic rename-to-claim, TTL heartbeats, expired-lease stealing),
+:func:`run_worker` is the ``repro worker`` loop executing claimed shards
+through the supervised executor into a shared cache, and
+:class:`SweepService` is the ``repro serve`` front end accepting spec
+batches over HTTP with graceful local fallback when no worker is alive.
 """
 
 from .cache import CacheCorruptionError, ClearStats, ResultCache, default_cache_dir
@@ -23,7 +31,16 @@ from .parallel import (
     run_specs,
 )
 from .progress import ProgressTicker
+from .queue import (
+    LeaseLostError,
+    WorkLease,
+    WorkQueue,
+    collect_results,
+    shard_index,
+    status_record,
+)
 from .runner import RunResult, resolve_engine, run_simulation, worst_case_over
+from .service import SweepJob, SweepService, make_server
 from .specs import (
     RunSpec,
     available_adversaries,
@@ -34,6 +51,7 @@ from .specs import (
     spec_fragment,
 )
 from .sweep import SweepPoint, SweepSeries, sweep
+from .worker import WorkerStats, process_lease, run_worker
 
 __all__ = [
     "CacheCorruptionError",
@@ -43,28 +61,39 @@ __all__ = [
     "FailedResult",
     "FaultPlan",
     "InjectedFault",
+    "LeaseLostError",
     "ParallelExecutor",
     "ProgressTicker",
     "ResultCache",
     "RunResult",
     "RunSpec",
+    "SweepJob",
     "SweepManifest",
     "SweepPoint",
     "SweepSeries",
+    "SweepService",
     "TransientFault",
+    "WorkLease",
+    "WorkQueue",
     "WorkerCrashError",
+    "WorkerStats",
     "available_adversaries",
+    "collect_results",
     "default_cache_dir",
     "default_chunk_size",
     "default_worker_count",
     "execute_spec",
     "execute_spec_batch",
     "make_adversary",
+    "make_server",
+    "process_lease",
     "register_adversary",
     "resolve_engine",
     "run_simulation",
     "run_specs",
+    "shard_index",
     "spec_fragment",
+    "status_record",
     "sweep",
     "worst_case_over",
 ]

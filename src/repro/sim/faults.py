@@ -35,10 +35,23 @@ Fault kinds:
     :class:`~repro.sim.cache.ResultCache` truncates the stored payload
     before reading it, exercising the checksum → quarantine →
     recompute path.
+``lease``
+    A distributed-sweep worker "dies" mid-shard: it stops heartbeating
+    and abandons its claimed :class:`~repro.sim.queue.WorkQueue` lease
+    without completing or releasing it, forcing the lease to expire and
+    the shard to be *stolen* by another worker.  Applied by the worker
+    loop (:func:`repro.sim.worker.run_worker`), keyed on the shard id
+    and its takeover count rather than a spec hash.
 
 Every kind is budgeted: a spec suffers at most ``fault_budget`` faulted
 attempts, so any retry policy with ``max_retries >= fault_budget``
-provably converges on the fault-free result.
+provably converges on the fault-free result.  In the distributed
+setting an attempt counter cannot survive a worker crash, so the coin
+is drawn over the *effective* attempt ``attempt + attempt_offset``: a
+worker executing a shard stolen ``t`` times runs the specs under
+``with_offset(t)``, which advances every spec's coin stream past the
+attempts the dead workers already burned — the budget bounds total
+faults per spec across the whole fleet, not per process.
 """
 
 from __future__ import annotations
@@ -46,7 +59,7 @@ from __future__ import annotations
 import hashlib
 import os
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Mapping
 
 __all__ = [
@@ -116,11 +129,23 @@ class FaultPlan:
     stall_rate: float = 0.0
     transient_rate: float = 0.0
     corrupt_rate: float = 0.0
+    lease_death_rate: float = 0.0
     stall_seconds: float = 1.0
     fault_budget: int = 1
+    #: Added to every ``attempt`` before budgeting and coin draws.  The
+    #: distributed worker loop sets it to a shard's takeover count so a
+    #: stolen shard resumes the fault schedule where the dead worker
+    #: left off instead of replaying (and re-suffering) attempt 0.
+    attempt_offset: int = 0
 
     def __post_init__(self) -> None:
-        for name in ("kill_rate", "stall_rate", "transient_rate", "corrupt_rate"):
+        for name in (
+            "kill_rate",
+            "stall_rate",
+            "transient_rate",
+            "corrupt_rate",
+            "lease_death_rate",
+        ):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {rate}")
@@ -128,6 +153,8 @@ class FaultPlan:
             raise ValueError("fault_budget must be non-negative")
         if self.stall_seconds < 0:
             raise ValueError("stall_seconds must be non-negative")
+        if self.attempt_offset < 0:
+            raise ValueError("attempt_offset must be non-negative")
 
     # -- the deterministic coin ----------------------------------------------
     def _coin(self, kind: str, spec_hash: str, attempt: int) -> float:
@@ -142,25 +169,58 @@ class FaultPlan:
             "stall": self.stall_rate,
             "transient": self.transient_rate,
             "corrupt": self.corrupt_rate,
+            "lease": self.lease_death_rate,
         }[kind]
 
     def decide(self, kind: str, spec_hash: str, attempt: int) -> bool:
         """Whether fault ``kind`` fires for ``spec_hash`` on ``attempt``.
 
         Pure and replayable: the same arguments always return the same
-        answer, in any process.  Attempts at or beyond ``fault_budget``
-        never fault.
+        answer, in any process.  The decision is keyed on the *effective*
+        attempt ``attempt + attempt_offset``; effective attempts at or
+        beyond ``fault_budget`` never fault.
         """
-        if attempt >= self.fault_budget:
+        effective = attempt + self.attempt_offset
+        if effective >= self.fault_budget:
             return False
         rate = self._rate(kind)
-        return rate > 0.0 and self._coin(kind, spec_hash, attempt) < rate
+        return rate > 0.0 and self._coin(kind, spec_hash, effective) < rate
 
     @property
     def active(self) -> bool:
         return any(
-            (self.kill_rate, self.stall_rate, self.transient_rate, self.corrupt_rate)
+            (
+                self.kill_rate,
+                self.stall_rate,
+                self.transient_rate,
+                self.corrupt_rate,
+                self.lease_death_rate,
+            )
         )
+
+    def with_offset(self, offset: int) -> "FaultPlan":
+        """The same plan shifted to effective attempt ``offset``.
+
+        The distributed worker loop calls this with a shard's takeover
+        count before stamping specs, so every process executing the
+        shard draws from one global per-spec coin stream.
+        """
+        return replace(self, attempt_offset=offset)
+
+    def lease_death(self, shard_id: str, takeovers: int) -> bool:
+        """Whether the worker claiming ``shard_id`` abandons it mid-shard.
+
+        Keyed on the takeover count (not the worker's identity), so a
+        stolen shard's coin advances and ``fault_budget`` bounds how
+        often one shard can be orphaned.  Drawn from the *base* stream —
+        ``attempt_offset`` does not shift it, the takeover count is
+        already the global counter.
+        """
+        effective = takeovers
+        if effective >= self.fault_budget:
+            return False
+        rate = self.lease_death_rate
+        return rate > 0.0 and self._coin("lease", shard_id, effective) < rate
 
     # -- worker-side application ---------------------------------------------
     def worker_fault(self, spec_hash: str, attempt: int) -> str | None:
@@ -212,8 +272,10 @@ class FaultPlan:
             "stall_rate": self.stall_rate,
             "transient_rate": self.transient_rate,
             "corrupt_rate": self.corrupt_rate,
+            "lease_death_rate": self.lease_death_rate,
             "stall_seconds": self.stall_seconds,
             "fault_budget": self.fault_budget,
+            "attempt_offset": self.attempt_offset,
         }
 
     @classmethod
@@ -224,8 +286,10 @@ class FaultPlan:
             stall_rate=float(data.get("stall_rate", 0.0)),
             transient_rate=float(data.get("transient_rate", 0.0)),
             corrupt_rate=float(data.get("corrupt_rate", 0.0)),
+            lease_death_rate=float(data.get("lease_death_rate", 0.0)),
             stall_seconds=float(data.get("stall_seconds", 1.0)),
             fault_budget=int(data.get("fault_budget", 1)),
+            attempt_offset=int(data.get("attempt_offset", 0)),
         )
 
     def stamp(self, attempt: int) -> dict:

@@ -3,8 +3,23 @@
 A long sweep should be resumable after a crash and inspectable while it
 runs.  :class:`SweepManifest` records one entry per spec — status
 (``pending``/``done``/``failed``), attempt count, fault events and the
-human label — and rewrites its JSON file atomically after every status
-change, so the file on disk is always a consistent snapshot.
+human label — using a two-file layout built for sweeps with very many
+specs:
+
+* a **JSON snapshot** at ``path`` (atomic write-then-rename, always a
+  consistent picture of every entry at some point in time), and
+* an **append-only event log** at ``path + ".events"`` — one JSON line
+  per status change, flushed as it is written.
+
+Every status change appends one line (O(1), not a full rewrite — the
+original rewrite-on-every-record design made an *n*-spec sweep cost
+O(n²) manifest bytes) and every ``compact_every`` events the snapshot is
+atomically rewritten and the log truncated.  Loading replays the log on
+top of the snapshot; events carry the entry's *absolute* state, so a
+crash between the snapshot write and the log truncation replays
+harmlessly.  :meth:`compact` forces a clean snapshot — the supervised
+executor calls it when a batch finishes, so a completed sweep always
+leaves a plain JSON file behind.
 
 The manifest records *statuses*, not results: finished ``RunResult``
 payloads live in the content-addressed :class:`~repro.sim.cache.ResultCache`
@@ -40,38 +55,112 @@ class SweepManifest:
     Parameters
     ----------
     path:
-        JSON file backing the manifest; created on first write.
+        JSON snapshot file backing the manifest; created on the first
+        compaction.  The event log lives beside it at ``path + ".events"``.
     resume:
-        When True and ``path`` exists, prior entries are loaded and
-        :attr:`resumed` is set — the supervised executor then skips specs
-        the previous run quarantined instead of re-burning their retry
-        budget.  When False an existing file is replaced.
+        When True and the snapshot and/or event log exist, prior entries
+        are loaded and :attr:`resumed` is set — the supervised executor
+        then skips specs the previous run quarantined instead of
+        re-burning their retry budget.  When False any existing snapshot
+        and log are discarded.
+    compact_every:
+        Appended events between automatic snapshot compactions.  ``1``
+        recovers the legacy rewrite-per-record behaviour.
     """
 
-    def __init__(self, path: str | Path, *, resume: bool = False) -> None:
+    def __init__(
+        self, path: str | Path, *, resume: bool = False, compact_every: int = 64
+    ) -> None:
+        if compact_every < 1:
+            raise ValueError("compact_every must be at least 1")
         self.path = Path(path)
+        self.compact_every = compact_every
         self.entries: dict[str, dict] = {}
         self.resumed = False
-        if resume and self.path.exists():
+        self._pending_events = 0
+        if resume and (self.path.exists() or self.events_path.exists()):
             self._load()
             self.resumed = True
+        elif not resume:
+            # A fresh manifest must not inherit stale state: a leftover
+            # event log would otherwise replay on top of the next
+            # snapshot, and a leftover snapshot would shadow a crashed
+            # run that never compacted.
+            self.path.unlink(missing_ok=True)
+            self.events_path.unlink(missing_ok=True)
+
+    @property
+    def events_path(self) -> Path:
+        """The append-only event log beside the snapshot file."""
+        return self.path.with_name(self.path.name + ".events")
 
     # -- persistence ----------------------------------------------------------
     def _load(self) -> None:
+        if self.path.exists():
+            try:
+                data = json.loads(self.path.read_text("utf-8"))
+            except (OSError, ValueError) as exc:
+                raise ValueError(
+                    f"unreadable sweep manifest {self.path}: {exc}"
+                ) from exc
+            if not isinstance(data, dict) or data.get("version") != MANIFEST_VERSION:
+                raise ValueError(
+                    f"sweep manifest {self.path} has unsupported version "
+                    f"{data.get('version') if isinstance(data, dict) else data!r}"
+                )
+            entries = data.get("entries")
+            self.entries = dict(entries) if isinstance(entries, dict) else {}
+        self._replay_events()
+
+    def _replay_events(self) -> None:
+        """Apply the event log on top of the loaded snapshot.
+
+        Events carry absolute entry state, so replay is idempotent — a
+        log that was already folded into the snapshot (crash between
+        snapshot write and log truncation) re-applies harmlessly.  Only
+        a *final* partial line (crash mid-append) is tolerated; garbage
+        earlier in the log is an error.
+        """
+        if not self.events_path.exists():
+            return
         try:
-            data = json.loads(self.path.read_text("utf-8"))
-        except (OSError, ValueError) as exc:
-            raise ValueError(f"unreadable sweep manifest {self.path}: {exc}") from exc
-        if not isinstance(data, dict) or data.get("version") != MANIFEST_VERSION:
+            lines = self.events_path.read_text("utf-8").splitlines()
+        except OSError as exc:
             raise ValueError(
-                f"sweep manifest {self.path} has unsupported version "
-                f"{data.get('version') if isinstance(data, dict) else data!r}"
-            )
-        entries = data.get("entries")
-        self.entries = dict(entries) if isinstance(entries, dict) else {}
+                f"unreadable sweep manifest log {self.events_path}: {exc}"
+            ) from exc
+        for lineno, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError as exc:
+                if lineno == len(lines) - 1:
+                    break  # torn final append from a crash: drop it
+                raise ValueError(
+                    f"corrupt sweep manifest log {self.events_path} "
+                    f"(line {lineno + 1}): {exc}"
+                ) from exc
+            key = event.get("key")
+            entry = event.get("entry")
+            if isinstance(key, str) and isinstance(entry, dict):
+                self.entries[key] = entry
+
+    def _append_event(self, key: str) -> None:
+        """Record one entry's new absolute state in the event log."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(
+            {"key": key, "entry": self.entries[key]}, sort_keys=True
+        )
+        with self.events_path.open("a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+        self._pending_events += 1
+        if self._pending_events >= self.compact_every:
+            self.compact()
 
     def save(self) -> None:
-        """Atomically rewrite the manifest file (write-then-rename)."""
+        """Atomically rewrite the snapshot file (write-then-rename)."""
         self.path.parent.mkdir(parents=True, exist_ok=True)
         payload = json.dumps(
             {"version": MANIFEST_VERSION, "entries": self.entries},
@@ -90,6 +179,17 @@ class SweepManifest:
                 pass
             raise
 
+    def compact(self) -> None:
+        """Fold the event log into a fresh snapshot and truncate the log.
+
+        Snapshot first, truncate second: a crash in between leaves a log
+        whose events are already in the snapshot, and replay is
+        idempotent.
+        """
+        self.save()
+        self.events_path.unlink(missing_ok=True)
+        self._pending_events = 0
+
     # -- recording ------------------------------------------------------------
     def _entry(self, spec: "RunSpec") -> dict:
         key = spec.spec_hash()
@@ -103,21 +203,21 @@ class SweepManifest:
         """Mark a spec as queued; never downgrades a done/failed entry."""
         entry = self._entry(spec)
         if entry["status"] == "pending":
-            self.save()
+            self._append_event(spec.spec_hash())
 
     def record_attempt(self, spec: "RunSpec", attempts: int, event: str) -> None:
         """Record a failed attempt (retry or fault) without changing status."""
         entry = self._entry(spec)
         entry["attempts"] = attempts
         entry["fault_events"].append(event)
-        self.save()
+        self._append_event(spec.spec_hash())
 
     def record_done(self, spec: "RunSpec", attempts: int = 0) -> None:
         entry = self._entry(spec)
         entry["status"] = "done"
         entry["attempts"] = max(attempts, entry.get("attempts", 0))
         entry.pop("error", None)
-        self.save()
+        self._append_event(spec.spec_hash())
 
     def record_failed(self, spec: "RunSpec", failure: FailedResult) -> None:
         entry = self._entry(spec)
@@ -125,7 +225,7 @@ class SweepManifest:
         entry["attempts"] = failure.attempts
         entry["error"] = f"{failure.error_type}: {failure.error}"
         entry["fault_events"] = list(failure.fault_events)
-        self.save()
+        self._append_event(spec.spec_hash())
 
     # -- queries --------------------------------------------------------------
     def prior(self, spec: "RunSpec") -> dict | None:

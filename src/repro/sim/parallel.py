@@ -168,6 +168,7 @@ class ExecutorStats:
     timeouts: int = 0
     pool_respawns: int = 0
     resumed_failures: int = 0
+    cache_corruptions: int = 0
     serial_degraded: bool = False
 
     def summary(self) -> str:
@@ -177,6 +178,8 @@ class ExecutorStats:
             parts.append(f"{self.retries} retries")
         if self.quarantined:
             parts.append(f"{self.quarantined} quarantined")
+        if self.cache_corruptions:
+            parts.append(f"{self.cache_corruptions} corrupt cache entries")
         if self.resumed_failures:
             parts.append(f"{self.resumed_failures} resumed-failed")
         if self.timeouts:
@@ -336,17 +339,26 @@ class ParallelExecutor:
         total = len(batch)
 
         pending: list[int] = []
+        corruptions_before = self.cache.quarantined if self.cache is not None else 0
         for i, spec in enumerate(batch):
             hit = self.cache.get(spec) if self.cache is not None else None
             if hit is not None:
                 results[i] = hit
             else:
                 pending.append(i)
+        if self.cache is not None:
+            # Entries the hit scan quarantined read as misses and are
+            # silently recomputed; surface them so corrupted-cache
+            # re-runs are visible in the stats/ticker.
+            self.stats.cache_corruptions += self.cache.quarantined - corruptions_before
 
         done = total - len(pending)
         if self.policy is not None or self.manifest is not None:
             run = _SupervisedRun(self, batch, results, progress, done, total)
             run.execute(pending)
+            if self.manifest is not None:
+                # Leave a plain JSON snapshot behind (fold the event log).
+                self.manifest.compact()
             return results  # type: ignore[return-value]
 
         if progress is not None and (done or not pending):

@@ -1,0 +1,409 @@
+"""``repro serve``: an HTTP front end over the distributed sweep queue.
+
+Stdlib only (``http.server`` + ``urllib``) — the service accepts batches
+of :class:`~repro.sim.specs.RunSpec` dicts over HTTP, shards them into a
+:class:`~repro.sim.queue.WorkQueue` for ``repro worker`` processes to
+claim, tracks progress in a server-side
+:class:`~repro.sim.manifest.SweepManifest`, and streams newline-delimited
+JSON progress snapshots.  Robustness posture:
+
+* **Work stealing** — the monitor thread reclaims expired leases, so a
+  killed worker's shard returns to ``pending/`` for the survivors.
+* **Local fallback** — when a job stalls (work pending, nothing leased,
+  no progress for ``fallback_after`` seconds) the server claims shards
+  itself and executes them in-process.  A sweep submitted with *zero*
+  workers alive therefore still completes, just serially.  Fallback
+  execution never injects faults and never marks the server a worker
+  process, so a stray ``kill`` coin can only degrade to a transient.
+* **Idempotent results** — results live in the shared content-addressed
+  cache; the server assembles a job's result set from cache + ``done/``
+  records, so at-least-once shard execution is invisible to clients.
+
+Endpoints (HTTP/1.0, ``Connection: close``):
+
+========================  =====================================================
+``GET /healthz``          liveness + job count
+``POST /api/jobs``        ``{"specs": [...], "shard_size"?: n}`` → job id
+``GET /api/jobs/<id>``    one progress snapshot
+``GET /api/jobs/<id>/stream``   ndjson snapshots until the job completes
+``GET /api/jobs/<id>/results``  per-spec outcomes (409 until complete)
+========================  =====================================================
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from urllib import error as urlerror
+from urllib import request as urlrequest
+
+from .cache import ResultCache, default_cache_dir
+from .faults import FailedResult
+from .manifest import SweepManifest
+from .parallel import ExecutionPolicy
+from .queue import DEFAULT_LEASE_TTL, WorkQueue, collect_results
+from .runner import RunResult
+from .specs import RunSpec
+from .worker import process_lease
+
+__all__ = [
+    "SweepJob",
+    "SweepService",
+    "fetch_results",
+    "make_server",
+    "submit_batch",
+    "wait_for_job",
+]
+
+
+@dataclass
+class SweepJob:
+    """One submitted spec batch and its tracking state."""
+
+    job_id: str
+    specs: list[RunSpec]
+    manifest: SweepManifest
+    shard_ids: list[str]
+    #: spec hash → "done" | "failed", filled in by the monitor.
+    state: dict[str, str] = field(default_factory=dict)
+    complete: bool = False
+    served_locally: int = 0
+
+    def snapshot(self) -> dict:
+        done = sum(1 for s in self.state.values() if s == "done")
+        failed = sum(1 for s in self.state.values() if s == "failed")
+        return {
+            "job": self.job_id,
+            "total": len(self.specs),
+            "done": done,
+            "failed": failed,
+            "pending": len(self.specs) - done - failed,
+            "complete": self.complete,
+            "served_locally": self.served_locally,
+        }
+
+
+class SweepService:
+    """Job registry + queue monitor backing the HTTP handler.
+
+    Usable without HTTP too (the in-process tests drive it directly):
+    :meth:`submit` shards a batch and starts a monitor thread;
+    :meth:`wait` blocks until the job completes; :meth:`results`
+    assembles the final per-spec outcomes.
+    """
+
+    def __init__(
+        self,
+        queue_root: str | Path,
+        cache_dir: str | Path | None = None,
+        *,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        shard_size: int = 4,
+        fallback_after: float = 2.0,
+        poll: float = 0.1,
+    ) -> None:
+        if cache_dir is None:
+            cache_dir = default_cache_dir()
+        self.queue = WorkQueue(queue_root, lease_ttl=lease_ttl, cache_dir=cache_dir)
+        self.cache = ResultCache(cache_dir)
+        self.shard_size = shard_size
+        self.fallback_after = fallback_after
+        self.poll = poll
+        self.jobs: dict[str, SweepJob] = {}
+        self._lock = threading.Lock()
+        self._next_id = 1
+        self._closed = threading.Event()
+
+    # -- job lifecycle --------------------------------------------------------
+    def submit(
+        self, spec_dicts: list[dict | RunSpec], *, shard_size: int | None = None
+    ) -> SweepJob:
+        """Shard a batch into the queue and start tracking it."""
+        specs = [
+            s if isinstance(s, RunSpec) else RunSpec.from_dict(s) for s in spec_dicts
+        ]
+        if not specs:
+            raise ValueError("a job needs at least one spec")
+        with self._lock:
+            job_id = f"job-{self._next_id}"
+            self._next_id += 1
+        jobs_dir = self.queue.root / "jobs"
+        jobs_dir.mkdir(parents=True, exist_ok=True)
+        manifest = SweepManifest(jobs_dir / f"{job_id}.manifest.json")
+        for spec in specs:
+            manifest.record_pending(spec)
+        shard_ids = self.queue.enqueue(
+            specs, shard_size=shard_size or self.shard_size, prefix=job_id
+        )
+        job = SweepJob(
+            job_id=job_id, specs=specs, manifest=manifest, shard_ids=shard_ids
+        )
+        with self._lock:
+            self.jobs[job_id] = job
+        threading.Thread(
+            target=self._drive, args=(job,), name=f"monitor-{job_id}", daemon=True
+        ).start()
+        return job
+
+    def _refresh(self, job: SweepJob) -> bool:
+        """Fold queue/cache state into the job; True if anything advanced."""
+        statuses = self.queue.done_statuses()
+        advanced = False
+        for spec in job.specs:
+            key = spec.spec_hash()
+            if key in job.state:
+                continue
+            record = statuses.get(key)
+            if record is not None and record.get("status") == "failed":
+                job.state[key] = "failed"
+                job.manifest.record_failed(
+                    spec,
+                    FailedResult(
+                        spec=spec,
+                        error=str(record.get("error", "unknown failure")),
+                        error_type=str(record.get("error_type", "Exception")),
+                        attempts=int(record.get("attempts", 0)),
+                        fault_events=list(record.get("fault_events") or []),
+                    ),
+                )
+                advanced = True
+            elif (record is not None and record.get("status") == "done") or (
+                spec in self.cache
+            ):
+                job.state[key] = "done"
+                job.manifest.record_done(spec)
+                advanced = True
+        if len(job.state) == len(job.specs) and not job.complete:
+            job.complete = True
+            job.manifest.compact()
+            advanced = True
+        return advanced
+
+    def _drive(self, job: SweepJob) -> None:
+        """Monitor thread: reclaim expired leases, fall back to local
+        execution when no worker is making progress, finish the manifest."""
+        last_advance = time.monotonic()
+        while not self._closed.is_set():
+            self.queue.reclaim_expired()
+            if self._refresh(job):
+                last_advance = time.monotonic()
+            if job.complete:
+                return
+            stalled = time.monotonic() - last_advance >= self.fallback_after
+            counts = self.queue.counts()
+            if stalled and counts["leased"] == 0 and counts["pending"] > 0:
+                # No worker is alive and holding a lease: drain the
+                # pending shards in-process until the queue is empty (or
+                # a resurrected worker starts winning the claim races).
+                while not self._closed.is_set():
+                    lease = self.queue.claim(f"serve-local-{job.job_id}")
+                    if lease is None:
+                        break
+                    job.served_locally += 1
+                    process_lease(lease, self.cache, ExecutionPolicy())
+                    self._refresh(job)
+                last_advance = time.monotonic()
+                continue
+            self._closed.wait(self.poll)
+
+    def wait(self, job: SweepJob, timeout: float | None = None) -> bool:
+        """Block until ``job`` completes; False on timeout."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while not job.complete:
+            if deadline is not None and time.monotonic() >= deadline:
+                return False
+            time.sleep(self.poll)
+        return True
+
+    def results(self, job: SweepJob) -> list[dict]:
+        """Per-spec outcome records for a completed job."""
+        out = []
+        for spec, result in zip(
+            job.specs, collect_results(job.specs, self.cache, self.queue)
+        ):
+            record: dict = {
+                "spec_hash": spec.spec_hash(),
+                "label": spec.label or f"{spec.algorithm} vs {spec.adversary}",
+            }
+            if isinstance(result, RunResult):
+                record["status"] = "done"
+                record["summary"] = result.summary.as_dict()
+            elif isinstance(result, FailedResult):
+                record["status"] = "failed"
+                record["error"] = result.error
+                record["error_type"] = result.error_type
+                record["attempts"] = result.attempts
+            else:
+                record["status"] = "missing"
+            out.append(record)
+        return out
+
+    def close(self) -> None:
+        self._closed.set()
+
+
+def make_server(
+    service: SweepService, host: str = "127.0.0.1", port: int = 0
+) -> ThreadingHTTPServer:
+    """Bind a threaded HTTP server over ``service`` (port 0 = ephemeral)."""
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.0"
+
+        def log_message(self, fmt, *args):  # quiet by default
+            pass
+
+        # -- plumbing ---------------------------------------------------------
+        def _send_json(self, payload: dict, status: int = 200) -> None:
+            body = json.dumps(payload).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.send_header("Connection", "close")
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _job(self, job_id: str) -> SweepJob | None:
+            return service.jobs.get(job_id)
+
+        # -- routes -----------------------------------------------------------
+        def do_GET(self) -> None:
+            parts = [p for p in self.path.split("?")[0].split("/") if p]
+            if parts == ["healthz"]:
+                self._send_json({"ok": True, "jobs": len(service.jobs)})
+                return
+            if len(parts) >= 2 and parts[:1] == ["api"] and parts[1] == "jobs":
+                if len(parts) == 3:
+                    job = self._job(parts[2])
+                    if job is None:
+                        self._send_json({"error": "unknown job"}, 404)
+                        return
+                    self._send_json(job.snapshot())
+                    return
+                if len(parts) == 4 and parts[3] == "results":
+                    job = self._job(parts[2])
+                    if job is None:
+                        self._send_json({"error": "unknown job"}, 404)
+                        return
+                    if not job.complete:
+                        self._send_json({"error": "job still running"}, 409)
+                        return
+                    self._send_json(
+                        {"job": job.job_id, "results": service.results(job)}
+                    )
+                    return
+                if len(parts) == 4 and parts[3] == "stream":
+                    self._stream(parts[2])
+                    return
+            self._send_json({"error": "not found"}, 404)
+
+        def _stream(self, job_id: str) -> None:
+            job = self._job(job_id)
+            if job is None:
+                self._send_json({"error": "unknown job"}, 404)
+                return
+            self.send_response(200)
+            self.send_header("Content-Type", "application/x-ndjson")
+            self.send_header("Connection", "close")
+            self.end_headers()
+            while True:
+                snap = job.snapshot()
+                self.wfile.write((json.dumps(snap) + "\n").encode("utf-8"))
+                self.wfile.flush()
+                if snap["complete"]:
+                    return
+                time.sleep(service.poll)
+
+        def do_POST(self) -> None:
+            parts = [p for p in self.path.split("?")[0].split("/") if p]
+            if parts != ["api", "jobs"]:
+                self._send_json({"error": "not found"}, 404)
+                return
+            try:
+                length = int(self.headers.get("Content-Length", "0"))
+                payload = json.loads(self.rfile.read(length).decode("utf-8"))
+                specs = payload["specs"]
+                if not isinstance(specs, list) or not specs:
+                    raise ValueError("specs must be a non-empty list")
+                job = service.submit(specs, shard_size=payload.get("shard_size"))
+            except (KeyError, TypeError, ValueError) as exc:
+                self._send_json({"error": f"bad request: {exc}"}, 400)
+                return
+            self._send_json(
+                {
+                    "job": job.job_id,
+                    "total": len(job.specs),
+                    "shards": job.shard_ids,
+                },
+                201,
+            )
+
+    class Server(ThreadingHTTPServer):
+        daemon_threads = True
+        allow_reuse_address = True
+
+    return Server((host, port), Handler)
+
+
+# -- client helpers (used by ``repro submit`` and the integration tests) ------
+def submit_batch(
+    base_url: str, spec_dicts: list[dict], *, shard_size: int | None = None
+) -> dict:
+    """POST a spec batch; returns the server's job record."""
+    body: dict = {"specs": spec_dicts}
+    if shard_size is not None:
+        body["shard_size"] = shard_size
+    req = urlrequest.Request(
+        f"{base_url.rstrip('/')}/api/jobs",
+        data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urlrequest.urlopen(req) as resp:
+        return json.loads(resp.read().decode("utf-8"))
+
+
+def wait_for_job(
+    base_url: str,
+    job_id: str,
+    *,
+    timeout: float = 300.0,
+    on_progress=None,
+) -> dict:
+    """Follow the job's ndjson progress stream until it completes.
+
+    Returns the final snapshot.  ``on_progress(snapshot)`` is invoked for
+    every streamed line.  Reconnects if the stream drops (server restart,
+    proxy timeout) until ``timeout`` expires.
+    """
+    deadline = time.monotonic() + timeout
+    url = f"{base_url.rstrip('/')}/api/jobs/{job_id}/stream"
+    last: dict = {}
+    while time.monotonic() < deadline:
+        try:
+            with urlrequest.urlopen(url, timeout=timeout) as resp:
+                for raw in resp:
+                    line = raw.decode("utf-8").strip()
+                    if not line:
+                        continue
+                    last = json.loads(line)
+                    if on_progress is not None:
+                        on_progress(last)
+                    if last.get("complete"):
+                        return last
+        except (OSError, urlerror.URLError, ValueError):
+            pass
+        time.sleep(0.2)
+    raise TimeoutError(f"job {job_id} did not complete within {timeout}s")
+
+
+def fetch_results(base_url: str, job_id: str) -> list[dict]:
+    """GET a completed job's per-spec outcome records."""
+    url = f"{base_url.rstrip('/')}/api/jobs/{job_id}/results"
+    with urlrequest.urlopen(url) as resp:
+        payload = json.loads(resp.read().decode("utf-8"))
+    return payload["results"]

@@ -134,6 +134,7 @@ def sweep(
     progress=None,
     policy=None,
     manifest=None,
+    shard: tuple[int, int] | None = None,
 ) -> SweepSeries:
     """Run one simulation per swept value and collect the results.
 
@@ -154,7 +155,18 @@ def sweep(
     quarantined points instead of aborting the series — and a
     :class:`~repro.sim.manifest.SweepManifest` (``manifest``) checkpoints
     per-spec status incrementally so an interrupted sweep resumes.
+
+    ``shard=(i, k)`` keeps only the points whose canonical spec hash
+    falls in shard ``i`` of ``k`` (:func:`~repro.sim.queue.shard_index`):
+    a deterministic partition, so running the same sweep with shards
+    ``0/k .. k-1/k`` on different machines against a shared cache covers
+    exactly the full sweep with no overlap.  Requires declarative
+    fragment factories (live objects have no canonical hash).
     """
+    if shard is not None:
+        index, total_shards = shard
+        if not 0 <= index < total_shards:
+            raise ValueError(f"shard index {index} out of range for {total_shards}")
     series = SweepSeries(name=name, parameter=parameter)
     jobs = []
     for value in values:
@@ -181,6 +193,17 @@ def sweep(
             )
             for value, algo, adv, run_rounds in jobs
         ]
+        if shard is not None:
+            from .queue import shard_index
+
+            index, total_shards = shard
+            kept = [
+                (job, spec)
+                for job, spec in zip(jobs, specs)
+                if shard_index(spec.spec_hash(), total_shards) == index
+            ]
+            jobs = [job for job, _ in kept]
+            specs = [spec for _, spec in kept]
         from .parallel import dispatch_specs
 
         results = dispatch_specs(
@@ -199,6 +222,11 @@ def sweep(
     from .parallel import require_serial_factories
 
     require_serial_factories("sweep", workers, executor)
+    if shard is not None:
+        raise ValueError(
+            "sharded sweep needs declarative factories: return "
+            "spec_fragment(...) dicts instead of live objects"
+        )
     if policy is not None or manifest is not None:
         raise ValueError(
             "fault-tolerant sweep needs declarative factories: return "

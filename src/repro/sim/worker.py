@@ -1,0 +1,200 @@
+"""The distributed sweep worker: claim shards, execute, heartbeat, publish.
+
+``repro worker`` runs this loop.  Each iteration claims one shard from a
+:class:`~repro.sim.queue.WorkQueue`, executes its specs through the
+supervised :class:`~repro.sim.parallel.ParallelExecutor` (serial
+in-process — the worker *is* the parallelism unit; retries, backoff and
+poison-spec quarantine all behave exactly as in a local sweep), renews
+the lease after every finished spec, publishes results into the shared
+:class:`~repro.sim.cache.ResultCache`, and posts per-spec status records
+into the queue's ``done/`` directory.
+
+Crash semantics are the point:
+
+* The CLI marks the process with
+  :func:`~repro.sim.faults.mark_worker_process`, so an injected ``kill``
+  coin hard-exits the *whole worker* (``os._exit``) mid-shard — a real
+  crash, leaving a lease that expires and is stolen.
+* An injected ``lease`` coin makes the worker execute only half the
+  shard and then silently stop heartbeating — the "wedged but alive"
+  failure mode — again forcing expiry and a steal.
+* A stolen shard re-executes under
+  :meth:`FaultPlan.with_offset(takeovers)
+  <repro.sim.faults.FaultPlan.with_offset>`: the fault-coin stream
+  resumes where the dead worker left off, so the fault budget bounds
+  faults per spec across the fleet and every steal chain terminates.
+* Specs the dead worker already finished are cache hits for the thief —
+  reclaimed shards complete without re-burning retry budgets.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+from dataclasses import dataclass, field
+
+from .cache import ResultCache, default_cache_dir
+from .faults import FaultPlan
+from .parallel import ExecutionPolicy, ParallelExecutor
+from .queue import LeaseLostError, WorkLease, WorkQueue, status_record
+
+__all__ = ["WorkerStats", "process_lease", "run_worker"]
+
+
+@dataclass
+class WorkerStats:
+    """Counters accumulated over one worker's lifetime."""
+
+    claims: int = 0
+    shards_completed: int = 0
+    specs_done: int = 0
+    specs_failed: int = 0
+    lease_deaths: int = 0
+    leases_lost: int = 0
+    outcomes: list[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        return (
+            f"{self.shards_completed}/{self.claims} shards "
+            f"({self.specs_done} specs done, {self.specs_failed} failed, "
+            f"{self.lease_deaths} lease deaths, {self.leases_lost} leases lost)"
+        )
+
+
+def process_lease(
+    lease: WorkLease,
+    cache: ResultCache,
+    policy: ExecutionPolicy | None = None,
+    *,
+    fault_plan: FaultPlan | None = None,
+    stats: WorkerStats | None = None,
+) -> str:
+    """Execute one claimed shard; returns ``completed``/``died``/``lost``.
+
+    ``died`` means the lease-death coin fired: half the shard was
+    executed (its results are cached and stay valid) and the lease was
+    deliberately left to expire.  ``lost`` means a heartbeat discovered
+    the lease had already been stolen mid-execution; whatever was
+    computed is cached, the thief finishes the rest idempotently.
+    """
+    stats = stats if stats is not None else WorkerStats()
+    policy = policy if policy is not None else ExecutionPolicy()
+    specs = lease.specs
+    dying = fault_plan is not None and fault_plan.lease_death(
+        lease.shard_id, lease.takeovers
+    )
+    if dying:
+        stats.lease_deaths += 1
+        specs = specs[: len(specs) // 2]
+
+    if fault_plan is not None:
+        # Resume the global per-spec coin stream past the attempts any
+        # previous holder of this shard already burned.
+        policy = dataclasses.replace(
+            policy, fault_plan=fault_plan.with_offset(lease.takeovers)
+        )
+
+    def renew(done: int, total: int) -> None:
+        lease.heartbeat()
+
+    executor = ParallelExecutor(workers=1, cache=cache, policy=policy)
+    try:
+        results = executor.run(specs, progress=renew)
+    except LeaseLostError:
+        stats.leases_lost += 1
+        return "lost"
+    finally:
+        executor.close()
+
+    if dying:
+        return "died"
+
+    statuses = [
+        status_record(spec, result) for spec, result in zip(lease.specs, results)
+    ]
+    for record in statuses:
+        if record["status"] == "done":
+            stats.specs_done += 1
+        else:
+            stats.specs_failed += 1
+    if not lease.complete(statuses):
+        stats.leases_lost += 1
+    stats.shards_completed += 1
+    return "completed"
+
+
+def run_worker(
+    queue_root: str | os.PathLike,
+    *,
+    cache_dir: str | os.PathLike | None = None,
+    owner: str | None = None,
+    policy: ExecutionPolicy | None = None,
+    fault_plan: FaultPlan | None = None,
+    poll: float = 0.2,
+    max_idle: float | None = None,
+    max_shards: int | None = None,
+    exit_when_drained: bool = False,
+    wait_for_queue: float = 0.0,
+) -> WorkerStats:
+    """Pull and execute shards from ``queue_root`` until there is no work.
+
+    Parameters
+    ----------
+    cache_dir:
+        Shared result cache; defaults to the directory recorded in the
+        queue's config, then to the process default.
+    owner:
+        Lease owner name (defaults to ``worker-<pid>``); shows up in
+        lease filenames for debugging.
+    poll:
+        Seconds between claim attempts while the queue is empty.
+    max_idle:
+        Exit after this many consecutive seconds without claiming
+        anything (``None`` = wait forever, for daemon workers).
+    max_shards:
+        Exit after claiming this many shards (tests).
+    exit_when_drained:
+        Exit as soon as no shard is pending *or* leased — i.e. the sweep
+        is finished, not merely contended.
+    wait_for_queue:
+        Seconds to wait for the queue config to appear before opening it
+        (lets workers boot before the server has enqueued anything).
+    """
+    root = os.fspath(queue_root)
+    if wait_for_queue > 0:
+        deadline = time.monotonic() + wait_for_queue
+        while not os.path.exists(os.path.join(root, "queue.json")):
+            if time.monotonic() >= deadline:
+                break
+            time.sleep(min(poll, 0.05))
+
+    queue = WorkQueue(root)
+    if cache_dir is None:
+        cache_dir = queue.cache_dir or default_cache_dir()
+    cache = ResultCache(cache_dir)
+    owner = owner or f"worker-{os.getpid()}"
+    stats = WorkerStats()
+    idle_since: float | None = None
+
+    while True:
+        lease = queue.claim(owner)
+        if lease is None:
+            if exit_when_drained and queue.drained():
+                break
+            now = time.monotonic()
+            if idle_since is None:
+                idle_since = now
+            if max_idle is not None and now - idle_since >= max_idle:
+                break
+            time.sleep(poll)
+            continue
+        idle_since = None
+        stats.claims += 1
+        outcome = process_lease(
+            lease, cache, policy, fault_plan=fault_plan, stats=stats
+        )
+        stats.outcomes.append(f"{lease.shard_id}:t{lease.takeovers}:{outcome}")
+        if max_shards is not None and stats.claims >= max_shards:
+            break
+    return stats

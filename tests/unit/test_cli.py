@@ -233,3 +233,111 @@ class TestCommands:
         out = capsys.readouterr().out
         for name in ("hotspot", "random-walk", "group-local", "saturating"):
             assert name in out
+
+
+class TestShardFlag:
+    def test_parse_shard_accepts_i_slash_k(self):
+        args = build_parser().parse_args(
+            ["sweep", "--algorithm", "k-cycle", "--n", "4", "--k", "2",
+             "--shard", "1/3"]
+        )
+        assert args.shard == (1, 3)
+
+    @pytest.mark.parametrize("bad", ["3/3", "-1/3", "0/0", "abc", "1"])
+    def test_parse_shard_rejects_invalid(self, bad):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["sweep", "--algorithm", "k-cycle", "--n", "4", "--k", "2",
+                 "--shard", bad]
+            )
+
+    def test_sweep_shards_union_to_the_full_sweep(self, capsys, tmp_path):
+        """CLI shards against a shared cache cover exactly the full sweep."""
+        base = [
+            "sweep", "--algorithm", "k-cycle", "--n", "4", "--k", "2",
+            "--rates", "0.1,0.2,0.3,0.4,0.5", "--rounds", "400",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        rows = []
+        for i in range(2):
+            assert main(base + ["--shard", f"{i}/2"]) == 0
+            out = capsys.readouterr().out
+            rows.extend(
+                line for line in out.splitlines() if line.strip().startswith("0.")
+            )
+        assert main(base) == 0  # full sweep: every point is a cache hit
+        full_out = capsys.readouterr().out
+        full_rows = [
+            line for line in full_out.splitlines() if line.strip().startswith("0.")
+        ]
+        assert sorted(rows) == sorted(full_rows)
+        assert len(full_rows) == 5
+
+
+class TestDistributedCommands:
+    def test_worker_requires_queue_dir(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["worker"])
+
+    def test_serve_requires_queue_dir(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_submit_requires_server(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["submit", "--algorithm", "k-cycle", "--n", "4", "--k", "2"]
+            )
+
+    def test_worker_drains_an_enqueued_sweep(self, capsys, tmp_path, monkeypatch):
+        from repro.sim import ResultCache, RunSpec, WorkQueue, spec_fragment
+
+        # The real CLI marks its whole process a disposable worker (so
+        # kill coins os._exit it); running in-process here, that flag
+        # would leak into every later test in this pytest process.
+        monkeypatch.setattr("repro.cli.mark_worker_process", lambda: None)
+        queue = WorkQueue(
+            tmp_path / "q", lease_ttl=5.0, cache_dir=tmp_path / "cache"
+        )
+        specs = [
+            RunSpec.from_fragments(
+                spec_fragment("k-cycle", n=4, k=2),
+                spec_fragment("spray", rho=0.2, beta=1.5),
+                300,
+            )
+        ]
+        queue.enqueue(specs, shard_size=1)
+        code = main(
+            ["worker", "--queue-dir", str(tmp_path / "q"),
+             "--poll", "0.05", "--exit-when-drained"]
+        )
+        assert code == 0
+        assert "1/1 shards" in capsys.readouterr().err
+        assert queue.drained()
+        assert ResultCache(tmp_path / "cache").get(specs[0]) is not None
+
+    def test_submit_round_trips_through_a_live_server(self, capsys, tmp_path):
+        import threading
+
+        from repro.sim import SweepService, make_server
+
+        service = SweepService(
+            tmp_path / "q", tmp_path / "cache",
+            shard_size=2, fallback_after=0.2, poll=0.05,
+        )
+        server = make_server(service, "127.0.0.1", 0)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        try:
+            code = main(
+                ["submit",
+                 "--server", f"http://127.0.0.1:{server.server_address[1]}",
+                 "--algorithm", "k-cycle", "--n", "4", "--k", "2",
+                 "--rates", "0.1,0.3", "--rounds", "300"]
+            )
+        finally:
+            service.close()
+            server.shutdown()
+            server.server_close()
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count("STABLE") + out.count("UNSTABLE") == 2

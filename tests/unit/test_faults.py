@@ -188,7 +188,9 @@ class TestSweepManifest:
         assert manifest.counts() == {"pending": 1, "done": 1, "failed": 1}
         assert len(manifest) == 3
 
-        # The file on disk is a consistent snapshot after every record.
+        # Records land in the append-only event log; compaction folds
+        # them into a consistent JSON snapshot.
+        manifest.compact()
         data = json.loads(path.read_text("utf-8"))
         assert data["version"] == MANIFEST_VERSION
         assert len(data["entries"]) == 3
@@ -252,3 +254,157 @@ class TestSweepManifest:
         path.write_text("not json {")
         with pytest.raises(ValueError, match="unreadable"):
             SweepManifest(path, resume=True)
+
+
+class TestFaultPlanOffset:
+    def test_with_offset_shifts_the_effective_attempt(self):
+        plan = FaultPlan(seed=11, transient_rate=0.5, fault_budget=100)
+        base = [plan.decide("transient", "h", a) for a in range(20)]
+        shifted = plan.with_offset(5)
+        # Attempt a under offset 5 draws the coin of base attempt a + 5.
+        assert [shifted.decide("transient", "h", a) for a in range(15)] == base[5:]
+
+    def test_offset_counts_against_the_budget(self):
+        plan = FaultPlan(seed=11, transient_rate=1.0, fault_budget=3)
+        # Offset at/past the budget: no attempt can fault any more.
+        assert not any(
+            plan.with_offset(3).decide("transient", "h", a) for a in range(10)
+        )
+        # Offset 2 leaves exactly one budgeted effective attempt.
+        fired = [plan.with_offset(2).decide("transient", "h", a) for a in range(10)]
+        assert fired == [True] + [False] * 9
+
+    def test_offset_round_trips_through_dicts(self):
+        plan = FaultPlan(
+            seed=4, lease_death_rate=0.25, attempt_offset=2, fault_budget=7
+        )
+        clone = FaultPlan.from_dict(plan.to_dict())
+        assert clone == plan
+        # Old stamps without the new keys still load (back-compat).
+        legacy = {"seed": 4, "transient_rate": 0.5}
+        loaded = FaultPlan.from_dict(legacy)
+        assert loaded.lease_death_rate == 0.0
+        assert loaded.attempt_offset == 0
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError, match="attempt_offset"):
+            FaultPlan(attempt_offset=-1)
+
+
+class TestLeaseDeathCoin:
+    def test_pure_and_keyed_on_takeovers(self):
+        plan = FaultPlan(seed=9, lease_death_rate=0.5, fault_budget=100)
+        decisions = [plan.lease_death("shard-0001", t) for t in range(50)]
+        assert decisions == [plan.lease_death("shard-0001", t) for t in range(50)]
+        shards = [f"shard-{i:04d}" for i in range(200)]
+        fired = sum(plan.lease_death(s, 0) for s in shards)
+        assert 40 < fired < 160
+
+    def test_budget_bounds_deaths_per_shard(self):
+        plan = FaultPlan(seed=9, lease_death_rate=1.0, fault_budget=2)
+        deaths = [plan.lease_death("shard-0000", t) for t in range(10)]
+        assert deaths == [True, True] + [False] * 8
+
+    def test_not_shifted_by_attempt_offset(self):
+        # The takeover count *is* the global counter; with_offset must
+        # not double-shift it.
+        plan = FaultPlan(seed=9, lease_death_rate=0.5, fault_budget=100)
+        shifted = plan.with_offset(7)
+        assert [plan.lease_death("s", t) for t in range(20)] == [
+            shifted.lease_death("s", t) for t in range(20)
+        ]
+
+    def test_lease_rate_does_not_fire_worker_faults(self):
+        plan = FaultPlan(seed=9, lease_death_rate=1.0, fault_budget=5)
+        assert plan.active
+        assert plan.worker_fault("h", 0) is None
+
+
+class TestManifestEventLog:
+    def test_records_append_instead_of_rewriting(self, tmp_path):
+        path = tmp_path / "m.json"
+        manifest = SweepManifest(path)
+        for i in range(5):
+            manifest.record_done(_spec(0.1 * (i + 1)))
+        # No snapshot yet — everything lives in the event log.
+        assert not path.exists()
+        events = manifest.events_path.read_text().splitlines()
+        assert len(events) == 5
+        # Each line is one self-contained absolute-state event.
+        event = json.loads(events[0])
+        assert event["entry"]["status"] == "done"
+
+    def test_resume_replays_events_without_a_snapshot(self, tmp_path):
+        path = tmp_path / "m.json"
+        manifest = SweepManifest(path)
+        spec = _spec(0.2)
+        manifest.record_attempt(spec, 1, "attempt 0: E: x")
+        manifest.record_done(spec, attempts=1)
+        resumed = SweepManifest(path, resume=True)
+        assert resumed.prior(spec)["status"] == "done"
+        assert resumed.prior(spec)["attempts"] == 1
+
+    def test_compaction_folds_log_into_snapshot(self, tmp_path):
+        path = tmp_path / "m.json"
+        manifest = SweepManifest(path)
+        manifest.record_done(_spec(0.1))
+        manifest.record_done(_spec(0.2))
+        manifest.compact()
+        assert not manifest.events_path.exists()
+        data = json.loads(path.read_text())
+        assert len(data["entries"]) == 2
+        assert len(SweepManifest(path, resume=True)) == 2
+
+    def test_auto_compaction_every_n_events(self, tmp_path):
+        path = tmp_path / "m.json"
+        manifest = SweepManifest(path, compact_every=3)
+        for i in range(7):
+            manifest.record_done(_spec(0.05 * (i + 1)))
+        # 7 events with compact_every=3: two compactions, one event left.
+        data = json.loads(path.read_text())
+        assert len(data["entries"]) == 6
+        assert len(manifest.events_path.read_text().splitlines()) == 1
+        assert len(SweepManifest(path, resume=True)) == 7
+
+    def test_replay_on_top_of_snapshot_is_idempotent(self, tmp_path):
+        # Crash between snapshot write and log truncation: events already
+        # folded into the snapshot replay harmlessly.
+        path = tmp_path / "m.json"
+        manifest = SweepManifest(path)
+        manifest.record_done(_spec(0.1))
+        manifest.save()  # snapshot written, log NOT truncated
+        assert manifest.events_path.exists()
+        resumed = SweepManifest(path, resume=True)
+        assert len(resumed) == 1
+        assert resumed.counts()["done"] == 1
+
+    def test_torn_final_event_is_dropped(self, tmp_path):
+        path = tmp_path / "m.json"
+        manifest = SweepManifest(path)
+        manifest.record_done(_spec(0.1))
+        manifest.record_done(_spec(0.2))
+        with manifest.events_path.open("a") as fh:
+            fh.write('{"key": "abc", "entry": {"status"')  # crash mid-append
+        resumed = SweepManifest(path, resume=True)
+        assert len(resumed) == 2
+
+    def test_garbage_mid_log_raises(self, tmp_path):
+        path = tmp_path / "m.json"
+        manifest = SweepManifest(path)
+        manifest.record_done(_spec(0.1))
+        with manifest.events_path.open("a") as fh:
+            fh.write("not json {\n")
+            fh.write('{"key": "x", "entry": {"status": "done"}}\n')
+        with pytest.raises(ValueError, match="corrupt sweep manifest log"):
+            SweepManifest(path, resume=True)
+
+    def test_fresh_manifest_discards_stale_event_log(self, tmp_path):
+        path = tmp_path / "m.json"
+        old = SweepManifest(path)
+        old.record_done(_spec(0.1))
+        old.compact()
+        old.record_done(_spec(0.2))  # one event past the snapshot
+        fresh = SweepManifest(path)  # resume=False
+        assert len(fresh) == 0
+        assert not path.exists()
+        assert not fresh.events_path.exists()
