@@ -25,6 +25,14 @@ leases are stolen and finished idempotently against the shared cache),
 and ``submit`` posts a sweep and streams progress until the results are
 in.  ``sweep --shard i/k`` is the manual alternative: a deterministic
 spec-hash partition for splitting one sweep across machines by hand.
+
+Workers can also run with **no shared filesystem**: ``repro worker
+--server URL`` claims shards and heartbeats leases over HTTP, and
+publishes results to the server's cache endpoints (``--cache-url``
+defaults to the server).  Every RPC goes through a resilient client —
+timeouts, deterministic retry/backoff, a circuit breaker that degrades
+to a local spill cache and reconciles on recovery — and both sides can
+deterministically inject network faults (``--fault-net-*``) for testing.
 """
 
 from __future__ import annotations
@@ -130,15 +138,42 @@ def _parse_shard(text: str) -> tuple[int, int]:
 
 
 def _fault_plan_from_args(args: argparse.Namespace) -> FaultPlan | None:
-    """Build the worker's injection plan; None when every rate is zero."""
+    """Build the process's injection plan; None when every rate is zero.
+
+    Worker processes read both the worker coins (kill/lease/transient)
+    and the client-side network coins; ``repro serve`` builds its plan
+    from the network rates alone (server-side injection).
+    """
     plan = FaultPlan(
         seed=args.fault_seed,
-        kill_rate=args.fault_kill_rate,
-        transient_rate=args.fault_transient_rate,
-        lease_death_rate=args.fault_lease_rate,
+        kill_rate=getattr(args, "fault_kill_rate", 0.0),
+        transient_rate=getattr(args, "fault_transient_rate", 0.0),
+        lease_death_rate=getattr(args, "fault_lease_rate", 0.0),
+        net_refuse_rate=getattr(args, "fault_net_refuse_rate", 0.0),
+        net_timeout_rate=getattr(args, "fault_net_timeout_rate", 0.0),
+        net_torn_rate=getattr(args, "fault_net_torn_rate", 0.0),
+        net_http_error_rate=getattr(args, "fault_net_error_rate", 0.0),
+        net_corrupt_rate=getattr(args, "fault_net_corrupt_rate", 0.0),
+        stall_seconds=getattr(args, "fault_stall_seconds", 1.0),
         fault_budget=args.fault_budget,
     )
-    return plan if plan.active else None
+    return plan if (plan.active or plan.net_active) else None
+
+
+def _add_net_fault_args(parser: argparse.ArgumentParser) -> None:
+    """The deterministic network-fault injection knobs (worker + serve)."""
+    parser.add_argument("--fault-net-refuse-rate", type=float, default=0.0,
+                        help="injected probability of a refused connection")
+    parser.add_argument("--fault-net-timeout-rate", type=float, default=0.0,
+                        help="injected probability of a request timeout/stall")
+    parser.add_argument("--fault-net-torn-rate", type=float, default=0.0,
+                        help="injected probability of a torn (truncated) response")
+    parser.add_argument("--fault-net-error-rate", type=float, default=0.0,
+                        help="injected probability of an HTTP 500")
+    parser.add_argument("--fault-net-corrupt-rate", type=float, default=0.0,
+                        help="injected probability of a bit-flipped body")
+    parser.add_argument("--fault-stall-seconds", type=float, default=1.0,
+                        help="how long an injected net timeout/stall lasts")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -231,11 +266,32 @@ def build_parser() -> argparse.ArgumentParser:
         "worker",
         help="claim and execute shards from a distributed sweep queue",
     )
-    worker_p.add_argument("--queue-dir", required=True,
-                          help="work queue directory (shared with repro serve)")
+    worker_p.add_argument("--queue-dir", default=None,
+                          help="work queue directory (shared with repro serve); "
+                          "mutually exclusive with --server")
+    worker_p.add_argument("--server", default=None, metavar="URL",
+                          help="claim shards over HTTP from this repro serve "
+                          "URL instead of a shared queue directory")
+    worker_p.add_argument("--cache-url", default=None, metavar="URL",
+                          help="publish results to this remote cache "
+                          "(default: --server when given); with --server this "
+                          "worker needs no shared filesystem at all")
+    worker_p.add_argument("--spill-dir", default=None,
+                          help="local spill directory for results while the "
+                          "remote cache is unreachable (default: a private "
+                          "temp dir)")
     worker_p.add_argument("--cache-dir", default=None,
                           help="shared result cache (default: the queue's "
-                          "recorded cache dir)")
+                          "recorded cache dir; ignored with --cache-url)")
+    worker_p.add_argument("--rpc-timeout", type=float, default=10.0,
+                          help="per-request timeout for remote queue/cache RPCs")
+    worker_p.add_argument("--rpc-max-attempts", type=int, default=4,
+                          help="attempts per RPC before giving up")
+    worker_p.add_argument("--rpc-breaker-threshold", type=int, default=5,
+                          help="consecutive RPC failures before the circuit "
+                          "opens (fail fast + local spill)")
+    worker_p.add_argument("--rpc-breaker-reset", type=float, default=1.0,
+                          help="seconds before an open circuit admits a probe")
     worker_p.add_argument("--owner", default=None,
                           help="lease owner name (default: worker-<pid>)")
     worker_p.add_argument("--poll", type=float, default=0.2,
@@ -266,6 +322,7 @@ def build_parser() -> argparse.ArgumentParser:
     worker_p.add_argument("--fault-budget", type=int, default=1,
                           help="max faulted attempts per spec across the "
                           "whole fleet")
+    _add_net_fault_args(worker_p)
 
     serve_p = sub.add_parser(
         "serve",
@@ -288,6 +345,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--fallback-after", type=float, default=2.0,
                          help="seconds of stalled progress with no live lease "
                          "before the server executes shards itself")
+    serve_p.add_argument("--fault-seed", type=int, default=0,
+                         help="server-side network fault-injection seed (testing)")
+    serve_p.add_argument("--fault-budget", type=int, default=1,
+                         help="max injected net faults per request key")
+    _add_net_fault_args(serve_p)
 
     submit_p = sub.add_parser(
         "submit",
@@ -440,9 +502,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_worker(args: argparse.Namespace) -> int:
+    from .sim.netclient import RpcPolicy
+
+    if (args.queue_dir is None) == (args.server is None):
+        raise SystemExit("exactly one of --queue-dir or --server is required")
     try:
         fault_plan = _fault_plan_from_args(args)
         policy = ExecutionPolicy(max_retries=args.max_retries)
+        rpc_policy = RpcPolicy(
+            timeout=args.rpc_timeout,
+            max_attempts=args.rpc_max_attempts,
+            breaker_threshold=args.rpc_breaker_threshold,
+            breaker_reset=args.rpc_breaker_reset,
+            seed=args.fault_seed,
+        )
     except ValueError as exc:
         raise SystemExit(str(exc)) from exc
     # Injected kill coins must take down the whole worker process (a real
@@ -451,6 +524,10 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     mark_worker_process()
     stats = run_worker(
         args.queue_dir,
+        server_url=args.server,
+        cache_url=args.cache_url,
+        spill_dir=args.spill_dir,
+        rpc_policy=rpc_policy,
         cache_dir=args.cache_dir,
         owner=args.owner,
         policy=policy,
@@ -473,6 +550,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         lease_ttl=args.lease_ttl,
         shard_size=args.shard_size,
         fallback_after=args.fallback_after,
+        fault_plan=_fault_plan_from_args(args),
     )
     server = make_server(service, args.host, args.port)
     host, port = server.server_address[:2]

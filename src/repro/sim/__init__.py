@@ -16,11 +16,38 @@ The distributed layer turns that harness into a service: a filesystem
 through the supervised executor into a shared cache, and
 :class:`SweepService` is the ``repro serve`` front end accepting spec
 batches over HTTP with graceful local fallback when no worker is alive.
+
+The network itself is a fault domain: :class:`ResilientClient` wraps
+every RPC with timeouts, deterministic retry/backoff and a circuit
+breaker, :class:`RemoteCacheBackend` + :class:`RemoteWorkQueue` let
+workers run with **no shared filesystem** (spilling locally and
+reconciling when an open circuit closes), and :class:`FaultPlan` network
+coins inject refused/torn/corrupt/500 exchanges deterministically on
+both client and server.
 """
 
-from .cache import CacheCorruptionError, ClearStats, ResultCache, default_cache_dir
+from .cache import (
+    CacheBackend,
+    CacheCorruptionError,
+    ClearStats,
+    LocalCacheBackend,
+    RemoteCacheBackend,
+    ResultCache,
+    default_cache_dir,
+)
 from .faults import FailedResult, FaultPlan, InjectedFault, TransientFault
 from .manifest import SweepManifest
+from .netclient import (
+    CircuitBreaker,
+    CircuitOpenError,
+    ResilientClient,
+    RpcError,
+    RpcHttpError,
+    RpcPolicy,
+    RpcStats,
+    RpcUnavailableError,
+    TornResponseError,
+)
 from .parallel import (
     ExecutionPolicy,
     ExecutorStats,
@@ -33,6 +60,8 @@ from .parallel import (
 from .progress import ProgressTicker
 from .queue import (
     LeaseLostError,
+    RemoteWorkLease,
+    RemoteWorkQueue,
     WorkLease,
     WorkQueue,
     collect_results,
@@ -54,7 +83,10 @@ from .sweep import SweepPoint, SweepSeries, sweep
 from .worker import WorkerStats, process_lease, run_worker
 
 __all__ = [
+    "CacheBackend",
     "CacheCorruptionError",
+    "CircuitBreaker",
+    "CircuitOpenError",
     "ClearStats",
     "ExecutionPolicy",
     "ExecutorStats",
@@ -62,9 +94,19 @@ __all__ = [
     "FaultPlan",
     "InjectedFault",
     "LeaseLostError",
+    "LocalCacheBackend",
     "ParallelExecutor",
     "ProgressTicker",
+    "RemoteCacheBackend",
+    "RemoteWorkLease",
+    "RemoteWorkQueue",
+    "ResilientClient",
     "ResultCache",
+    "RpcError",
+    "RpcHttpError",
+    "RpcPolicy",
+    "RpcStats",
+    "RpcUnavailableError",
     "RunResult",
     "RunSpec",
     "SweepJob",
@@ -72,6 +114,7 @@ __all__ = [
     "SweepPoint",
     "SweepSeries",
     "SweepService",
+    "TornResponseError",
     "TransientFault",
     "WorkLease",
     "WorkQueue",

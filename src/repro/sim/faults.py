@@ -42,6 +42,18 @@ Fault kinds:
     the shard to be *stolen* by another worker.  Applied by the worker
     loop (:func:`repro.sim.worker.run_worker`), keyed on the shard id
     and its takeover count rather than a spec hash.
+``net-refuse`` / ``net-timeout`` / ``net-torn`` / ``net-http-error`` /
+``net-corrupt``
+    Network faults injected around the distributed service's RPC calls:
+    a refused connection, a request timeout, a torn (truncated)
+    response, an HTTP 500, or a bit-flipped body.  Drawn via
+    :meth:`FaultPlan.net_fault` over ``(seed, kind, request key,
+    attempt)`` and applied on *both* sides — the
+    :class:`~repro.sim.netclient.ResilientClient` simulates them before/
+    after real exchanges, and the ``repro serve`` HTTP handlers inflict
+    them on real responses — so the retry/backoff/circuit-breaker/
+    checksum machinery is exercised end to end.  Like every other kind
+    they are budgeted per key, so bounded retries provably converge.
 
 Every kind is budgeted: a spec suffers at most ``fault_budget`` faulted
 attempts, so any retry policy with ``max_retries >= fault_budget``
@@ -111,6 +123,10 @@ KILL_EXIT_STATUS = 86
 #: whose coin fires wins, so one attempt suffers at most one fault.
 WORKER_FAULT_KINDS = ("kill", "stall", "transient")
 
+#: Network fault kinds in check order; as above, the first coin to fire
+#: wins, so one request attempt suffers at most one network disaster.
+NET_FAULT_KINDS = ("refuse", "timeout", "torn", "http_error", "corrupt")
+
 
 @dataclass(frozen=True)
 class FaultPlan:
@@ -130,6 +146,11 @@ class FaultPlan:
     transient_rate: float = 0.0
     corrupt_rate: float = 0.0
     lease_death_rate: float = 0.0
+    net_refuse_rate: float = 0.0
+    net_timeout_rate: float = 0.0
+    net_torn_rate: float = 0.0
+    net_http_error_rate: float = 0.0
+    net_corrupt_rate: float = 0.0
     stall_seconds: float = 1.0
     fault_budget: int = 1
     #: Added to every ``attempt`` before budgeting and coin draws.  The
@@ -145,6 +166,11 @@ class FaultPlan:
             "transient_rate",
             "corrupt_rate",
             "lease_death_rate",
+            "net_refuse_rate",
+            "net_timeout_rate",
+            "net_torn_rate",
+            "net_http_error_rate",
+            "net_corrupt_rate",
         ):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
@@ -170,6 +196,11 @@ class FaultPlan:
             "transient": self.transient_rate,
             "corrupt": self.corrupt_rate,
             "lease": self.lease_death_rate,
+            "net-refuse": self.net_refuse_rate,
+            "net-timeout": self.net_timeout_rate,
+            "net-torn": self.net_torn_rate,
+            "net-http_error": self.net_http_error_rate,
+            "net-corrupt": self.net_corrupt_rate,
         }[kind]
 
     def decide(self, kind: str, spec_hash: str, attempt: int) -> bool:
@@ -188,6 +219,9 @@ class FaultPlan:
 
     @property
     def active(self) -> bool:
+        """Whether any *worker/cache/lease* fault can fire (what the
+        supervised executor stamps on specs; network coins are drawn by
+        the RPC layer and never ride a spec)."""
         return any(
             (
                 self.kill_rate,
@@ -197,6 +231,36 @@ class FaultPlan:
                 self.lease_death_rate,
             )
         )
+
+    @property
+    def net_active(self) -> bool:
+        """Whether any network fault can fire."""
+        return any(
+            (
+                self.net_refuse_rate,
+                self.net_timeout_rate,
+                self.net_torn_rate,
+                self.net_http_error_rate,
+                self.net_corrupt_rate,
+            )
+        )
+
+    def net_fault(self, key: str, attempt: int) -> str | None:
+        """The network fault (if any) for request ``key``, attempt ``attempt``.
+
+        Drawn from the *base* coin stream like :meth:`lease_death` —
+        ``attempt_offset`` is a spec-attempt shift and does not apply;
+        the caller's per-key request counter is already the global
+        clock.  Budgeted: attempts at or beyond ``fault_budget`` never
+        fault, so every bounded retry loop converges.
+        """
+        if attempt >= self.fault_budget:
+            return None
+        for kind in NET_FAULT_KINDS:
+            rate = self._rate(f"net-{kind}")
+            if rate > 0.0 and self._coin(f"net-{kind}", key, attempt) < rate:
+                return kind
+        return None
 
     def with_offset(self, offset: int) -> "FaultPlan":
         """The same plan shifted to effective attempt ``offset``.
@@ -273,6 +337,11 @@ class FaultPlan:
             "transient_rate": self.transient_rate,
             "corrupt_rate": self.corrupt_rate,
             "lease_death_rate": self.lease_death_rate,
+            "net_refuse_rate": self.net_refuse_rate,
+            "net_timeout_rate": self.net_timeout_rate,
+            "net_torn_rate": self.net_torn_rate,
+            "net_http_error_rate": self.net_http_error_rate,
+            "net_corrupt_rate": self.net_corrupt_rate,
             "stall_seconds": self.stall_seconds,
             "fault_budget": self.fault_budget,
             "attempt_offset": self.attempt_offset,
@@ -287,6 +356,11 @@ class FaultPlan:
             transient_rate=float(data.get("transient_rate", 0.0)),
             corrupt_rate=float(data.get("corrupt_rate", 0.0)),
             lease_death_rate=float(data.get("lease_death_rate", 0.0)),
+            net_refuse_rate=float(data.get("net_refuse_rate", 0.0)),
+            net_timeout_rate=float(data.get("net_timeout_rate", 0.0)),
+            net_torn_rate=float(data.get("net_torn_rate", 0.0)),
+            net_http_error_rate=float(data.get("net_http_error_rate", 0.0)),
+            net_corrupt_rate=float(data.get("net_corrupt_rate", 0.0)),
             stall_seconds=float(data.get("stall_seconds", 1.0)),
             fault_budget=int(data.get("fault_budget", 1)),
             attempt_offset=int(data.get("attempt_offset", 0)),

@@ -170,6 +170,12 @@ class ExecutorStats:
     resumed_failures: int = 0
     cache_corruptions: int = 0
     serial_degraded: bool = False
+    # RPC health, synced from a remote cache backend when one is attached.
+    rpc_retries: int = 0
+    circuit_opens: int = 0
+    circuit_closes: int = 0
+    spilled: int = 0
+    reconciled: int = 0
 
     def summary(self) -> str:
         """Short human summary, empty when nothing noteworthy happened."""
@@ -188,6 +194,14 @@ class ExecutorStats:
             parts.append(f"{self.pool_respawns} respawns")
         if self.serial_degraded:
             parts.append("serial degrade")
+        if self.rpc_retries:
+            parts.append(f"{self.rpc_retries} rpc retries")
+        if self.circuit_opens:
+            parts.append(
+                f"{self.circuit_opens} circuit opens/{self.circuit_closes} closes"
+            )
+        if self.spilled:
+            parts.append(f"{self.spilled} spilled/{self.reconciled} reconciled")
         return ", ".join(parts)
 
 
@@ -276,6 +290,35 @@ class ParallelExecutor:
         self.stats = ExecutorStats()
         self._mp_context = mp_context
         self._pool: ProcessPoolExecutor | None = None
+        self._rpc_seen: dict[str, int] = {}
+
+    def _sync_rpc_stats(self) -> None:
+        """Fold the remote cache backend's counter deltas into stats.
+
+        No-op for local caches; cheap enough to call per finished spec
+        so the progress ticker reflects spill/reconcile activity live.
+        """
+        if self.cache is None:
+            return
+        getter = getattr(self.cache, "rpc_stats", None)
+        if not callable(getter):
+            return
+        totals = getter()
+        if not totals:
+            return
+        seen = self._rpc_seen
+        self.stats.rpc_retries += totals.get("retries", 0) - seen.get("retries", 0)
+        self.stats.circuit_opens += totals.get("circuit_opens", 0) - seen.get(
+            "circuit_opens", 0
+        )
+        self.stats.circuit_closes += totals.get("circuit_closes", 0) - seen.get(
+            "circuit_closes", 0
+        )
+        self.stats.spilled += totals.get("spilled", 0) - seen.get("spilled", 0)
+        self.stats.reconciled += totals.get("reconciled", 0) - seen.get(
+            "reconciled", 0
+        )
+        self._rpc_seen = dict(totals)
 
     # -- lifecycle ------------------------------------------------------------
     def _ensure_pool(self) -> ProcessPoolExecutor:
@@ -351,6 +394,7 @@ class ParallelExecutor:
             # silently recomputed; surface them so corrupted-cache
             # re-runs are visible in the stats/ticker.
             self.stats.cache_corruptions += self.cache.quarantined - corruptions_before
+            self._sync_rpc_stats()
 
         done = total - len(pending)
         if self.policy is not None or self.manifest is not None:
@@ -402,6 +446,7 @@ class ParallelExecutor:
     def _finish(self, spec: RunSpec, result: RunResult) -> RunResult:
         if self.cache is not None and isinstance(result, RunResult):
             self.cache.put(spec, result)
+            self._sync_rpc_stats()
         return result
 
 
@@ -452,6 +497,7 @@ class _SupervisedRun:
         self.results[i] = result
         if self.executor.cache is not None:
             self.executor.cache.put(self.batch[i], result)
+            self.executor._sync_rpc_stats()
         if self.manifest is not None:
             self.manifest.record_done(self.batch[i], attempts=self.attempts.get(i, 0))
         self.done += 1

@@ -60,15 +60,19 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Sequence
 
 from .faults import FailedResult
+from .netclient import ResilientClient, RpcError, RpcHttpError, RpcPolicy
 from .runner import RunResult
 from .specs import RunSpec
 
 if TYPE_CHECKING:  # pragma: no cover
     from .cache import ResultCache
+    from .faults import FaultPlan
 
 __all__ = [
     "DEFAULT_LEASE_TTL",
     "LeaseLostError",
+    "RemoteWorkLease",
+    "RemoteWorkQueue",
     "WorkLease",
     "WorkQueue",
     "collect_results",
@@ -155,17 +159,19 @@ class WorkLease:
         self.path = target
         self.expires_ms = expires
 
-    def complete(self, statuses: Sequence[dict]) -> bool:
+    def complete(self, statuses: Sequence[dict], extra: dict | None = None) -> bool:
         """Publish per-spec status records and release the lease.
 
         The ``done/`` record is written (atomically, last-writer-wins —
         racing completions of a stolen-and-finished-twice shard converge
         on one whole file) *before* the lease is dropped, so a crash in
         between leaves a completed shard with a stale lease that any
-        claimant will recognise as done.  Returns False when the lease
-        had already been stolen; the statuses are published either way.
+        claimant will recognise as done.  ``extra`` (e.g. the worker's
+        RPC/spill counter deltas for this shard) rides along in the done
+        record under ``"rpc"``.  Returns False when the lease had
+        already been stolen; the statuses are published either way.
         """
-        self.queue._write_done(self.shard_id, list(statuses))
+        self.queue._write_done(self.shard_id, list(statuses), extra=extra)
         try:
             os.unlink(self.path)
         except FileNotFoundError:
@@ -411,11 +417,13 @@ class WorkQueue:
         return reclaimed
 
     # -- completion / inspection ----------------------------------------------
-    def _write_done(self, shard_id: str, statuses: list[dict]) -> None:
-        self._atomic_json(
-            self.done_dir / f"{shard_id}.json",
-            {"shard": shard_id, "statuses": statuses},
-        )
+    def _write_done(
+        self, shard_id: str, statuses: list[dict], *, extra: dict | None = None
+    ) -> None:
+        payload: dict = {"shard": shard_id, "statuses": statuses}
+        if extra:
+            payload["rpc"] = extra
+        self._atomic_json(self.done_dir / f"{shard_id}.json", payload)
 
     def done_statuses(self) -> dict[str, dict]:
         """Merge every ``done/`` record into one ``spec_hash → status`` map."""
@@ -446,6 +454,202 @@ class WorkQueue:
         """True when no shard is pending or leased (not even an expired one)."""
         counts = self.counts()
         return counts["pending"] == 0 and counts["leased"] == 0
+
+    def rpc_totals(self, *, prefix: str | None = None) -> dict[str, int]:
+        """Sum the per-shard ``"rpc"`` extras across done records.
+
+        ``prefix`` restricts the sum to one job's shards (shard ids are
+        ``{job_id}-{n:04d}``), so concurrent jobs on one queue report
+        their own worker RPC/spill totals.
+        """
+        totals: dict[str, int] = {}
+        for path in sorted(self.done_dir.glob("*.json")):
+            if prefix is not None and not path.name.startswith(f"{prefix}-"):
+                continue
+            try:
+                payload = json.loads(path.read_text("utf-8"))
+            except (OSError, ValueError):
+                continue
+            extra = payload.get("rpc")
+            if not isinstance(extra, dict):
+                continue
+            for name, value in extra.items():
+                if isinstance(value, (int, float)):
+                    totals[name] = totals.get(name, 0) + int(value)
+        return totals
+
+
+@dataclass
+class RemoteWorkLease:
+    """One shard claimed over HTTP from a ``repro serve`` queue.
+
+    The lifecycle mirrors :class:`WorkLease` (``process_lease`` duck-types
+    over either), but every transition is an RPC through the worker's
+    :class:`~repro.sim.netclient.ResilientClient`: the lease is addressed
+    by the opaque ``token`` the server minted at claim time.  A heartbeat
+    that cannot reach the server — retries exhausted or circuit open — is
+    reported as a *lost* lease: the server will reclaim the shard when
+    the TTL lapses anyway, and at-least-once delivery plus cache
+    idempotence make the duplicate execution safe.
+    """
+
+    queue: "RemoteWorkQueue"
+    shard_id: str
+    takeovers: int
+    owner: str
+    specs: list[RunSpec]
+    token: str
+    lost: bool = field(default=False)
+
+    def heartbeat(self, ttl: float | None = None) -> None:
+        if self.lost:
+            raise LeaseLostError(f"lease on {self.shard_id} already lost")
+        try:
+            self.queue._post(
+                "heartbeat", {"token": self.token, "ttl": ttl}, key=self.token
+            )
+        except RpcHttpError as exc:
+            if exc.status in (404, 410):
+                self.lost = True
+                raise LeaseLostError(
+                    f"lease on {self.shard_id} expired and was stolen "
+                    f"from {self.owner}"
+                ) from None
+            raise LeaseLostError(
+                f"heartbeat on {self.shard_id} rejected: {exc}"
+            ) from exc
+        except RpcError as exc:
+            # Unreachable server: the lease will expire and be stolen, so
+            # stop working the shard now rather than racing the thief.
+            self.lost = True
+            raise LeaseLostError(
+                f"heartbeat on {self.shard_id} unreachable: {exc}"
+            ) from exc
+
+    def complete(self, statuses: Sequence[dict], extra: dict | None = None) -> bool:
+        body = {"token": self.token, "statuses": list(statuses)}
+        if extra:
+            body["rpc"] = extra
+        try:
+            self.queue._post("complete", body, key=self.token)
+        except RpcHttpError as exc:
+            if exc.status in (404, 410):
+                self.lost = True
+                return False
+            raise
+        except RpcError:
+            # Statuses never reached the server; the shard will be stolen
+            # and re-completed (idempotently) by another claimant.
+            self.lost = True
+            return False
+        return True
+
+    def abandon(self) -> bool:
+        try:
+            self.queue._post("abandon", {"token": self.token}, key=self.token)
+        except RpcError:
+            self.lost = True
+            return False
+        return True
+
+
+class RemoteWorkQueue:
+    """HTTP client for the queue endpoints of a ``repro serve`` process.
+
+    Speaks ``POST /api/queue/{claim,heartbeat,complete,abandon}`` and
+    ``GET /api/queue`` through a :class:`ResilientClient` — the same
+    instance the worker's :class:`~repro.sim.cache.RemoteCacheBackend`
+    uses, so cache and queue RPCs share one circuit breaker per server.
+    All operations degrade gracefully: an unreachable server makes
+    :meth:`claim` return None (the worker idles and retries) and
+    :meth:`drained` return False (never a false "all done").
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        client: ResilientClient | None = None,
+        policy: RpcPolicy | None = None,
+        fault_plan: "FaultPlan | None" = None,
+    ) -> None:
+        base = base_url.rstrip("/")
+        if not base.endswith("/api/queue"):
+            base = f"{base}/api/queue"
+        self.base_url = base
+        self.client = (
+            client
+            if client is not None
+            else ResilientClient(policy, fault_plan=fault_plan)
+        )
+        self._lease_ttl: float | None = None
+
+    def _post(self, action: str, body: dict, *, key: str) -> dict:
+        return self.client.post_json(
+            f"{self.base_url}/{action}", body, key=f"queue/{action}/{key}"
+        )
+
+    @property
+    def lease_ttl(self) -> float:
+        """The server queue's TTL (fetched lazily, cached; default on error)."""
+        if self._lease_ttl is None:
+            try:
+                info = self.client.get_json(self.base_url, key="queue/info")
+            except RpcError:
+                return DEFAULT_LEASE_TTL
+            self._lease_ttl = float(info.get("lease_ttl", DEFAULT_LEASE_TTL))
+        return self._lease_ttl
+
+    def claim(self, owner: str) -> RemoteWorkLease | None:
+        owner = _sanitize(owner, "worker")
+        try:
+            payload = self._post("claim", {"owner": owner}, key=owner)
+        except RpcError:
+            return None
+        lease = payload.get("lease") if isinstance(payload, dict) else None
+        if not isinstance(lease, dict):
+            return None
+        try:
+            specs = [RunSpec.from_dict(d) for d in lease["specs"]]
+            return RemoteWorkLease(
+                queue=self,
+                shard_id=str(lease["shard"]),
+                takeovers=int(lease["takeovers"]),
+                owner=owner,
+                specs=specs,
+                token=str(lease["token"]),
+            )
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def counts(self) -> dict[str, int]:
+        info = self.client.get_json(self.base_url, key="queue/info")
+        counts = info.get("counts", {}) if isinstance(info, dict) else {}
+        return {
+            "pending": int(counts.get("pending", 0)),
+            "leased": int(counts.get("leased", 0)),
+            "done": int(counts.get("done", 0)),
+        }
+
+    def drained(self) -> bool:
+        """True only when the server *positively reports* a drained queue."""
+        try:
+            info = self.client.get_json(self.base_url, key="queue/info")
+        except RpcError:
+            return False
+        return bool(info.get("drained")) if isinstance(info, dict) else False
+
+    def ready(self) -> bool:
+        """Whether the server is reachable and has ever held any shards."""
+        try:
+            info = self.client.get_json(self.base_url, key="queue/info")
+        except RpcError:
+            return False
+        if not isinstance(info, dict):
+            return False
+        counts = info.get("counts", {})
+        total = sum(int(counts.get(k, 0)) for k in ("pending", "leased", "done"))
+        return total > 0
 
 
 def status_record(

@@ -5,34 +5,62 @@ of :class:`~repro.sim.specs.RunSpec` dicts over HTTP, shards them into a
 :class:`~repro.sim.queue.WorkQueue` for ``repro worker`` processes to
 claim, tracks progress in a server-side
 :class:`~repro.sim.manifest.SweepManifest`, and streams newline-delimited
-JSON progress snapshots.  Robustness posture:
+JSON progress snapshots.  It is also the **cache and queue authority**
+for workers running with no shared filesystem: the ``/api/cache``
+endpoints serve and accept checksummed result payloads, and the
+``/api/queue`` endpoints expose claim/heartbeat/complete/abandon over
+HTTP (token-addressed leases backed by the same on-disk queue, so
+HTTP and shared-filesystem workers can mix freely).  Robustness posture:
 
 * **Work stealing** — the monitor thread reclaims expired leases, so a
   killed worker's shard returns to ``pending/`` for the survivors.
+  Remote leases are ordinary leases: a worker whose heartbeats stop
+  (crash, partition, open circuit) lapses its TTL and is stolen.
 * **Local fallback** — when a job stalls (work pending, nothing leased,
   no progress for ``fallback_after`` seconds) the server claims shards
   itself and executes them in-process.  A sweep submitted with *zero*
   workers alive therefore still completes, just serially.  Fallback
   execution never injects faults and never marks the server a worker
   process, so a stray ``kill`` coin can only degrade to a transient.
-* **Idempotent results** — results live in the shared content-addressed
-  cache; the server assembles a job's result set from cache + ``done/``
+* **Idempotent results** — results live in the content-addressed cache;
+  the server assembles a job's result set from cache + ``done/``
   records, so at-least-once shard execution is invisible to clients.
+  Duplicate concurrent cache PUTs of the same key carry bit-identical
+  bodies and converge through atomic rename, last writer wins.
+* **Verified payloads** — cache bodies carry SHA-256 checksums at two
+  layers (transport header over the HTTP body, embedded header inside
+  the payload); the server verifies both on PUT — rejecting torn uploads
+  with 400 + ``X-Checksum-Mismatch`` so clients retry with clean bytes —
+  and re-verifies on GET, quarantining entries that rotted on disk.
+* **Deterministic network faults** — a server-side
+  :class:`~repro.sim.faults.FaultPlan` with net rates injects refused
+  connections, stalls, torn/corrupted responses and HTTP 500s from
+  SHA-256 coins over ``(seed, kind, key, attempt)``, mirroring the
+  client-side injection in :mod:`repro.sim.netclient`.
 
 Endpoints (HTTP/1.0, ``Connection: close``):
 
-========================  =====================================================
-``GET /healthz``          liveness + job count
-``POST /api/jobs``        ``{"specs": [...], "shard_size"?: n}`` → job id
-``GET /api/jobs/<id>``    one progress snapshot
+==============================  ===============================================
+``GET /healthz``                liveness + job count
+``POST /api/jobs``              ``{"specs": [...], "shard_size"?: n}`` → job id
+``GET /api/jobs/<id>``          one progress snapshot (incl. rpc/cache stats)
 ``GET /api/jobs/<id>/stream``   ndjson snapshots until the job completes
 ``GET /api/jobs/<id>/results``  per-spec outcomes (409 until complete)
-========================  =====================================================
+``GET/HEAD /api/cache/<hash>``  fetch / probe one checksummed payload
+``PUT /api/cache/<hash>``       publish one payload (sidecar + pickle body)
+``GET /api/queue``              shard counts, drained flag, lease TTL
+``POST /api/queue/claim``       ``{"owner"}`` → token-addressed lease or null
+``POST /api/queue/heartbeat``   ``{"token", "ttl"?}`` (410 when lost)
+``POST /api/queue/complete``    ``{"token", "statuses", "rpc"?}``
+``POST /api/queue/abandon``     ``{"token"}``
+==============================  ===============================================
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import re
 import threading
 import time
 from dataclasses import dataclass, field
@@ -41,11 +69,24 @@ from pathlib import Path
 from urllib import error as urlerror
 from urllib import request as urlrequest
 
-from .cache import ResultCache, default_cache_dir
-from .faults import FailedResult
+from .cache import (
+    SIDECAR_LENGTH_HEADER,
+    LocalCacheBackend,
+    ResultCache,
+    default_cache_dir,
+    payload_checksum_ok,
+)
+from .faults import FailedResult, FaultPlan
 from .manifest import SweepManifest
+from .netclient import (
+    CHECKSUM_MISMATCH_HEADER,
+    PAYLOAD_CHECKSUM_HEADER,
+    ResilientClient,
+    RpcPolicy,
+    payload_digest,
+)
 from .parallel import ExecutionPolicy
-from .queue import DEFAULT_LEASE_TTL, WorkQueue, collect_results
+from .queue import DEFAULT_LEASE_TTL, LeaseLostError, WorkLease, WorkQueue, collect_results
 from .runner import RunResult
 from .specs import RunSpec
 from .worker import process_lease
@@ -58,6 +99,8 @@ __all__ = [
     "submit_batch",
     "wait_for_job",
 ]
+
+_CACHE_KEY_RE = re.compile(r"^[0-9a-f]{16,64}$")
 
 
 @dataclass
@@ -72,6 +115,8 @@ class SweepJob:
     state: dict[str, str] = field(default_factory=dict)
     complete: bool = False
     served_locally: int = 0
+    #: Aggregated worker RPC/spill counters from this job's done records.
+    rpc: dict[str, int] = field(default_factory=dict)
 
     def snapshot(self) -> dict:
         done = sum(1 for s in self.state.values() if s == "done")
@@ -84,6 +129,7 @@ class SweepJob:
             "pending": len(self.specs) - done - failed,
             "complete": self.complete,
             "served_locally": self.served_locally,
+            "rpc": dict(self.rpc),
         }
 
 
@@ -93,7 +139,22 @@ class SweepService:
     Usable without HTTP too (the in-process tests drive it directly):
     :meth:`submit` shards a batch and starts a monitor thread;
     :meth:`wait` blocks until the job completes; :meth:`results`
-    assembles the final per-spec outcomes.
+    assembles the final per-spec outcomes.  The HTTP handler additionally
+    routes remote-worker traffic through :meth:`claim_lease` /
+    :meth:`lease_heartbeat` / :meth:`lease_complete` /
+    :meth:`lease_abandon` (a token → :class:`WorkLease` registry over the
+    same on-disk queue) and serves the cache endpoints straight from the
+    service's local cache backend.
+
+    Parameters
+    ----------
+    fault_plan:
+        Optional *server-side* network fault injector: cache and queue
+        endpoint responses draw ``net_fault(f"srv:{key}", attempt)``
+        coins and simulate refused/stalled/torn/corrupt/500 responses
+        deterministically (progress streaming and health checks are
+        exempt — they are observability, not the fault domain under
+        test).
     """
 
     def __init__(
@@ -105,6 +166,7 @@ class SweepService:
         shard_size: int = 4,
         fallback_after: float = 2.0,
         poll: float = 0.1,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         if cache_dir is None:
             cache_dir = default_cache_dir()
@@ -113,10 +175,152 @@ class SweepService:
         self.shard_size = shard_size
         self.fallback_after = fallback_after
         self.poll = poll
+        self.fault_plan = fault_plan
         self.jobs: dict[str, SweepJob] = {}
         self._lock = threading.Lock()
         self._next_id = 1
         self._closed = threading.Event()
+        #: Token → live lease for remote (HTTP) workers.
+        self._leases: dict[str, WorkLease] = {}
+        self._lease_seq = 0
+        #: Per-key attempt clocks for server-side net fault coins.
+        self._net_attempts: dict[str, int] = {}
+        #: Cache endpoint counters (merged into job snapshots).
+        self.cache_counters: dict[str, int] = {
+            "gets": 0,
+            "get_hits": 0,
+            "puts": 0,
+            "put_rejects": 0,
+            "quarantined": 0,
+        }
+
+    # -- server-side fault coins ----------------------------------------------
+    def draw_server_fault(self, key: str) -> str | None:
+        plan = self.fault_plan
+        if plan is None or not plan.net_active:
+            return None
+        with self._lock:
+            attempt = self._net_attempts.get(key, 0)
+            self._net_attempts[key] = attempt + 1
+        return plan.net_fault(f"srv:{key}", attempt)
+
+    # -- cache authority -------------------------------------------------------
+    def _local_backend(self) -> LocalCacheBackend:
+        backend = self.cache.backend
+        if not isinstance(backend, LocalCacheBackend):  # pragma: no cover
+            raise TypeError("the serve process must own a local cache backend")
+        return backend
+
+    def cache_get(self, key: str) -> bytes | None:
+        """Raw verified payload bytes for ``key``, or None on a miss.
+
+        A stored entry that fails its embedded checksum (rotted on disk,
+        torn by a crashed writer) is quarantined server-side and reads
+        as a miss — the same never-serve-garbage contract
+        :meth:`ResultCache.get` keeps locally.
+        """
+        backend = self._local_backend()
+        with self._lock:
+            self.cache_counters["gets"] += 1
+        try:
+            raw = backend.load(key)
+        except (KeyError, OSError):
+            return None
+        if not payload_checksum_ok(raw):
+            backend.quarantine(key)
+            with self._lock:
+                self.cache_counters["quarantined"] += 1
+            return None
+        with self._lock:
+            self.cache_counters["get_hits"] += 1
+        return raw
+
+    def cache_put(self, key: str, payload: bytes, sidecar: str) -> None:
+        backend = self._local_backend()
+        backend.store(key, payload, sidecar)
+        with self._lock:
+            self.cache_counters["puts"] += 1
+
+    def cache_contains(self, key: str) -> bool:
+        return self._local_backend().contains(key)
+
+    def count_put_reject(self) -> None:
+        with self._lock:
+            self.cache_counters["put_rejects"] += 1
+
+    # -- queue authority (token-addressed leases for remote workers) -----------
+    def claim_lease(self, owner: str) -> dict | None:
+        """Claim one shard on behalf of a remote worker.
+
+        Returns the wire record (token, shard, takeovers, spec dicts) or
+        None when nothing is claimable.  Registry entries whose on-disk
+        lease vanished (expired and stolen) are pruned here so the map
+        cannot grow without bound.
+        """
+        lease = self.queue.claim(owner)
+        if lease is None:
+            return None
+        with self._lock:
+            self._lease_seq += 1
+            token = f"{lease.shard_id}.t{lease.takeovers}.{self._lease_seq}"
+            self._leases[token] = lease
+            for stale_token, stale in list(self._leases.items()):
+                if stale.lost or not stale.path.exists():
+                    del self._leases[stale_token]
+        return {
+            "token": token,
+            "shard": lease.shard_id,
+            "takeovers": lease.takeovers,
+            "specs": [spec.to_dict() for spec in lease.specs],
+            "lease_ttl": self.queue.lease_ttl,
+        }
+
+    def _lease_for(self, token: str) -> WorkLease | None:
+        with self._lock:
+            return self._leases.get(token)
+
+    def _drop_lease(self, token: str) -> None:
+        with self._lock:
+            self._leases.pop(token, None)
+
+    def lease_heartbeat(self, token: str, ttl: float | None = None) -> bool:
+        lease = self._lease_for(token)
+        if lease is None:
+            return False
+        try:
+            lease.heartbeat(ttl)
+        except LeaseLostError:
+            self._drop_lease(token)
+            return False
+        return True
+
+    def lease_complete(
+        self, token: str, statuses: list[dict], rpc: dict | None = None
+    ) -> bool:
+        lease = self._lease_for(token)
+        if lease is None:
+            return False
+        # Statuses are published even when the lease was stolen
+        # (WorkLease.complete's contract); either way the token is spent.
+        lease.complete(statuses, extra=rpc)
+        self._drop_lease(token)
+        return True
+
+    def lease_abandon(self, token: str) -> bool:
+        lease = self._lease_for(token)
+        if lease is None:
+            return False
+        released = lease.abandon()
+        self._drop_lease(token)
+        return released
+
+    def queue_info(self) -> dict:
+        counts = self.queue.counts()
+        return {
+            "counts": counts,
+            "drained": counts["pending"] == 0 and counts["leased"] == 0,
+            "lease_ttl": self.queue.lease_ttl,
+        }
 
     # -- job lifecycle --------------------------------------------------------
     def submit(
@@ -177,7 +381,10 @@ class SweepService:
                 job.state[key] = "done"
                 job.manifest.record_done(spec)
                 advanced = True
+        if advanced:
+            job.rpc = self.queue.rpc_totals(prefix=job.job_id)
         if len(job.state) == len(job.specs) and not job.complete:
+            job.rpc = self.queue.rpc_totals(prefix=job.job_id)
             job.complete = True
             job.manifest.compact()
             advanced = True
@@ -258,17 +465,89 @@ def make_server(
             pass
 
         # -- plumbing ---------------------------------------------------------
-        def _send_json(self, payload: dict, status: int = 200) -> None:
-            body = json.dumps(payload).encode("utf-8")
-            self.send_response(status)
-            self.send_header("Content-Type", "application/json")
-            self.send_header("Content-Length", str(len(body)))
-            self.send_header("Connection", "close")
-            self.end_headers()
-            self.wfile.write(body)
+        def _send_body(
+            self,
+            body: bytes,
+            status: int = 200,
+            content_type: str = "application/json",
+            *,
+            fault: str | None = None,
+            extra_headers: dict[str, str] | None = None,
+            head_only: bool = False,
+        ) -> None:
+            """Send one response, applying an injected wire fault if drawn.
+
+            ``torn`` advertises the full Content-Length but writes only
+            half the body; ``corrupt`` flips the final byte while the
+            checksum header still covers the pristine bytes — either way
+            the client's verification layer must detect the damage.
+            Write errors (client went away) are swallowed: a disconnect
+            is the peer's business, not a handler crash.
+            """
+            try:
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.send_header(PAYLOAD_CHECKSUM_HEADER, payload_digest(body))
+                for name, value in (extra_headers or {}).items():
+                    self.send_header(name, value)
+                self.send_header("Connection", "close")
+                self.end_headers()
+                if head_only:
+                    return
+                out = body
+                if fault == "torn" and len(body) > 1:
+                    out = body[: len(body) // 2]
+                elif fault == "corrupt" and body:
+                    out = body[:-1] + bytes([body[-1] ^ 0xFF])
+                self.wfile.write(out)
+            except OSError:
+                pass
+
+        def _send_json(
+            self,
+            payload: dict,
+            status: int = 200,
+            *,
+            fault: str | None = None,
+            extra_headers: dict[str, str] | None = None,
+        ) -> None:
+            self._send_body(
+                json.dumps(payload).encode("utf-8"),
+                status,
+                fault=fault,
+                extra_headers=extra_headers,
+            )
 
         def _job(self, job_id: str) -> SweepJob | None:
             return service.jobs.get(job_id)
+
+        def _read_body(self) -> bytes:
+            length = int(self.headers.get("Content-Length", "0"))
+            return self.rfile.read(length) if length > 0 else b""
+
+        def _read_json(self) -> dict:
+            payload = json.loads(self._read_body().decode("utf-8"))
+            if not isinstance(payload, dict):
+                raise ValueError("request body must be a JSON object")
+            return payload
+
+        def _pre_fault(self, key: str) -> str | None:
+            """Draw the server-side fault for this exchange; apply the
+            ones that preempt a response.  Returns the fault to thread
+            into the response writer ("torn"/"corrupt"), or raises
+            ``_Refused`` semantics by returning the sentinel "refuse"
+            which the caller must honour by *not responding at all*.
+            """
+            fault = service.draw_server_fault(key)
+            if fault == "timeout":
+                time.sleep(
+                    service.fault_plan.stall_seconds
+                    if service.fault_plan is not None
+                    else 0.0
+                )
+                return None
+            return fault
 
         # -- routes -----------------------------------------------------------
         def do_GET(self) -> None:
@@ -276,13 +555,24 @@ def make_server(
             if parts == ["healthz"]:
                 self._send_json({"ok": True, "jobs": len(service.jobs)})
                 return
+            if len(parts) == 3 and parts[:2] == ["api", "cache"]:
+                self._cache_get(parts[2], head_only=False)
+                return
+            if parts == ["api", "queue"]:
+                fault = self._pre_fault("queue/info")
+                if fault == "refuse":
+                    return
+                self._send_json(service.queue_info(), fault=fault)
+                return
             if len(parts) >= 2 and parts[:1] == ["api"] and parts[1] == "jobs":
                 if len(parts) == 3:
                     job = self._job(parts[2])
                     if job is None:
                         self._send_json({"error": "unknown job"}, 404)
                         return
-                    self._send_json(job.snapshot())
+                    snap = job.snapshot()
+                    snap["cache"] = dict(service.cache_counters)
+                    self._send_json(snap)
                     return
                 if len(parts) == 4 and parts[3] == "results":
                     job = self._job(parts[2])
@@ -301,31 +591,132 @@ def make_server(
                     return
             self._send_json({"error": "not found"}, 404)
 
+        def do_HEAD(self) -> None:
+            parts = [p for p in self.path.split("?")[0].split("/") if p]
+            if len(parts) == 3 and parts[:2] == ["api", "cache"]:
+                self._cache_get(parts[2], head_only=True)
+                return
+            self._send_body(b"", 404, head_only=True)
+
+        def _cache_get(self, key: str, *, head_only: bool) -> None:
+            if not _CACHE_KEY_RE.match(key):
+                self._send_json({"error": "bad cache key"}, 400)
+                return
+            fault = self._pre_fault(f"cache/{key}")
+            if fault == "refuse":
+                return
+            raw = service.cache_get(key)
+            if raw is None:
+                self._send_body(
+                    b"", 404, "application/octet-stream", head_only=head_only
+                )
+                return
+            self._send_body(
+                raw,
+                200,
+                "application/octet-stream",
+                fault=fault,
+                head_only=head_only,
+            )
+
+        def do_PUT(self) -> None:
+            parts = [p for p in self.path.split("?")[0].split("/") if p]
+            if len(parts) != 3 or parts[:2] != ["api", "cache"]:
+                self._send_json({"error": "not found"}, 404)
+                return
+            key = parts[2]
+            if not _CACHE_KEY_RE.match(key):
+                self._send_json({"error": "bad cache key"}, 400)
+                return
+            # Writes draw their own coin stream, mirroring the client's
+            # read/write key split.
+            fault = self._pre_fault(f"cache/put/{key}")
+            if fault == "refuse":
+                return
+            try:
+                declared = int(self.headers.get("Content-Length", "0"))
+                body = self._read_body()
+            except (OSError, ValueError):
+                self._send_json({"error": "unreadable body"}, 400)
+                return
+            mismatch = {CHECKSUM_MISMATCH_HEADER: "1"}
+            if len(body) != declared:
+                service.count_put_reject()
+                self._send_json(
+                    {"error": "body checksum/length mismatch"},
+                    400,
+                    extra_headers=mismatch,
+                )
+                return
+            transport_digest = self.headers.get(PAYLOAD_CHECKSUM_HEADER)
+            if transport_digest is not None and payload_digest(body) != transport_digest:
+                service.count_put_reject()
+                self._send_json(
+                    {"error": "body checksum mismatch"}, 400, extra_headers=mismatch
+                )
+                return
+            try:
+                sidecar_len = int(self.headers.get(SIDECAR_LENGTH_HEADER, "0"))
+                if not 0 <= sidecar_len <= len(body):
+                    raise ValueError("bad sidecar length")
+                sidecar = body[:sidecar_len].decode("utf-8")
+            except (ValueError, UnicodeDecodeError):
+                self._send_json({"error": "bad sidecar framing"}, 400)
+                return
+            payload = body[sidecar_len:]
+            if not payload_checksum_ok(payload):
+                # The embedded checksum failed with an intact transport
+                # body: the *client* sent rotten bytes; still flagged as
+                # a checksum mismatch so a client whose request tore in
+                # flight (no transport header verified) retries cleanly.
+                service.count_put_reject()
+                self._send_json(
+                    {"error": "payload checksum mismatch"},
+                    400,
+                    extra_headers=mismatch,
+                )
+                return
+            service.cache_put(key, payload, sidecar)
+            self._send_json({"stored": key}, 201, fault=fault)
+
         def _stream(self, job_id: str) -> None:
             job = self._job(job_id)
             if job is None:
                 self._send_json({"error": "unknown job"}, 404)
                 return
-            self.send_response(200)
-            self.send_header("Content-Type", "application/x-ndjson")
-            self.send_header("Connection", "close")
-            self.end_headers()
+            try:
+                self.send_response(200)
+                self.send_header("Content-Type", "application/x-ndjson")
+                self.send_header("Connection", "close")
+                self.end_headers()
+            except OSError:
+                return
             while True:
                 snap = job.snapshot()
-                self.wfile.write((json.dumps(snap) + "\n").encode("utf-8"))
-                self.wfile.flush()
+                try:
+                    self.wfile.write((json.dumps(snap) + "\n").encode("utf-8"))
+                    self.wfile.flush()
+                except OSError:
+                    # Client went away mid-stream: exit quietly; the job
+                    # (and every other subscriber) is unaffected.
+                    return
                 if snap["complete"]:
                     return
                 time.sleep(service.poll)
 
         def do_POST(self) -> None:
             parts = [p for p in self.path.split("?")[0].split("/") if p]
-            if parts != ["api", "jobs"]:
-                self._send_json({"error": "not found"}, 404)
+            if parts == ["api", "jobs"]:
+                self._post_job()
                 return
+            if len(parts) == 3 and parts[:2] == ["api", "queue"]:
+                self._post_queue(parts[2])
+                return
+            self._send_json({"error": "not found"}, 404)
+
+        def _post_job(self) -> None:
             try:
-                length = int(self.headers.get("Content-Length", "0"))
-                payload = json.loads(self.rfile.read(length).decode("utf-8"))
+                payload = self._read_json()
                 specs = payload["specs"]
                 if not isinstance(specs, list) or not specs:
                     raise ValueError("specs must be a non-empty list")
@@ -342,6 +733,54 @@ def make_server(
                 201,
             )
 
+        def _post_queue(self, action: str) -> None:
+            fault = self._pre_fault(f"queue/{action}")
+            if fault == "refuse":
+                return
+            try:
+                payload = self._read_json()
+            except (OSError, ValueError):
+                self._send_json({"error": "bad request body"}, 400)
+                return
+            if action == "claim":
+                owner = str(payload.get("owner", "worker"))
+                lease = service.claim_lease(owner)
+                self._send_json({"lease": lease}, fault=fault)
+                return
+            token = payload.get("token")
+            if not isinstance(token, str) or not token:
+                self._send_json({"error": "missing lease token"}, 400)
+                return
+            if action == "heartbeat":
+                ttl = payload.get("ttl")
+                ok = service.lease_heartbeat(
+                    token, float(ttl) if ttl is not None else None
+                )
+                if not ok:
+                    self._send_json({"error": "lease lost"}, 410)
+                    return
+                self._send_json({"ok": True}, fault=fault)
+                return
+            if action == "complete":
+                statuses = payload.get("statuses")
+                if not isinstance(statuses, list):
+                    self._send_json({"error": "statuses must be a list"}, 400)
+                    return
+                rpc = payload.get("rpc")
+                ok = service.lease_complete(
+                    token, statuses, rpc if isinstance(rpc, dict) else None
+                )
+                if not ok:
+                    self._send_json({"error": "lease lost"}, 410)
+                    return
+                self._send_json({"ok": True}, fault=fault)
+                return
+            if action == "abandon":
+                ok = service.lease_abandon(token)
+                self._send_json({"ok": True, "released": ok}, fault=fault)
+                return
+            self._send_json({"error": "not found"}, 404)
+
     class Server(ThreadingHTTPServer):
         daemon_threads = True
         allow_reuse_address = True
@@ -351,20 +790,32 @@ def make_server(
 
 # -- client helpers (used by ``repro submit`` and the integration tests) ------
 def submit_batch(
-    base_url: str, spec_dicts: list[dict], *, shard_size: int | None = None
+    base_url: str,
+    spec_dicts: list[dict],
+    *,
+    shard_size: int | None = None,
+    client: ResilientClient | None = None,
+    timeout: float = 10.0,
 ) -> dict:
-    """POST a spec batch; returns the server's job record."""
+    """POST a spec batch; returns the server's job record.
+
+    Goes through the resilient client as a *non-idempotent* request:
+    only *connection refused* (the server socket not listening yet — the
+    startup race — or gone) is retried, since a refused connection is
+    the one transport failure that proves the batch never arrived.  Any
+    other failure surfaces rather than risking a double enqueue.
+    """
     body: dict = {"specs": spec_dicts}
     if shard_size is not None:
         body["shard_size"] = shard_size
-    req = urlrequest.Request(
+    cli = client if client is not None else ResilientClient(RpcPolicy(timeout=timeout))
+    return cli.post_json(
         f"{base_url.rstrip('/')}/api/jobs",
-        data=json.dumps(body).encode("utf-8"),
-        headers={"Content-Type": "application/json"},
-        method="POST",
+        body,
+        key="jobs/submit",
+        idempotent=False,
+        ok=(200, 201),
     )
-    with urlrequest.urlopen(req) as resp:
-        return json.loads(resp.read().decode("utf-8"))
 
 
 def wait_for_job(
@@ -373,19 +824,24 @@ def wait_for_job(
     *,
     timeout: float = 300.0,
     on_progress=None,
+    read_timeout: float = 10.0,
 ) -> dict:
     """Follow the job's ndjson progress stream until it completes.
 
-    Returns the final snapshot.  ``on_progress(snapshot)`` is invoked for
-    every streamed line.  Reconnects if the stream drops (server restart,
-    proxy timeout) until ``timeout`` expires.
+    Returns the final snapshot.  ``on_progress(snapshot)`` is invoked
+    for every streamed line.  Every socket operation is bounded by
+    ``read_timeout`` — a hung server reads as a dropped stream, never a
+    wedged client — and reconnects back off exponentially (reset on a
+    successful connect) until the ``timeout`` deadline expires.
     """
     deadline = time.monotonic() + timeout
     url = f"{base_url.rstrip('/')}/api/jobs/{job_id}/stream"
     last: dict = {}
+    delay = 0.05
     while time.monotonic() < deadline:
         try:
-            with urlrequest.urlopen(url, timeout=timeout) as resp:
+            with urlrequest.urlopen(url, timeout=read_timeout) as resp:
+                delay = 0.05
                 for raw in resp:
                     line = raw.decode("utf-8").strip()
                     if not line:
@@ -395,15 +851,27 @@ def wait_for_job(
                         on_progress(last)
                     if last.get("complete"):
                         return last
-        except (OSError, urlerror.URLError, ValueError):
+        except (OSError, urlerror.URLError, ValueError, http.client.HTTPException):
             pass
-        time.sleep(0.2)
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            break
+        time.sleep(min(delay, remaining))
+        delay = min(2.0, delay * 2)
     raise TimeoutError(f"job {job_id} did not complete within {timeout}s")
 
 
-def fetch_results(base_url: str, job_id: str) -> list[dict]:
-    """GET a completed job's per-spec outcome records."""
-    url = f"{base_url.rstrip('/')}/api/jobs/{job_id}/results"
-    with urlrequest.urlopen(url) as resp:
-        payload = json.loads(resp.read().decode("utf-8"))
+def fetch_results(
+    base_url: str,
+    job_id: str,
+    *,
+    client: ResilientClient | None = None,
+    timeout: float = 10.0,
+) -> list[dict]:
+    """GET a completed job's per-spec outcome records (with retries)."""
+    cli = client if client is not None else ResilientClient(RpcPolicy(timeout=timeout))
+    payload = cli.get_json(
+        f"{base_url.rstrip('/')}/api/jobs/{job_id}/results",
+        key=f"jobs/{job_id}/results",
+    )
     return payload["results"]

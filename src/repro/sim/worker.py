@@ -1,13 +1,24 @@
 """The distributed sweep worker: claim shards, execute, heartbeat, publish.
 
 ``repro worker`` runs this loop.  Each iteration claims one shard from a
-:class:`~repro.sim.queue.WorkQueue`, executes its specs through the
-supervised :class:`~repro.sim.parallel.ParallelExecutor` (serial
-in-process — the worker *is* the parallelism unit; retries, backoff and
-poison-spec quarantine all behave exactly as in a local sweep), renews
-the lease after every finished spec, publishes results into the shared
+:class:`~repro.sim.queue.WorkQueue` (shared filesystem) or a
+:class:`~repro.sim.queue.RemoteWorkQueue` (HTTP, no shared mount),
+executes its specs through the supervised
+:class:`~repro.sim.parallel.ParallelExecutor` (serial in-process — the
+worker *is* the parallelism unit; retries, backoff and poison-spec
+quarantine all behave exactly as in a local sweep), renews the lease
+after every finished spec, publishes results into the shared
 :class:`~repro.sim.cache.ResultCache`, and posts per-spec status records
-into the queue's ``done/`` directory.
+into the queue's ``done/`` records.
+
+In the remote topology every coordination step is an RPC through one
+:class:`~repro.sim.netclient.ResilientClient` shared by the queue client
+and the :class:`~repro.sim.cache.RemoteCacheBackend` — one circuit
+breaker per server, so a dead server fails everything fast and a
+recovered one reopens everything at once.  Results spilled locally while
+the circuit was open are **reconciled** (re-published) before the shard's
+done record is posted: a "done" status must never point at a result the
+server does not hold.
 
 Crash semantics are the point:
 
@@ -34,10 +45,17 @@ import os
 import time
 from dataclasses import dataclass, field
 
-from .cache import ResultCache, default_cache_dir
+from .cache import RemoteCacheBackend, ResultCache, default_cache_dir
 from .faults import FaultPlan
+from .netclient import ResilientClient, RpcPolicy
 from .parallel import ExecutionPolicy, ParallelExecutor
-from .queue import LeaseLostError, WorkLease, WorkQueue, status_record
+from .queue import (
+    LeaseLostError,
+    RemoteWorkQueue,
+    WorkLease,
+    WorkQueue,
+    status_record,
+)
 
 __all__ = ["WorkerStats", "process_lease", "run_worker"]
 
@@ -52,14 +70,127 @@ class WorkerStats:
     specs_failed: int = 0
     lease_deaths: int = 0
     leases_lost: int = 0
+    # RPC health (remote topology only; zero for shared-filesystem runs).
+    rpc_retries: int = 0
+    rpc_giveups: int = 0
+    circuit_opens: int = 0
+    circuit_closes: int = 0
+    spilled: int = 0
+    reconciled: int = 0
     outcomes: list[str] = field(default_factory=list)
+    #: RPC deltas from shards whose done record never posted (lease lost
+    #: or deliberately abandoned); carried onto the next complete so the
+    #: job's aggregated health is at-least-once, not sometimes-lost.
+    rpc_unreported: dict = field(default_factory=dict)
+    #: Backend-stats watermark of the last reported/carried delta.  The
+    #: delta windows tile the worker's whole lifetime — claims, breaker
+    #: probes and circuit-close reconciliations that happen *between*
+    #: shards land in the next shard's delta instead of a gap.
+    rpc_watermark: dict = field(default_factory=dict)
+
+    def apply_rpc(self, totals: dict[str, int]) -> None:
+        """Adopt a client/backend stats dict as this worker's RPC totals."""
+        self.rpc_retries = int(totals.get("retries", 0))
+        self.rpc_giveups = int(totals.get("giveups", 0))
+        self.circuit_opens = int(totals.get("circuit_opens", 0))
+        self.circuit_closes = int(totals.get("circuit_closes", 0))
+        self.spilled = int(totals.get("spilled", 0))
+        self.reconciled = int(totals.get("reconciled", 0))
 
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.shards_completed}/{self.claims} shards "
             f"({self.specs_done} specs done, {self.specs_failed} failed, "
             f"{self.lease_deaths} lease deaths, {self.leases_lost} leases lost)"
         )
+        rpc_parts = []
+        if self.rpc_retries:
+            rpc_parts.append(f"{self.rpc_retries} rpc retries")
+        if self.circuit_opens:
+            rpc_parts.append(
+                f"{self.circuit_opens} circuit opens/{self.circuit_closes} closes"
+            )
+        if self.spilled:
+            rpc_parts.append(f"{self.spilled} spilled/{self.reconciled} reconciled")
+        if rpc_parts:
+            text += f" [{', '.join(rpc_parts)}]"
+        return text
+
+
+def _backend_stats(cache: ResultCache) -> dict[str, int]:
+    getter = getattr(cache, "rpc_stats", None)
+    return dict(getter()) if callable(getter) else {}
+
+
+def _stats_delta(before: dict[str, int], after: dict[str, int]) -> dict[str, int]:
+    """Counter deltas between two backend snapshots (gauges pass through)."""
+    delta: dict[str, int] = {}
+    for key in set(before) | set(after):
+        if key == "spill_pending":
+            if after.get(key, 0):
+                delta[key] = after.get(key, 0)
+            continue
+        diff = after.get(key, 0) - before.get(key, 0)
+        if diff:
+            delta[key] = diff
+    return delta
+
+
+def _merge_rpc(carry: dict, delta: dict[str, int]) -> dict[str, int]:
+    """Fold a carried-forward delta into a fresh one (counters sum; the
+    ``spill_pending`` gauge keeps only the newer reading)."""
+    merged = dict(delta)
+    for key, value in carry.items():
+        if key == "spill_pending":
+            continue
+        merged[key] = merged.get(key, 0) + int(value)
+    return merged
+
+
+def _take_rpc_delta(stats: WorkerStats, cache: ResultCache) -> dict[str, int]:
+    """This worker's RPC activity since the last taken delta."""
+    current = _backend_stats(cache)
+    delta = _stats_delta(stats.rpc_watermark, current)
+    stats.rpc_watermark = current
+    return delta
+
+
+def _carry_rpc(stats: WorkerStats, cache: ResultCache) -> None:
+    """Bank the current RPC delta for the next done record that posts."""
+    stats.rpc_unreported = _merge_rpc(
+        stats.rpc_unreported, _take_rpc_delta(stats, cache)
+    )
+
+
+def _flush_spill_before_complete(
+    lease: WorkLease, cache: ResultCache, stats: WorkerStats, timeout: float = 10.0
+) -> bool:
+    """Reconcile spilled results to the server before posting ``done``.
+
+    A shard's done record must never reference a result only this
+    worker's spill directory holds — the server would report the spec
+    "missing".  Keeps heartbeating while it waits for the circuit to
+    half-open; gives up (False) when the lease is lost or ``timeout``
+    elapses with the server still unreachable.
+    """
+    pending = getattr(cache, "pending_spill", None)
+    flush = getattr(cache, "flush_spill", None)
+    if not callable(pending) or not callable(flush):
+        return True
+    deadline = time.monotonic() + timeout
+    while pending():
+        flush()
+        if not pending():
+            break
+        if time.monotonic() >= deadline:
+            return False
+        try:
+            lease.heartbeat()
+        except LeaseLostError:
+            stats.leases_lost += 1
+            return False
+        time.sleep(0.1)
+    return True
 
 
 def process_lease(
@@ -75,8 +206,10 @@ def process_lease(
     ``died`` means the lease-death coin fired: half the shard was
     executed (its results are cached and stay valid) and the lease was
     deliberately left to expire.  ``lost`` means a heartbeat discovered
-    the lease had already been stolen mid-execution; whatever was
-    computed is cached, the thief finishes the rest idempotently.
+    the lease had already been stolen mid-execution — or, on a remote
+    cache, that spilled results could not be reconciled before
+    completion; whatever was computed is cached (or spilled for later
+    reconciliation), and the thief finishes the rest idempotently.
     """
     stats = stats if stats is not None else WorkerStats()
     policy = policy if policy is not None else ExecutionPolicy()
@@ -103,12 +236,22 @@ def process_lease(
         results = executor.run(specs, progress=renew)
     except LeaseLostError:
         stats.leases_lost += 1
+        _carry_rpc(stats, cache)
         return "lost"
     finally:
         executor.close()
 
     if dying:
+        _carry_rpc(stats, cache)
         return "died"
+
+    if not _flush_spill_before_complete(lease, cache, stats):
+        # Results are safe in the spill cache; hand the shard back (the
+        # abandon itself may fail on a dead server — then the TTL lapses
+        # and the steal happens anyway).
+        lease.abandon()
+        _carry_rpc(stats, cache)
+        return "lost"
 
     statuses = [
         status_record(spec, result) for spec, result in zip(lease.specs, results)
@@ -118,15 +261,26 @@ def process_lease(
             stats.specs_done += 1
         else:
             stats.specs_failed += 1
-    if not lease.complete(statuses):
+    rpc_delta = _merge_rpc(stats.rpc_unreported, _take_rpc_delta(stats, cache))
+    stats.rpc_unreported = {}
+    if not lease.complete(statuses, extra=rpc_delta or None):
+        # The record may not have been written (remote 410 / unreachable):
+        # re-bank the delta so a later complete still reports it.  A rare
+        # double count (torn response after the server applied it) only
+        # inflates diagnostics, never results.
         stats.leases_lost += 1
+        stats.rpc_unreported = _merge_rpc(stats.rpc_unreported, rpc_delta)
     stats.shards_completed += 1
     return "completed"
 
 
 def run_worker(
-    queue_root: str | os.PathLike,
+    queue_root: str | os.PathLike | None = None,
     *,
+    server_url: str | None = None,
+    cache_url: str | None = None,
+    spill_dir: str | os.PathLike | None = None,
+    rpc_policy: RpcPolicy | None = None,
     cache_dir: str | os.PathLike | None = None,
     owner: str | None = None,
     policy: ExecutionPolicy | None = None,
@@ -137,13 +291,31 @@ def run_worker(
     exit_when_drained: bool = False,
     wait_for_queue: float = 0.0,
 ) -> WorkerStats:
-    """Pull and execute shards from ``queue_root`` until there is no work.
+    """Pull and execute shards until there is no work.
+
+    Exactly one of ``queue_root`` (shared-filesystem queue) or
+    ``server_url`` (HTTP queue — no shared mount) must be given.
 
     Parameters
     ----------
+    server_url:
+        ``repro serve`` base URL; shard claims, heartbeats and done
+        records go over HTTP through the resilient client.
+    cache_url:
+        Remote cache base URL (defaults to ``server_url`` when serving
+        over HTTP).  When set, results are published with ``PUT
+        /api/cache`` instead of a shared cache directory, spilling
+        locally while the server is unreachable.
+    spill_dir:
+        Local spill directory for the remote cache backend (a private
+        temp directory when omitted).
+    rpc_policy:
+        Timeout/retry/circuit-breaker tuning for all RPCs
+        (:class:`~repro.sim.netclient.RpcPolicy`).
     cache_dir:
-        Shared result cache; defaults to the directory recorded in the
-        queue's config, then to the process default.
+        Shared result cache for the filesystem topology; defaults to the
+        directory recorded in the queue's config, then to the process
+        default.
     owner:
         Lease owner name (defaults to ``worker-<pid>``); shows up in
         lease filenames for debugging.
@@ -156,23 +328,52 @@ def run_worker(
         Exit after claiming this many shards (tests).
     exit_when_drained:
         Exit as soon as no shard is pending *or* leased — i.e. the sweep
-        is finished, not merely contended.
+        is finished, not merely contended.  A remote queue only reports
+        drained on a positive server answer, so a partition cannot make
+        a worker exit early.
     wait_for_queue:
-        Seconds to wait for the queue config to appear before opening it
-        (lets workers boot before the server has enqueued anything).
+        Seconds to wait for the queue to exist (filesystem: the
+        ``queue.json`` config; remote: the server reachable with at
+        least one shard ever enqueued) before entering the claim loop.
     """
-    root = os.fspath(queue_root)
-    if wait_for_queue > 0:
-        deadline = time.monotonic() + wait_for_queue
-        while not os.path.exists(os.path.join(root, "queue.json")):
-            if time.monotonic() >= deadline:
-                break
-            time.sleep(min(poll, 0.05))
+    if (queue_root is None) == (server_url is None):
+        raise ValueError("exactly one of queue_root or server_url is required")
 
-    queue = WorkQueue(root)
-    if cache_dir is None:
-        cache_dir = queue.cache_dir or default_cache_dir()
-    cache = ResultCache(cache_dir)
+    client: ResilientClient | None = None
+    if server_url is not None or cache_url is not None:
+        client = ResilientClient(rpc_policy, fault_plan=fault_plan)
+
+    queue: WorkQueue | RemoteWorkQueue
+    if server_url is not None:
+        queue = RemoteWorkQueue(server_url, client=client)
+        if wait_for_queue > 0:
+            deadline = time.monotonic() + wait_for_queue
+            while not queue.ready():
+                if time.monotonic() >= deadline:
+                    break
+                time.sleep(min(poll, 0.05))
+    else:
+        root = os.fspath(queue_root)
+        if wait_for_queue > 0:
+            deadline = time.monotonic() + wait_for_queue
+            while not os.path.exists(os.path.join(root, "queue.json")):
+                if time.monotonic() >= deadline:
+                    break
+                time.sleep(min(poll, 0.05))
+        queue = WorkQueue(root)
+
+    if cache_url is not None or server_url is not None:
+        backend = RemoteCacheBackend(
+            cache_url if cache_url is not None else server_url,
+            client=client,
+            spill_dir=spill_dir,
+        )
+        cache = ResultCache(backend=backend)
+    else:
+        if cache_dir is None:
+            cache_dir = queue.cache_dir or default_cache_dir()
+        cache = ResultCache(cache_dir)
+
     owner = owner or f"worker-{os.getpid()}"
     stats = WorkerStats()
     idle_since: float | None = None
@@ -197,4 +398,9 @@ def run_worker(
         stats.outcomes.append(f"{lease.shard_id}:t{lease.takeovers}:{outcome}")
         if max_shards is not None and stats.claims >= max_shards:
             break
+
+    # Last-chance reconciliation: don't exit with results stranded in
+    # the spill directory if the server is reachable again.
+    cache.flush_spill()
+    stats.apply_rpc(_backend_stats(cache))
     return stats

@@ -275,9 +275,13 @@ class TestShardFlag:
 
 
 class TestDistributedCommands:
-    def test_worker_requires_queue_dir(self):
+    def test_worker_requires_queue_dir_or_server(self):
+        # --queue-dir and --server are mutually exclusive and exactly one
+        # is required; the check lives in the command (both flags parse).
         with pytest.raises(SystemExit):
-            build_parser().parse_args(["worker"])
+            main(["worker"])
+        with pytest.raises(SystemExit):
+            main(["worker", "--queue-dir", "q", "--server", "http://x:1"])
 
     def test_serve_requires_queue_dir(self):
         with pytest.raises(SystemExit):
